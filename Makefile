@@ -1,0 +1,48 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench fig6 results clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/sched/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The paper's headline experiment at full scale (25 trials, 150 nodes,
+# 3 CRACs); takes ~10 minutes on one core.
+fig6:
+	$(GO) run ./cmd/tapo fig6 -trials 25 -nodes 150 -cracs 3
+
+# Regenerate every recorded experiment in results/ (slow).
+results:
+	$(GO) build -o /tmp/tapo ./cmd/tapo
+	/tmp/tapo bounds   -nodes 150 -cracs 3                         > results/bounds.txt
+	/tmp/tapo ablation -trials 5 -nodes 150 -cracs 3               > results/ablation.txt
+	/tmp/tapo simulate -trials 5 -nodes 150 -cracs 3 -horizon 120  > results/simulate.txt
+	/tmp/tapo minpower -nodes 150 -cracs 3                         > results/minpower.txt
+	/tmp/tapo policies -trials 3 -nodes 150 -cracs 3 -horizon 120  > results/policies.txt
+	/tmp/tapo dynamic  -nodes 150 -cracs 3                         > results/dynamic.txt
+	/tmp/tapo compare  -trials 5 -nodes 150 -cracs 3               > results/compare.txt
+	/tmp/tapo burst    -trials 3 -nodes 150 -cracs 3 -horizon 120  > results/burst.txt
+	/tmp/tapo sweep -kind powercap -trials 5 -nodes 60 -cracs 3    > results/sweep_powercap.txt
+	/tmp/tapo sweep -kind psi      -trials 5 -nodes 60 -cracs 3    > results/sweep_psi.txt
+	/tmp/tapo sweep -kind vprop    -trials 5 -nodes 60 -cracs 3    > results/sweep_vprop.txt
+	/tmp/tapo sweep -kind static   -trials 5 -nodes 60 -cracs 3    > results/sweep_static.txt
+	/tmp/tapo sweep -kind hetero   -trials 5 -nodes 60 -cracs 3    > results/sweep_hetero.txt
+
+clean:
+	$(GO) clean ./...

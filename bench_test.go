@@ -1,0 +1,224 @@
+// Benchmarks regenerating each of the paper's tables and figures, plus
+// component and ablation benches. Table/figure benches run at reduced
+// scale so `go test -bench=.` stays interactive; the cmd/tapo CLI runs the
+// full paper scale (25 trials, 150 nodes, 3 CRACs).
+package thermaldc_test
+
+import (
+	"testing"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/experiments"
+	"thermaldc/internal/layout"
+	"thermaldc/internal/model"
+	"thermaldc/internal/pwl"
+	"thermaldc/internal/scenario"
+	"thermaldc/internal/sim"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/tempsearch"
+	"thermaldc/internal/thermal"
+	"thermaldc/internal/workload"
+)
+
+// benchScenario caches one small instance across benchmarks.
+var benchSC *scenario.Scenario
+
+func getScenario(b *testing.B) *scenario.Scenario {
+	b.Helper()
+	if benchSC == nil {
+		cfg := scenario.Default(0.3, 0.3, 1)
+		cfg.NCracs = 2
+		cfg.NNodes = 20
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSC = sc
+	}
+	return benchSC
+}
+
+// BenchmarkTable1PowerModel regenerates Table I: the Appendix-A derivation
+// of per-P-state core powers for both server models at both static shares.
+func BenchmarkTable1PowerModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, share := range []float64{0.3, 0.2} {
+			for _, nt := range model.TableINodeTypes(share) {
+				_ = nt.CorePowers()
+			}
+		}
+	}
+}
+
+// BenchmarkTable2AlphaGeneration regenerates the Table-II-driven
+// Appendix-B cross-interference matrix for a 4-rack layout.
+func BenchmarkTable2AlphaGeneration(b *testing.B) {
+	sc := getScenario(b)
+	cfg := sc.Config.Layout
+	rng := stats.NewRand(1)
+	dc := *sc.DC // shallow copy; GenerateAlpha replaces Alpha only
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := layout.GenerateAlpha(&dc, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3RRFunction regenerates the Figure-3 reward-rate function.
+func BenchmarkFig3RRFunction(b *testing.B) {
+	sc := getScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = assign.RR(sc.DC, 0, 0)
+	}
+}
+
+// BenchmarkFig4Fig5ARR regenerates the deadline-aware RR and its concave
+// ARR envelope (Figures 4 and 5) for both node types.
+func BenchmarkFig4Fig5ARR(b *testing.B) {
+	sc := getScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range sc.DC.NodeTypes {
+			if _, err := assign.ARR(sc.DC, j, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6Improvement runs one full Figure-6 trial (baseline +
+// three-stage at ψ=50) at reduced scale.
+func BenchmarkFig6Improvement(b *testing.B) {
+	sc := getScenario(b)
+	opts := assign.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := assign.Baseline(sc.DC, sc.Thermal, opts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := assign.ThreeStage(sc.DC, sc.Thermal, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEq17PowerBounds regenerates the Equation-17/18 power envelope.
+func BenchmarkEq17PowerBounds(b *testing.B) {
+	sc := getScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := assign.PowerBounds(sc.DC, sc.Thermal, tempsearch.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStage1LP isolates one Stage-1 LP solve at fixed outlets.
+func BenchmarkStage1LP(b *testing.B) {
+	sc := getScenario(b)
+	arrs := make([]*pwl.Func, len(sc.DC.NodeTypes))
+	for j := range arrs {
+		f, err := assign.ARR(sc.DC, j, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arrs[j] = f
+	}
+	out := []float64{15, 15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := assign.Stage1Fixed(sc.DC, sc.Thermal, arrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStage3LP isolates the Stage-3 desired-rate LP.
+func BenchmarkStage3LP(b *testing.B) {
+	sc := getScenario(b)
+	res, err := assign.ThreeStage(sc.DC, sc.Thermal, assign.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := assign.Stage3(sc.DC, res.PStates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThermalModelPaperScale builds the 153-unit heat-flow model.
+func BenchmarkThermalModelPaperScale(b *testing.B) {
+	cfg := scenario.Default(0.3, 0.1, 2)
+	cfg.NCracs = 3
+	cfg.NNodes = 150
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := thermal.New(sc.DC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicScheduler streams one second of tasks per op through the
+// second-step scheduler.
+func BenchmarkDynamicScheduler(b *testing.B) {
+	sc := getScenario(b)
+	res, err := assign.ThreeStage(sc.DC, sc.Thermal, assign.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const horizon = 10.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tasks)), "tasks/op")
+}
+
+// BenchmarkSearchStrategies is the temperature-search ablation: the
+// paper's coarse-to-fine multi-step search versus the exhaustive grid and
+// coordinate descent.
+func BenchmarkSearchStrategies(b *testing.B) {
+	sc := getScenario(b)
+	for _, strat := range []assign.Strategy{assign.CoarseToFine, assign.FullGrid, assign.CoordDescent} {
+		b.Run(strat.String(), func(b *testing.B) {
+			opts := assign.DefaultOptions()
+			opts.Strategy = strat
+			// A narrower window keeps the exhaustive grid tractable.
+			opts.Search = tempsearch.Config{Lo: 10, Hi: 20, CoarseStep: 5, FineStep: 1}
+			for i := 0; i < b.N; i++ {
+				res, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.SearchEvals), "LPsolves/op")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6ReducedExperiment runs a miniature end-to-end Figure-6
+// experiment (1 trial per group) including scenario construction.
+func BenchmarkFig6ReducedExperiment(b *testing.B) {
+	cfg := experiments.DefaultFig6Config()
+	cfg.Trials = 1
+	cfg.NCracs = 2
+	cfg.NNodes = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

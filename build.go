@@ -1,0 +1,47 @@
+package thermaldc
+
+import (
+	"thermaldc/internal/layout"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/workload"
+)
+
+// LayoutConfig controls the hot-aisle floor plan and the Appendix-B
+// cross-interference generator.
+type LayoutConfig = layout.Config
+
+// DefaultLayoutConfig returns the paper's layout parameters (racks of 5,
+// 70% of exit air to the facing CRAC).
+func DefaultLayoutConfig() LayoutConfig { return layout.DefaultConfig() }
+
+// ArrangeLayout assigns rack positions, Table-II labels and hot aisles to
+// dc.Nodes and sizes the CRAC flows to match the total node air flow. Call
+// it after populating dc.NodeTypes, dc.Nodes and dc.CRACs (flows may be
+// zero; they are overwritten).
+func ArrangeLayout(dc *DataCenter, cfg LayoutConfig) error {
+	return layout.Arrange(dc, cfg)
+}
+
+// GenerateAlpha solves the Appendix-B LP feasibility problem and stores
+// the cross-interference matrix in dc.Alpha. Deterministic per seed.
+func GenerateAlpha(dc *DataCenter, cfg LayoutConfig, seed int64) error {
+	return layout.GenerateAlpha(dc, cfg, stats.NewRand(seed))
+}
+
+// DefaultWorkloadConfig returns the paper's §VI generator parameters for
+// the given Vprop.
+func DefaultWorkloadConfig(vprop float64) WorkloadConfig {
+	return workload.DefaultGenConfig(vprop)
+}
+
+// GenerateWorkload fills dc.ECS and dc.TaskTypes with the §VI synthetic
+// workload. Deterministic per seed. dc.NodeTypes and dc.Nodes must be set.
+func GenerateWorkload(dc *DataCenter, cfg WorkloadConfig, seed int64) error {
+	rng := stats.NewRand(seed)
+	ecs, err := workload.GenerateECS(dc.NodeTypes, cfg, rng)
+	if err != nil {
+		return err
+	}
+	dc.ECS = ecs
+	return workload.GenerateTaskTypes(dc, cfg, rng)
+}

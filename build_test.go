@@ -1,0 +1,109 @@
+package thermaldc_test
+
+import (
+	"math"
+	"testing"
+
+	"thermaldc"
+)
+
+// TestManualBuildPipeline drives the hand-assembly path of the public API:
+// node list → layout → alpha → workload → thermal model → bounds →
+// assignment → simulation with options → energy.
+func TestManualBuildPipeline(t *testing.T) {
+	dc := &thermaldc.DataCenter{
+		NodeTypes:   thermaldc.TableINodeTypes(0.3),
+		CRACs:       make([]thermaldc.CRAC, 2),
+		RedlineNode: 25,
+		RedlineCRAC: 40,
+	}
+	for j := 0; j < 10; j++ {
+		dc.Nodes = append(dc.Nodes, thermaldc.Node{Type: j % 2})
+	}
+	lay := thermaldc.DefaultLayoutConfig()
+	if err := thermaldc.ArrangeLayout(dc, lay); err != nil {
+		t.Fatal(err)
+	}
+	if err := thermaldc.GenerateAlpha(dc, lay, 5); err != nil {
+		t.Fatal(err)
+	}
+	wl := thermaldc.DefaultWorkloadConfig(0.2)
+	if err := thermaldc.GenerateWorkload(dc, wl, 5); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := thermaldc.NewThermalModel(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	search := thermaldc.SearchConfig{Lo: 5, Hi: 25, CoarseStep: 5, FineStep: 1}
+	pmin, pmax, err := thermaldc.PowerBounds(dc, tm, search)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.Pconst = (pmin + pmax) / 2
+	if err := dc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc := &thermaldc.Scenario{DC: dc, Thermal: tm, Pmin: pmin, Pmax: pmax}
+	opts := thermaldc.DefaultAssignOptions()
+	opts.Search = search
+	res, err := thermaldc.ThreeStage(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RewardRate() <= 0 {
+		t.Fatal("no reward")
+	}
+
+	// Bursty stream + soft policy + trace + energy.
+	const horizon = 20.0
+	tasks, err := thermaldc.GenerateBurstyTasks(dc, horizon, thermaldc.BurstConfig{
+		Burst: 0.5, HighFraction: 0.3, MeanHighDuration: 5,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced int
+	out, err := thermaldc.SimulateOpts(dc, res, tasks, horizon, thermaldc.SimOptions{
+		Policy:   thermaldc.SoftRatioPolicy(),
+		Recorder: func(thermaldc.TaskRecord) { traced++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced != len(tasks) {
+		t.Errorf("traced %d of %d tasks", traced, len(tasks))
+	}
+	rep, err := thermaldc.Energy(dc, res, out, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ComputeKJ <= 0 {
+		t.Error("no energy accounted")
+	}
+	if thermaldc.PaperPolicy().Name() != "paper-min-ratio" {
+		t.Error("paper policy name wrong")
+	}
+}
+
+// TestFacadeMinPower drives the §VIII extension through the facade.
+func TestFacadeMinPower(t *testing.T) {
+	cfg := thermaldc.DefaultScenario(0.3, 0.1, 6)
+	cfg.NCracs = 2
+	cfg.NNodes = 10
+	sc, err := thermaldc.NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primal, err := thermaldc.ThreeStage(sc, thermaldc.DefaultAssignOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := thermaldc.MinPowerForReward(sc, 0.5*primal.RewardRate(), thermaldc.DefaultAssignOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelaxedPower >= sc.DC.Pconst || math.IsNaN(res.IntegerPower) {
+		t.Errorf("min power %g vs Pconst %g", res.RelaxedPower, sc.DC.Pconst)
+	}
+}

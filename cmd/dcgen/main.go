@@ -1,0 +1,78 @@
+// Command dcgen builds a Section-VI scenario and dumps the complete data
+// center (node types, layout, cross-interference matrix, ECS tensor, task
+// types, power constraint) as JSON for inspection or reuse by external
+// tools.
+//
+// Usage:
+//
+//	dcgen [-nodes N] [-cracs N] [-seed S] [-static F] [-vprop F] [-o FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"thermaldc/internal/scenario"
+)
+
+// dump is the serialized scenario: the data center plus the derived
+// power envelope, so consumers do not need to re-run the bounds search.
+type dump struct {
+	Seed        int64   `json:"seed"`
+	StaticShare float64 `json:"staticShare"`
+	Vprop       float64 `json:"vprop"`
+	Pmin        float64 `json:"pminKW"`
+	Pmax        float64 `json:"pmaxKW"`
+	DataCenter  any     `json:"dataCenter"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dcgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, builds the scenario and writes the JSON dump.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dcgen", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 30, "compute nodes (paper: 150)")
+	cracs := fs.Int("cracs", 2, "CRAC units (paper: 3)")
+	seed := fs.Int64("seed", 1, "random seed")
+	static := fs.Float64("static", 0.3, "static share of P-state-0 core power")
+	vprop := fs.Float64("vprop", 0.1, "ECS proportionality variation")
+	out := fs.String("o", "-", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := scenario.Default(*static, *vprop, *seed)
+	cfg.NNodes, cfg.NCracs = *nodes, *cracs
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		return err
+	}
+	d := dump{
+		Seed:        *seed,
+		StaticShare: *static,
+		Vprop:       *vprop,
+		Pmin:        sc.Pmin,
+		Pmax:        sc.Pmax,
+		DataCenter:  sc.DC,
+	}
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

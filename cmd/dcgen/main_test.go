@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"thermaldc/internal/model"
+)
+
+func TestRunProducesLoadableJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "10", "-cracs", "2", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Seed       int64            `json:"seed"`
+		Pmin       float64          `json:"pminKW"`
+		Pmax       float64          `json:"pmaxKW"`
+		DataCenter model.DataCenter `json:"dataCenter"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if d.Seed != 3 || d.Pmin <= 0 || d.Pmax <= d.Pmin {
+		t.Errorf("metadata wrong: %+v", d)
+	}
+	if err := d.DataCenter.Validate(); err != nil {
+		t.Fatalf("dumped data center invalid: %v", err)
+	}
+	if d.DataCenter.NCN() != 10 || d.DataCenter.NCRAC() != 2 {
+		t.Error("sizes not respected")
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := t.TempDir() + "/dc.json"
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "10", "-cracs", "2", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("stdout should be empty when -o is set")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nodes", "x"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,440 @@
+// Command tapo (Thermal-Aware Performance Optimization) regenerates the
+// paper's tables and figures and runs the extension experiments.
+//
+// Usage:
+//
+//	tapo fig6     [-trials N] [-nodes N] [-cracs N] [-seed S] [-quiet]
+//	tapo table1   [-static F]
+//	tapo table2
+//	tapo fig345
+//	tapo bounds   [-nodes N] [-cracs N] [-seed S] [-static F] [-vprop F]
+//	tapo sweep    -kind {powercap|psi|vprop|static} [-values a,b,c] [...]
+//	tapo ablation [-trials N] [-nodes N] [-cracs N]
+//	tapo simulate [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
+//
+// Full paper scale is `-trials 25 -nodes 150 -cracs 3`; the defaults are
+// reduced so every command finishes interactively.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/experiments"
+	"thermaldc/internal/report"
+	"thermaldc/internal/scenario"
+)
+
+// writeCSV writes one experiment result to path via the given writer
+// function ("" = skip).
+func writeCSV(path string, write func(w *os.File) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig6":
+		err = runFig6(args)
+	case "table1":
+		err = runTable1(args)
+	case "table2":
+		fmt.Println(experiments.Table2())
+	case "fig345":
+		err = runFig345(args)
+	case "bounds":
+		err = runBounds(args)
+	case "sweep":
+		err = runSweep(args)
+	case "ablation":
+		err = runAblation(args)
+	case "simulate":
+		err = runSimulate(args)
+	case "minpower":
+		err = runMinPower(args)
+	case "policies":
+		err = runPolicies(args)
+	case "dynamic":
+		err = runDynamic(args)
+	case "thermal":
+		err = runThermal(args)
+	case "compare":
+		err = runCompare(args)
+	case "burst":
+		err = runBurst(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tapo: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tapo %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `tapo — thermal-aware performance optimization experiments
+
+commands:
+  fig6      Figure 6: %% improvement of three-stage vs Equation-21 baseline
+  table1    Table I: node-type parameters + derived P-state powers
+  table2    Table II: EC/RC ranges per rack label
+  fig345    Figures 3-5: worked reward-rate function example
+  bounds    Equation 17/18: Pmin, Pmax and Pconst for one scenario
+  sweep     extension sweeps: -kind powercap|psi|vprop|static
+  ablation  temperature-search strategy ablation
+  simulate  second-step dynamic-scheduler validation
+  minpower  §VIII extension: minimize power under a reward-rate floor
+  policies  second-step scheduling-policy ablation
+  dynamic   epoch-reassignment extension under arrival-rate drift
+  thermal   thermal map + P-state histogram after the assignment
+  compare   naive ondemand clamp vs Eq. 21 vs three-stage
+  burst     MMPP arrival-burstiness sweep over both scheduler policies
+
+run "tapo <cmd> -h" for flags; paper scale is -trials 25 -nodes 150 -cracs 3
+`)
+}
+
+// scaleFlags registers the shared size/seed flags.
+func scaleFlags(fs *flag.FlagSet) (trials, nodes, cracs *int, seed *int64) {
+	trials = fs.Int("trials", 5, "trials per cell (paper: 25)")
+	nodes = fs.Int("nodes", 30, "compute nodes (paper: 150)")
+	cracs = fs.Int("cracs", 2, "CRAC units (paper: 3)")
+	seed = fs.Int64("seed", 1, "base random seed")
+	return
+}
+
+func runFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	trials, nodes, cracs, seed := scaleFlags(fs)
+	quiet := fs.Bool("quiet", false, "suppress per-trial progress")
+	csvPath := fs.String("csv", "", "also write per-trial rows to this CSV file")
+	simHorizon := fs.Float64("sim", 0, "also simulate both techniques over this horizon (s) and report realized improvement")
+	simPaper := fs.Bool("sim-paper-policy", false, "use the paper's strict min-ratio policy in the simulation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultFig6Config()
+	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
+	cfg.SimHorizon = *simHorizon
+	cfg.SimPaperPolicy = *simPaper
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+	res, err := experiments.Figure6(cfg, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return writeCSV(*csvPath, func(w *os.File) error { return report.Fig6CSV(w, res) })
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	static := fs.Float64("static", 0.3, "static share of P-state-0 core power")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println(experiments.Table1(*static))
+	return nil
+}
+
+func runFig345(args []string) error {
+	fs := flag.NewFlagSet("fig345", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "also write function samples to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	series, err := experiments.Figures345()
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderFig345(series))
+	return writeCSV(*csvPath, func(w *os.File) error { return report.Fig345CSV(w, series) })
+}
+
+func runBounds(args []string) error {
+	fs := flag.NewFlagSet("bounds", flag.ExitOnError)
+	_, nodes, cracs, seed := scaleFlags(fs)
+	static := fs.Float64("static", 0.3, "static power share")
+	vprop := fs.Float64("vprop", 0.1, "ECS proportionality variation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := scenario.Default(*static, *vprop, *seed)
+	cfg.NNodes, cfg.NCracs = *nodes, *cracs
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Equation 17/18 power bounds (%d nodes, %d CRACs, seed %d)\n", *nodes, *cracs, *seed)
+	fmt.Printf("  Pmin   = %10.2f kW   (all cores off)\n", sc.Pmin)
+	fmt.Printf("  Pmax   = %10.2f kW   (all cores at P-state 0)\n", sc.Pmax)
+	fmt.Printf("  Pconst = %10.2f kW   ((Pmin+Pmax)/2)\n", sc.DC.Pconst)
+	return nil
+}
+
+func parseValues(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	trials, nodes, cracs, seed := scaleFlags(fs)
+	kind := fs.String("kind", "powercap", "powercap | psi | vprop | static | hetero")
+	csvPath := fs.String("csv", "", "also write sweep points to this CSV file")
+	valuesFlag := fs.String("values", "", "comma-separated sweep values (defaults per kind)")
+	static := fs.Float64("static", 0.3, "static power share (non-swept)")
+	vprop := fs.Float64("vprop", 0.3, "Vprop (non-swept)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	defaults := map[string][]float64{
+		"powercap": {0.2, 0.35, 0.5, 0.65, 0.8},
+		"psi":      {12.5, 25, 50, 75, 100},
+		"vprop":    {0.05, 0.1, 0.2, 0.3, 0.4},
+		"static":   {0.1, 0.2, 0.3, 0.4},
+		"hetero":   {0.02, 0.25, 0.5, 0.75, 0.98},
+	}
+	values := defaults[*kind]
+	if *valuesFlag != "" {
+		var err error
+		if values, err = parseValues(*valuesFlag); err != nil {
+			return err
+		}
+	}
+	if values == nil {
+		return fmt.Errorf("unknown sweep kind %q", *kind)
+	}
+	cfg := experiments.DefaultSweepConfig(values)
+	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
+	cfg.StaticShare, cfg.Vprop = *static, *vprop
+	var res *experiments.SweepResult
+	var err error
+	switch *kind {
+	case "powercap":
+		res, err = experiments.PowerCapSweep(cfg)
+	case "psi":
+		res, err = experiments.PsiSweep(cfg)
+	case "vprop":
+		res, err = experiments.VpropSweep(cfg)
+	case "static":
+		res, err = experiments.StaticShareSweep(cfg)
+	case "hetero":
+		res, err = experiments.HeterogeneitySweep(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return writeCSV(*csvPath, func(w *os.File) error { return report.SweepCSV(w, res) })
+}
+
+func runAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	trials, nodes, cracs, seed := scaleFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultSweepConfig(nil)
+	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
+	res, err := experiments.StrategyAblation(cfg, []assign.Strategy{
+		assign.CoarseToFine, assign.FullGrid, assign.CoordDescent,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+func runMinPower(args []string) error {
+	fs := flag.NewFlagSet("minpower", flag.ExitOnError)
+	_, nodes, cracs, seed := scaleFlags(fs)
+	static := fs.Float64("static", 0.3, "static power share")
+	vprop := fs.Float64("vprop", 0.3, "ECS proportionality variation")
+	fracs := fs.String("floors", "0.3,0.5,0.7,0.9", "reward floors as fractions of the Pconst-optimal reward")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	values, err := parseValues(*fracs)
+	if err != nil {
+		return err
+	}
+	cfg := scenario.Default(*static, *vprop, *seed)
+	cfg.NNodes, cfg.NCracs = *nodes, *cracs
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		return err
+	}
+	opts := assign.DefaultOptions()
+	primal, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("§VIII extension — minimize power s.t. reward floor (%d nodes, %d CRACs)\n", *nodes, *cracs)
+	fmt.Printf("Primal at Pconst %.1f kW: reward %.1f/s\n\n", sc.DC.Pconst, primal.RewardRate())
+	fmt.Printf("%-10s %-14s %-14s %-14s %-12s\n", "floor", "reward floor", "relaxed kW", "integer kW", "achieved")
+	for _, f := range values {
+		floor := f * primal.RewardRate()
+		res, err := assign.MinPowerForReward(sc.DC, sc.Thermal, floor, opts)
+		if err != nil {
+			fmt.Printf("%-10.2f infeasible: %v\n", f, err)
+			continue
+		}
+		fmt.Printf("%-10.2f %-14.1f %-14.1f %-14.1f %-12.1f\n",
+			f, floor, res.RelaxedPower, res.IntegerPower, res.Stage3.RewardRate)
+	}
+	return nil
+}
+
+func runPolicies(args []string) error {
+	fs := flag.NewFlagSet("policies", flag.ExitOnError)
+	trials, nodes, cracs, seed := scaleFlags(fs)
+	horizon := fs.Float64("horizon", 60, "arrival horizon in seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultSweepConfig(nil)
+	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
+	res, err := experiments.PolicyAblation(cfg, *horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+func runDynamic(args []string) error {
+	fs := flag.NewFlagSet("dynamic", flag.ExitOnError)
+	_, nodes, cracs, seed := scaleFlags(fs)
+	horizon := fs.Float64("horizon", 120, "arrival horizon in seconds")
+	epoch := fs.Float64("epoch", 30, "reassignment interval in seconds")
+	amp := fs.Float64("amplitude", 0.8, "arrival-rate drift amplitude")
+	period := fs.Float64("period", 120, "drift period in seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultDynamicConfig(*seed)
+	cfg.NNodes, cfg.NCracs = *nodes, *cracs
+	cfg.Horizon, cfg.Epoch, cfg.Amplitude, cfg.Period = *horizon, *epoch, *amp, *period
+	res, err := experiments.DynamicReassignment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	trials, nodes, cracs, seed := scaleFlags(fs)
+	static := fs.Float64("static", 0.3, "static power share")
+	vprop := fs.Float64("vprop", 0.3, "ECS proportionality variation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultSweepConfig(nil)
+	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
+	cfg.StaticShare, cfg.Vprop = *static, *vprop
+	res, err := experiments.TechniqueComparison(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+func runBurst(args []string) error {
+	fs := flag.NewFlagSet("burst", flag.ExitOnError)
+	trials, nodes, cracs, seed := scaleFlags(fs)
+	horizon := fs.Float64("horizon", 60, "arrival horizon in seconds")
+	values := fs.String("values", "0,0.25,0.5,0.75,1", "burst factors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	vs, err := parseValues(*values)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultSweepConfig(vs)
+	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
+	res, err := experiments.BurstinessSweep(cfg, *horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+func runThermal(args []string) error {
+	fs := flag.NewFlagSet("thermal", flag.ExitOnError)
+	_, nodes, cracs, seed := scaleFlags(fs)
+	static := fs.Float64("static", 0.3, "static power share")
+	vprop := fs.Float64("vprop", 0.3, "ECS proportionality variation")
+	psi := fs.Float64("psi", 50, "ψ parameter")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scCfg := scenario.Default(*static, *vprop, *seed)
+	scCfg.NNodes, scCfg.NCracs = *nodes, *cracs
+	opts := assign.DefaultOptions()
+	opts.Psi = *psi
+	res, err := experiments.ThermalMap(scCfg, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	trials, nodes, cracs, seed := scaleFlags(fs)
+	horizon := fs.Float64("horizon", 60, "arrival horizon in seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultSweepConfig(nil)
+	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
+	res, err := experiments.SchedulerValidation(cfg, *horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}

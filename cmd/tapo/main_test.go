@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// The run* helpers parse their own flags, so each can be exercised
+// directly at a tiny scale; output goes to stdout, which `go test`
+// captures.
+
+func TestRunTable1(t *testing.T) {
+	if err := runTable1([]string{"-static", "0.25"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig345(t *testing.T) {
+	if err := runFig345(nil); err != nil {
+		t.Fatal(err)
+	}
+	csv := t.TempDir() + "/f345.csv"
+	if err := runFig345([]string{"-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}
+
+func TestRunBoundsTiny(t *testing.T) {
+	if err := runBounds([]string{"-nodes", "10", "-cracs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig6Tiny(t *testing.T) {
+	if err := runFig6([]string{"-trials", "1", "-nodes", "10", "-cracs", "2", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweepTiny(t *testing.T) {
+	if err := runSweep([]string{"-kind", "psi", "-values", "25,50", "-trials", "1", "-nodes", "10", "-cracs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweepUnknownKind(t *testing.T) {
+	if err := runSweep([]string{"-kind", "nope"}); err == nil {
+		t.Fatal("unknown sweep kind accepted")
+	}
+}
+
+func TestRunAblationTiny(t *testing.T) {
+	if err := runAblation([]string{"-trials", "1", "-nodes", "10", "-cracs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimulateTiny(t *testing.T) {
+	if err := runSimulate([]string{"-trials", "1", "-nodes", "10", "-cracs", "2", "-horizon", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMinPowerTiny(t *testing.T) {
+	if err := runMinPower([]string{"-nodes", "10", "-cracs", "2", "-floors", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPoliciesTiny(t *testing.T) {
+	if err := runPolicies([]string{"-trials", "1", "-nodes", "10", "-cracs", "2", "-horizon", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDynamicTiny(t *testing.T) {
+	if err := runDynamic([]string{"-nodes", "10", "-cracs", "2", "-horizon", "30", "-epoch", "15", "-period", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunThermalTiny(t *testing.T) {
+	if err := runThermal([]string{"-nodes", "10", "-cracs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	vs, err := parseValues("1, 2.5,3")
+	if err != nil || len(vs) != 3 || vs[1] != 2.5 {
+		t.Fatalf("parseValues = %v, %v", vs, err)
+	}
+	if _, err := parseValues("1,x"); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}

@@ -1,0 +1,67 @@
+// Bursty arrivals + energy accounting: stress the second-step scheduler
+// with Markov-modulated (bursty) arrivals, compare the paper's min-ratio
+// policy against the softened variant on the same stream, and account the
+// compute energy including the paper's §III.C task-type power factors.
+//
+//	go run ./examples/bursty-energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermaldc"
+)
+
+func main() {
+	cfg := thermaldc.DefaultScenario(0.3, 0.3, 17)
+	cfg.NCracs = 2
+	cfg.NNodes = 20
+	sc, err := thermaldc.NewScenario(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := thermaldc.ThreeStage(sc, thermaldc.DefaultAssignOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Stage-3 predicted reward rate: %.1f/s\n\n", res.RewardRate())
+
+	// Mark the two easiest task types I/O-intensive: they draw only 70%
+	// of the P-state power while executing (§III.C extension).
+	for i := len(sc.DC.TaskTypes) - 2; i < len(sc.DC.TaskTypes); i++ {
+		sc.DC.TaskTypes[i].PowerFactor = 0.7
+	}
+
+	const horizon = 90.0
+	tasks, err := thermaldc.GenerateBurstyTasks(sc.DC, horizon, thermaldc.BurstConfig{
+		Burst:            0.9, // bursts run at 1.9× the mean rate
+		HighFraction:     0.25,
+		MeanHighDuration: 10,
+	}, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MMPP stream: %d tasks over %.0f s (bursts at 1.9×)\n\n", len(tasks), horizon)
+
+	for _, policy := range []thermaldc.SchedPolicy{
+		thermaldc.PaperPolicy(),
+		thermaldc.SoftRatioPolicy(),
+	} {
+		out, err := thermaldc.SimulateOpts(sc.DC, res, tasks, horizon, thermaldc.SimOptions{Policy: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		energy, err := thermaldc.Energy(sc.DC, res, out, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s reward %.1f/s (%.0f%% of prediction), dropped %.1f%%\n",
+			policy.Name(), out.RewardRate, 100*out.RewardRate/res.RewardRate(),
+			100*float64(out.Dropped)/float64(len(tasks)))
+		fmt.Printf("%-16s compute energy %.0f kJ (avg %.1f kW: base %.0f + busy %.0f + idle %.0f kJ)\n\n",
+			"", energy.ComputeKJ, energy.AvgComputeKW, energy.BaseKJ, energy.BusyKJ, energy.IdleKJ)
+	}
+	fmt.Println("The soft policy converts most drops into assignments during bursts;")
+	fmt.Println("busy energy shrinks when I/O-intensive types carry a power factor < 1.")
+}

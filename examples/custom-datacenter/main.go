@@ -1,0 +1,119 @@
+// Custom data center: assemble a heterogeneous data center by hand —
+// the two Table-I server models plus a third, low-power custom type —
+// lay it out, generate Appendix-B cross-interference coefficients and a
+// synthetic workload, and run the thermal-aware assignment. Finally the
+// whole model round-trips through JSON.
+//
+//	go run ./examples/custom-datacenter
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"thermaldc"
+)
+
+func main() {
+	// Start from the paper's two servers and add a custom micro-server:
+	// 16 low-power cores, modest base power, smaller air flow.
+	types := thermaldc.TableINodeTypes(0.3)
+	types = append(types, thermaldc.NodeType{
+		Name:      "Custom MicroBlade",
+		BasePower: 0.120,
+		NumCores:  16,
+		Core: thermaldc.CoreModel{
+			FreqMHz:     []float64{2000, 1500, 1000},
+			Voltage:     []float64{1.1, 1.0, 0.9},
+			P0Power:     0.006,
+			StaticShare: 0.25,
+		},
+		AirFlow: 0.03,
+	})
+
+	dc := &thermaldc.DataCenter{
+		NodeTypes:   types,
+		CRACs:       make([]thermaldc.CRAC, 2),
+		RedlineNode: 25,
+		RedlineCRAC: 40,
+	}
+	// 6 racks of 5 nodes, cycling through the three types.
+	for j := 0; j < 30; j++ {
+		dc.Nodes = append(dc.Nodes, thermaldc.Node{Type: j % 3})
+	}
+
+	lay := thermaldc.DefaultLayoutConfig()
+	if err := thermaldc.ArrangeLayout(dc, lay); err != nil {
+		log.Fatal(err)
+	}
+	if err := thermaldc.GenerateAlpha(dc, lay, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Workload: 6 task types; performance factors must cover all 3 node
+	// types (the custom type performs at 0.4 of the NEC server).
+	wl := thermaldc.DefaultWorkloadConfig(0.2)
+	wl.T = 6
+	wl.NodeTypePerf = []float64{0.6, 1.0, 0.4}
+	if err := thermaldc.GenerateWorkload(dc, wl, 2); err != nil {
+		log.Fatal(err)
+	}
+
+	tm, err := thermaldc.NewThermalModel(dc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	search := thermaldc.SearchConfig{Lo: 5, Hi: 25, CoarseStep: 5, FineStep: 1}
+	pmin, pmax, err := thermaldc.PowerBounds(dc, tm, search)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dc.Pconst = (pmin + pmax) / 2
+	if err := dc.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Custom data center: %d nodes (%d types), %d cores, Pconst %.1f kW\n",
+		dc.NCN(), len(dc.NodeTypes), dc.NumCores(), dc.Pconst)
+
+	sc := &thermaldc.Scenario{DC: dc, Thermal: tm, Pmin: pmin, Pmax: pmax}
+	opts := thermaldc.DefaultAssignOptions()
+	opts.Search = search
+	res, err := thermaldc.ThreeStage(sc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Three-stage reward rate: %.1f/s at outlets %v\n", res.RewardRate(), res.Stage1.CracOut)
+
+	// How did each node type fare? Count powered-on cores per type.
+	on := make([]int, len(types))
+	total := make([]int, len(types))
+	core := 0
+	for j := 0; j < dc.NCN(); j++ {
+		nt := dc.Nodes[j].Type
+		for c := 0; c < dc.NodeType(j).NumCores; c++ {
+			total[nt]++
+			if res.PStates[core] < dc.NodeType(j).OffState() {
+				on[nt]++
+			}
+			core++
+		}
+	}
+	for i, t := range types {
+		fmt.Printf("  %-26s %3d/%3d cores on\n", t.Name, on[i], total[i])
+	}
+
+	// JSON round trip: the whole model serializes losslessly.
+	raw, err := json.Marshal(dc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var back thermaldc.DataCenter
+	if err := json.Unmarshal(raw, &back); err != nil {
+		log.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JSON round trip OK (%d bytes)\n", len(raw))
+}

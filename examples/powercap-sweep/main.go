@@ -1,0 +1,48 @@
+// Power-cap sweep: the paper's motivating scenario is a data center whose
+// available power is physically capped. This example slides Pconst from
+// near Pmin to near Pmax and shows (a) both techniques' reward rates and
+// (b) where the three-stage advantage is largest — the heavily constrained
+// regime, where P-state choice matters most.
+//
+//	go run ./examples/powercap-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"thermaldc"
+)
+
+func main() {
+	fractions := []float64{0.15, 0.3, 0.45, 0.6, 0.75, 0.9}
+	opts := thermaldc.DefaultAssignOptions()
+
+	fmt.Printf("%-10s %-12s %-12s %-12s %-12s %s\n",
+		"fraction", "Pconst kW", "baseline", "three-stage", "gain %", "")
+	for _, f := range fractions {
+		cfg := thermaldc.DefaultScenario(0.3, 0.3, 7)
+		cfg.NCracs = 2
+		cfg.NNodes = 20
+		cfg.PconstFraction = f
+		sc, err := thermaldc.NewScenario(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bl, err := thermaldc.Baseline(sc, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := thermaldc.ThreeStage(sc, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain := 100 * (ts.RewardRate() - bl.RewardRate) / bl.RewardRate
+		bar := strings.Repeat("▋", int(gain*2+0.5))
+		fmt.Printf("%-10.2f %-12.1f %-12.1f %-12.1f %+-12.2f %s\n",
+			f, sc.DC.Pconst, bl.RewardRate, ts.RewardRate(), gain, bar)
+	}
+	fmt.Println("\nThe gap narrows as the cap rises: with ample power both techniques")
+	fmt.Println("simply run every core at P-state 0, which is exactly the baseline's move.")
+}

@@ -1,0 +1,3 @@
+module thermaldc
+
+go 1.22

@@ -1,0 +1,66 @@
+package assign_test
+
+import (
+	"math"
+	"testing"
+
+	"thermaldc/internal/assign"
+)
+
+func TestBaselineAssignmentConsistency(t *testing.T) {
+	sc := smallScenario(t, 71)
+	bl, err := assign.Baseline(sc.DC, sc.Thermal, assign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pstates, tc := bl.Assignment(sc.DC)
+	if len(pstates) != sc.DC.NumCores() {
+		t.Fatalf("pstates length %d", len(pstates))
+	}
+	// Active-core counts match UsedCores; only P0/off appear.
+	for j := range sc.DC.Nodes {
+		lo, hi := sc.DC.CoreRange(j)
+		active := 0
+		for k := lo; k < hi; k++ {
+			switch pstates[k] {
+			case 0:
+				active++
+			case sc.DC.NodeType(j).OffState():
+			default:
+				t.Fatalf("core %d in P-state %d", k, pstates[k])
+			}
+		}
+		if active != bl.UsedCores[j] {
+			t.Fatalf("node %d: %d active cores, UsedCores %d", j, active, bl.UsedCores[j])
+		}
+	}
+	// TC reproduces the baseline reward rate.
+	reward := 0.0
+	for i := range tc {
+		for k := range tc[i] {
+			reward += sc.DC.TaskTypes[i].Reward * tc[i][k]
+			if tc[i][k] > 0 && pstates[k] != 0 {
+				t.Fatalf("TC on inactive core %d", k)
+			}
+		}
+	}
+	if math.Abs(reward-bl.RewardRate) > 1e-6*(1+bl.RewardRate) {
+		t.Errorf("assignment reward %g != baseline reward %g", reward, bl.RewardRate)
+	}
+	// Per-core utilization within 1: Σ_i TC(i,k)/ECS(i,·,0) ≤ 1.
+	for j := range sc.DC.Nodes {
+		lo, hi := sc.DC.CoreRange(j)
+		typ := sc.DC.Nodes[j].Type
+		for k := lo; k < hi; k++ {
+			util := 0.0
+			for i := range tc {
+				if tc[i][k] > 0 {
+					util += tc[i][k] / sc.DC.ECS[i][typ][0]
+				}
+			}
+			if util > 1+1e-6 {
+				t.Fatalf("core %d utilization %g", k, util)
+			}
+		}
+	}
+}

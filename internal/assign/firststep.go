@@ -1,0 +1,117 @@
+package assign
+
+import (
+	"fmt"
+
+	"thermaldc/internal/model"
+	"thermaldc/internal/tempsearch"
+	"thermaldc/internal/thermal"
+)
+
+// Strategy selects how CRAC outlet temperatures are searched.
+type Strategy int
+
+const (
+	// CoarseToFine is the paper's multi-step discretized search (default).
+	CoarseToFine Strategy = iota
+	// FullGrid exhaustively scans the FineStep lattice (ablation baseline).
+	FullGrid
+	// CoordDescent optimizes one CRAC at a time (cheap ablation).
+	CoordDescent
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case CoarseToFine:
+		return "coarse-to-fine"
+	case FullGrid:
+		return "full-grid"
+	case CoordDescent:
+		return "coordinate-descent"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures the first-step assignment.
+type Options struct {
+	// Psi is the ψ parameter in percent (paper: 25 or 50).
+	Psi float64
+	// Search bounds/steps for the CRAC outlet-temperature search.
+	Search tempsearch.Config
+	// Strategy picks the search algorithm.
+	Strategy Strategy
+}
+
+// DefaultOptions returns the paper's defaults (ψ = 50, coarse-to-fine
+// search at 1 °C final granularity).
+func DefaultOptions() Options {
+	return Options{Psi: 50, Search: tempsearch.DefaultConfig(), Strategy: CoarseToFine}
+}
+
+// ThreeStageResult is the complete first-step assignment produced by the
+// paper's scalable technique.
+type ThreeStageResult struct {
+	// Stage1 is the relaxed power assignment at the best outlet
+	// temperatures found.
+	Stage1 *Stage1Result
+	// PStates maps each global core index to its assigned P-state.
+	PStates []int
+	// Stage3 holds the desired execution rates and the realized
+	// steady-state reward rate (the headline metric).
+	Stage3 *Stage3Result
+	// SearchEvals counts Stage-1 LP solves during the temperature search.
+	SearchEvals int
+}
+
+// RewardRate returns the Stage-3 objective, the metric Figure 6 compares.
+func (r *ThreeStageResult) RewardRate() float64 { return r.Stage3.RewardRate }
+
+// ThreeStage runs the paper's full first-step assignment: search the CRAC
+// outlet temperatures (Stage-1 LP value as the criterion), then convert
+// the winning relaxed power assignment to integer P-states (Stage 2) and
+// solve the desired-execution-rate LP (Stage 3).
+func ThreeStage(dc *model.DataCenter, tm *thermal.Model, opts Options) (*ThreeStageResult, error) {
+	arrs, err := nodeARRs(dc, opts.Psi)
+	if err != nil {
+		return nil, err
+	}
+	eval := func(cracOut []float64) (float64, bool) {
+		res, err := Stage1Fixed(dc, tm, arrs, cracOut)
+		if err != nil || !res.Feasible {
+			return 0, false
+		}
+		return res.PredictedARR, true
+	}
+	best, err := runSearch(dc.NCRAC(), opts, eval)
+	if err != nil {
+		return nil, fmt.Errorf("assign: temperature search: %w", err)
+	}
+	s1, err := Stage1Fixed(dc, tm, arrs, best.Out)
+	if err != nil {
+		return nil, err
+	}
+	pstates := Stage2(dc, arrs, s1)
+	s3, err := Stage3(dc, pstates)
+	if err != nil {
+		return nil, err
+	}
+	return &ThreeStageResult{
+		Stage1:      s1,
+		PStates:     pstates,
+		Stage3:      s3,
+		SearchEvals: best.Evals,
+	}, nil
+}
+
+// runSearch dispatches on the strategy.
+func runSearch(ncrac int, opts Options, eval tempsearch.Objective) (tempsearch.Result, error) {
+	switch opts.Strategy {
+	case FullGrid:
+		return tempsearch.Grid(ncrac, opts.Search, opts.Search.FineStep, eval)
+	case CoordDescent:
+		return tempsearch.CoordinateDescent(ncrac, opts.Search, nil, eval)
+	default:
+		return tempsearch.CoarseToFine(ncrac, opts.Search, eval)
+	}
+}

@@ -1,0 +1,73 @@
+package assign_test
+
+import (
+	"testing"
+
+	"thermaldc/internal/assign"
+)
+
+func TestMinPowerForRewardBasics(t *testing.T) {
+	sc := smallScenario(t, 21)
+	opts := assign.DefaultOptions()
+	// First find what reward the primal problem achieves...
+	primal, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then ask for 60% of it: the dual problem should find a cheaper
+	// operating point than Pconst.
+	floor := 0.6 * primal.RewardRate()
+	res, err := assign.MinPowerForReward(sc.DC, sc.Thermal, floor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelaxedPower >= sc.DC.Pconst {
+		t.Errorf("min power %g should undercut Pconst %g for a 60%% reward floor", res.RelaxedPower, sc.DC.Pconst)
+	}
+	// The relaxed solution meets the floor by construction; the integer
+	// solution may fall slightly short but not by more than a few percent.
+	if res.RewardGap > 0.05*floor {
+		t.Errorf("integer solution misses the floor by %g (floor %g)", res.RewardGap, floor)
+	}
+	if res.IntegerPower > res.RelaxedPower+1e-6 {
+		t.Errorf("integer power %g exceeds relaxed power %g", res.IntegerPower, res.RelaxedPower)
+	}
+	if res.SearchEvals <= 0 {
+		t.Error("no search evaluations recorded")
+	}
+}
+
+func TestMinPowerMonotoneInFloor(t *testing.T) {
+	sc := smallScenario(t, 22)
+	opts := assign.DefaultOptions()
+	primal, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, frac := range []float64{0.3, 0.6, 0.9} {
+		res, err := assign.MinPowerForReward(sc.DC, sc.Thermal, frac*primal.RewardRate(), opts)
+		if err != nil {
+			t.Fatalf("floor %g: %v", frac, err)
+		}
+		if res.RelaxedPower < prev-1e-6 {
+			t.Errorf("min power not monotone in the floor: %g after %g", res.RelaxedPower, prev)
+		}
+		prev = res.RelaxedPower
+	}
+}
+
+func TestMinPowerRejectsBadFloor(t *testing.T) {
+	sc := smallScenario(t, 23)
+	if _, err := assign.MinPowerForReward(sc.DC, sc.Thermal, 0, assign.DefaultOptions()); err == nil {
+		t.Error("zero floor accepted")
+	}
+	// An absurd floor (far above the arrival bound) must be infeasible.
+	bound := 0.0
+	for _, tt := range sc.DC.TaskTypes {
+		bound += tt.ArrivalRate * tt.Reward
+	}
+	if _, err := assign.MinPowerForReward(sc.DC, sc.Thermal, 10*bound, assign.DefaultOptions()); err == nil {
+		t.Error("unreachable floor accepted")
+	}
+}

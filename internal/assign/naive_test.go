@@ -1,0 +1,89 @@
+package assign_test
+
+import (
+	"testing"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/tempsearch"
+)
+
+func TestNaiveOndemandFeasibleAndClamped(t *testing.T) {
+	sc := smallScenario(t, 41)
+	res, err := assign.NaiveOndemand(sc.DC, sc.Thermal, tempsearch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPower > sc.DC.Pconst+1e-6 {
+		t.Errorf("naive power %g exceeds Pconst %g", res.TotalPower, sc.DC.Pconst)
+	}
+	// Oversubscription: not every core fits at P-state 0.
+	if res.ActiveCores >= sc.DC.NumCores() {
+		t.Errorf("all %d cores active — the scenario should be oversubscribed", res.ActiveCores)
+	}
+	if res.ActiveCores <= 0 {
+		t.Error("no active cores at all")
+	}
+	// P-states are only P0 or off, consistent with ActiveCores.
+	on := 0
+	for k, ps := range res.PStates {
+		j := sc.DC.CoreNode(k)
+		if ps != 0 && ps != sc.DC.NodeType(j).OffState() {
+			t.Fatalf("core %d in intermediate P-state %d", k, ps)
+		}
+		if ps == 0 {
+			on++
+		}
+	}
+	if on != res.ActiveCores {
+		t.Errorf("%d cores at P0, recorded %d", on, res.ActiveCores)
+	}
+	if res.Stage3.RewardRate <= 0 {
+		t.Error("naive reward should be positive")
+	}
+}
+
+func TestNaiveNeverBeatsThreeStageByMuch(t *testing.T) {
+	// The naive clamp ignores rewards and intermediate P-states; it should
+	// not outperform the three-stage technique (tiny LP/rounding noise
+	// aside).
+	sc := smallScenario(t, 42)
+	naive, err := assign.NaiveOndemand(sc.DC, sc.Thermal, tempsearch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := assign.ThreeStage(sc.DC, sc.Thermal, assign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Stage3.RewardRate > three.RewardRate()*1.02 {
+		t.Errorf("naive %g beats three-stage %g", naive.Stage3.RewardRate, three.RewardRate())
+	}
+}
+
+func TestActiveCoreDistributionEven(t *testing.T) {
+	sc := smallScenario(t, 43)
+	res, err := assign.NaiveOndemand(sc.DC, sc.Thermal, tempsearch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin spreading: per-node active counts differ by at most 1
+	// relative to the even split across nodes with equal core counts.
+	counts := make([]int, sc.DC.NCN())
+	for k, ps := range res.PStates {
+		if ps == 0 {
+			counts[sc.DC.CoreNode(k)]++
+		}
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("active cores unevenly spread: min %d max %d", min, max)
+	}
+}

@@ -1,0 +1,140 @@
+// Package assign implements the paper's assignment machinery: the
+// reward-rate functions RR_{i,j} and aggregate reward-rate functions ARR_j
+// of Section V.B.2 (Figures 3-5), the three-stage first-step assignment
+// (Stage 1 relaxed power LP, Stage 2 P-state rounding, Stage 3 desired
+// execution-rate LP), the Equation-21 baseline adapted from Parolini et
+// al. [26], and the Equation-17/18 power bounds.
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"thermaldc/internal/model"
+	"thermaldc/internal/pwl"
+)
+
+// ecsEpsilon is the "small enough positive number" the paper substitutes
+// for zero ECS values so 1/ECS stays defined; rates below it are treated
+// as a core type being unable to run a task type.
+const ecsEpsilon = 1e-9
+
+// deadlineFeasible reports whether a single task of type i can meet its
+// relative deadline m_i on a core of type j at P-state k even when started
+// immediately (the paper's constraint 2: 1/ECS ≤ m_i).
+func deadlineFeasible(dc *model.DataCenter, task, nodeType, pstate int) bool {
+	ecs := dc.ECS[task][nodeType][pstate]
+	if ecs <= ecsEpsilon {
+		return false
+	}
+	return 1/ecs <= dc.TaskTypes[task].RelDeadline
+}
+
+// RR builds the reward-rate function RR_{i,j}: the piecewise-linear
+// function of core power through the points (π_{j,k}, r_i·ECS(i,j,k)) for
+// every P-state including the turned-off state at (0, 0), as in Figure 3.
+// P-states that cannot meet the task's deadline contribute a zero reward
+// rate (Figure 4).
+func RR(dc *model.DataCenter, task, nodeType int) *pwl.Func {
+	nt := &dc.NodeTypes[nodeType]
+	powers := nt.CorePowers()
+	r := dc.TaskTypes[task].Reward
+	xs := make([]float64, len(powers))
+	ys := make([]float64, len(powers))
+	for k := range powers {
+		xs[k] = powers[k]
+		if deadlineFeasible(dc, task, nodeType, k) {
+			ys[k] = r * dc.ECS[task][nodeType][k]
+		}
+	}
+	return pwl.MustNew(xs, ys)
+}
+
+// taskQuality is the paper's ranking criterion for the "best ψ%" task
+// types: the average over real (non-off) P-states of the ratio of reward
+// rate to power consumption.
+func taskQuality(dc *model.DataCenter, rr *pwl.Func, nodeType int) float64 {
+	nt := &dc.NodeTypes[nodeType]
+	powers := nt.CorePowers()
+	sum := 0.0
+	n := 0
+	for k := 0; k < nt.NumPStates(); k++ {
+		if powers[k] <= 0 {
+			continue
+		}
+		sum += rr.Eval(powers[k]) / powers[k]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PsiCount returns how many task types the "best ψ%" rule selects out of
+// t, never fewer than one.
+func PsiCount(t int, psiPercent float64) int {
+	n := int(math.Round(float64(t) * psiPercent / 100))
+	if n < 1 {
+		n = 1
+	}
+	if n > t {
+		n = t
+	}
+	return n
+}
+
+// ARR builds the aggregate reward-rate function ARR_j for one core of node
+// type j: the mean of the RR functions of the best ψ% task types (by
+// average reward-rate/power ratio, ties broken by task index), with its
+// upper concave envelope taken to elide "bad" P-states (Figure 5). The
+// returned function is concave and anchored at (0, 0).
+func ARR(dc *model.DataCenter, nodeType int, psiPercent float64) (*pwl.Func, error) {
+	t := dc.T()
+	if t == 0 {
+		return nil, fmt.Errorf("assign: no task types")
+	}
+	type ranked struct {
+		task    int
+		quality float64
+		rr      *pwl.Func
+	}
+	rs := make([]ranked, t)
+	for i := 0; i < t; i++ {
+		rr := RR(dc, i, nodeType)
+		rs[i] = ranked{task: i, quality: taskQuality(dc, rr, nodeType), rr: rr}
+	}
+	sort.SliceStable(rs, func(a, b int) bool { return rs[a].quality > rs[b].quality })
+	n := PsiCount(t, psiPercent)
+	funcs := make([]*pwl.Func, n)
+	for i := 0; i < n; i++ {
+		funcs[i] = rs[i].rr
+	}
+	mean, err := pwl.Mean(funcs)
+	if err != nil {
+		return nil, fmt.Errorf("assign: averaging RR functions: %w", err)
+	}
+	return mean.ConcaveEnvelope(), nil
+}
+
+// BestTasks returns the task indices the ψ-rule selects for a node type,
+// in quality order. Exposed for experiment output.
+func BestTasks(dc *model.DataCenter, nodeType int, psiPercent float64) []int {
+	t := dc.T()
+	type ranked struct {
+		task    int
+		quality float64
+	}
+	rs := make([]ranked, t)
+	for i := 0; i < t; i++ {
+		rs[i] = ranked{i, taskQuality(dc, RR(dc, i, nodeType), nodeType)}
+	}
+	sort.SliceStable(rs, func(a, b int) bool { return rs[a].quality > rs[b].quality })
+	n := PsiCount(t, psiPercent)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = rs[i].task
+	}
+	return out
+}

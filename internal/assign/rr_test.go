@@ -1,0 +1,181 @@
+package assign
+
+import (
+	"math"
+	"testing"
+
+	"thermaldc/internal/model"
+	"thermaldc/internal/power"
+)
+
+// figureExampleDC reconstructs the Section V.B.2 worked example: a core
+// type with P-state powers 0.15, 0.1, 0.05 W (+ off at 0 W) and ECS
+// 1.2, 0.9, 0.5 (+ 0) for a single task type with reward 1. Frequencies
+// 3000/2000/1000 MHz at unit voltage with zero static share yield exactly
+// those powers.
+func figureExampleDC(relDeadline float64) *model.DataCenter {
+	nt := model.NodeType{
+		Name:      "example",
+		BasePower: 0.1,
+		NumCores:  2,
+		Core: power.CoreModel{
+			FreqMHz:     []float64{3000, 2000, 1000},
+			Voltage:     []float64{1, 1, 1},
+			P0Power:     0.15,
+			StaticShare: 0,
+		},
+		AirFlow: 0.07,
+	}
+	dc := &model.DataCenter{
+		NodeTypes:   []model.NodeType{nt},
+		Nodes:       []model.Node{{Type: 0}},
+		CRACs:       []model.CRAC{{Flow: 0.07}},
+		TaskTypes:   []model.TaskType{{Name: "i", Reward: 1, RelDeadline: relDeadline, ArrivalRate: 10}},
+		ECS:         model.ECS{{{1.2, 0.9, 0.5, 0}}},
+		Alpha:       [][]float64{{0, 1}, {1, 0}},
+		RedlineNode: 25,
+		RedlineCRAC: 40,
+		Pconst:      100,
+	}
+	return dc
+}
+
+func TestFigureExamplePowers(t *testing.T) {
+	dc := figureExampleDC(100)
+	got := dc.NodeTypes[0].CorePowers()
+	want := []float64{0.15, 0.1, 0.05, 0}
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 1e-12 {
+			t.Fatalf("CorePowers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRRFigure3(t *testing.T) {
+	// No deadline pressure: RR goes through (0,0), (0.05,0.5), (0.1,0.9),
+	// (0.15,1.2) exactly as in Figure 3.
+	dc := figureExampleDC(100)
+	rr := RR(dc, 0, 0)
+	wantX := []float64{0, 0.05, 0.1, 0.15}
+	wantY := []float64{0, 0.5, 0.9, 1.2}
+	if rr.Len() != 4 {
+		t.Fatalf("RR has %d points: %v", rr.Len(), rr)
+	}
+	for i := range wantX {
+		if math.Abs(rr.X[i]-wantX[i]) > 1e-12 || math.Abs(rr.Y[i]-wantY[i]) > 1e-12 {
+			t.Fatalf("RR = %v, want X=%v Y=%v", rr, wantX, wantY)
+		}
+	}
+}
+
+func TestRRFigure4DeadlineZeroesPState(t *testing.T) {
+	// m_i = 1.5 < 1/0.5 = 2: P-state 2 cannot meet the deadline, its
+	// reward rate is 0 (Figure 4).
+	dc := figureExampleDC(1.5)
+	rr := RR(dc, 0, 0)
+	if got := rr.Eval(0.05); math.Abs(got) > 1e-12 {
+		t.Errorf("RR(0.05) = %g, want 0", got)
+	}
+	if got := rr.Eval(0.1); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("RR(0.1) = %g, want 0.9", got)
+	}
+	if rr.IsConcave(1e-9) {
+		t.Error("Figure-4 RR should be non-concave")
+	}
+}
+
+func TestARRFigure5Envelope(t *testing.T) {
+	// The ARR of the single task type is the concave envelope that elides
+	// the "bad" P-state 2: points (0,0), (0.1,0.9), (0.15,1.2).
+	dc := figureExampleDC(1.5)
+	arr, err := ARR(dc, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Len() != 3 {
+		t.Fatalf("ARR = %v, want 3 points", arr)
+	}
+	if math.Abs(arr.Eval(0.05)-0.45) > 1e-12 {
+		t.Errorf("ARR(0.05) = %g, want 0.45 (paper's 2-core example)", arr.Eval(0.05))
+	}
+	if !arr.IsConcave(1e-12) {
+		t.Error("ARR must be concave")
+	}
+}
+
+func TestRRUnableCoreType(t *testing.T) {
+	// Zero ECS everywhere (software not installed): RR ≡ 0.
+	dc := figureExampleDC(100)
+	dc.ECS = model.ECS{{{0, 0, 0, 0}}}
+	rr := RR(dc, 0, 0)
+	for _, x := range []float64{0, 0.05, 0.1, 0.15} {
+		if rr.Eval(x) != 0 {
+			t.Fatalf("RR(%g) = %g, want 0", x, rr.Eval(x))
+		}
+	}
+}
+
+func TestPsiCount(t *testing.T) {
+	cases := []struct {
+		t    int
+		psi  float64
+		want int
+	}{
+		{8, 25, 2},
+		{8, 50, 4},
+		{8, 100, 8},
+		{8, 1, 1},   // never below 1
+		{8, 200, 8}, // never above T
+		{3, 50, 2},  // rounds 1.5 up
+	}
+	for _, c := range cases {
+		if got := PsiCount(c.t, c.psi); got != c.want {
+			t.Errorf("PsiCount(%d, %g) = %d, want %d", c.t, c.psi, got, c.want)
+		}
+	}
+}
+
+func TestBestTasksRanking(t *testing.T) {
+	// Two task types: one with far better reward-rate/power ratio.
+	dc := figureExampleDC(100)
+	dc.TaskTypes = []model.TaskType{
+		{Name: "poor", Reward: 0.1, RelDeadline: 100, ArrivalRate: 10},
+		{Name: "rich", Reward: 10, RelDeadline: 100, ArrivalRate: 10},
+	}
+	dc.ECS = model.ECS{
+		{{1.2, 0.9, 0.5, 0}},
+		{{1.2, 0.9, 0.5, 0}},
+	}
+	best := BestTasks(dc, 0, 50)
+	if len(best) != 1 || best[0] != 1 {
+		t.Errorf("BestTasks = %v, want [1]", best)
+	}
+	both := BestTasks(dc, 0, 100)
+	if len(both) != 2 || both[0] != 1 || both[1] != 0 {
+		t.Errorf("BestTasks(100%%) = %v, want [1 0]", both)
+	}
+}
+
+func TestARRAveragesSelectedTasks(t *testing.T) {
+	// With ψ=100 and two identical task types, ARR equals either RR's
+	// envelope.
+	dc := figureExampleDC(100)
+	dc.TaskTypes = []model.TaskType{
+		{Name: "a", Reward: 1, RelDeadline: 100, ArrivalRate: 10},
+		{Name: "b", Reward: 1, RelDeadline: 100, ArrivalRate: 10},
+	}
+	dc.ECS = model.ECS{
+		{{1.2, 0.9, 0.5, 0}},
+		{{1.2, 0.9, 0.5, 0}},
+	}
+	arr, err := ARR(dc, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.05, 0.1, 0.15} {
+		want := RR(dc, 0, 0).Eval(x)
+		if math.Abs(arr.Eval(x)-want) > 1e-12 {
+			t.Fatalf("ARR(%g) = %g, want %g", x, arr.Eval(x), want)
+		}
+	}
+}

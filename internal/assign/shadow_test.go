@@ -1,0 +1,44 @@
+package assign_test
+
+import (
+	"testing"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/pwl"
+)
+
+// TestPowerShadowPrice checks that the Stage-1 power dual predicts the
+// reward gained from a small increase of Pconst.
+func TestPowerShadowPrice(t *testing.T) {
+	sc := smallScenario(t, 31)
+	arrs := make([]*pwl.Func, len(sc.DC.NodeTypes))
+	for j := range arrs {
+		f, err := assign.ARR(sc.DC, j, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrs[j] = f
+	}
+	out := []float64{15, 15}
+	base, err := assign.Stage1Fixed(sc.DC, sc.Thermal, arrs, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PowerShadowPrice <= 0 {
+		t.Fatalf("oversubscribed data center should have a positive power shadow price, got %g",
+			base.PowerShadowPrice)
+	}
+	// Finite difference: raise Pconst by 0.05 kW and compare.
+	const eps = 0.05
+	sc.DC.Pconst += eps
+	up, err := assign.Stage1Fixed(sc.DC, sc.Thermal, arrs, out)
+	sc.DC.Pconst -= eps
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := (up.PredictedARR - base.PredictedARR) / eps
+	rel := (fd - base.PowerShadowPrice) / base.PowerShadowPrice
+	if rel < -0.25 || rel > 0.25 {
+		t.Errorf("finite difference %g vs shadow price %g", fd, base.PowerShadowPrice)
+	}
+}

@@ -1,0 +1,61 @@
+package assign_test
+
+import (
+	"testing"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/scenario"
+)
+
+// TestSoakPipeline runs the complete pipeline across a spread of sizes,
+// knobs and seeds, and re-checks every output with the independent
+// verifier. This is the broadest guard against formula drift between the
+// optimizer, the model and the physics.
+func TestSoakPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	cases := []struct {
+		ncracs, nnodes int
+		static, vprop  float64
+		pfrac          float64
+	}{
+		{1, 5, 0.3, 0.1, 0.5},
+		{2, 10, 0.2, 0.3, 0.5},
+		{2, 15, 0.3, 0.3, 0.3},
+		{3, 15, 0.2, 0.1, 0.7},
+		{2, 20, 0.4, 0.2, 0.4},
+	}
+	for ci, c := range cases {
+		for seed := int64(0); seed < 2; seed++ {
+			cfg := scenario.Default(c.static, c.vprop, 100*int64(ci)+seed)
+			cfg.NCracs, cfg.NNodes = c.ncracs, c.nnodes
+			cfg.PconstFraction = c.pfrac
+			sc, err := scenario.Build(cfg)
+			if err != nil {
+				t.Fatalf("case %d seed %d: %v", ci, seed, err)
+			}
+			for _, psi := range []float64{25, 50} {
+				opts := assign.DefaultOptions()
+				opts.Psi = psi
+				res, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
+				if err != nil {
+					t.Fatalf("case %d seed %d ψ=%g: %v", ci, seed, psi, err)
+				}
+				if vs := assign.Verify(sc.DC, sc.Thermal, res, 1e-6); len(vs) != 0 {
+					for _, v := range vs {
+						t.Errorf("case %d seed %d ψ=%g: %s", ci, seed, psi, v)
+					}
+				}
+			}
+			// The baseline must also satisfy its own constraints.
+			bl, err := assign.Baseline(sc.DC, sc.Thermal, assign.DefaultOptions())
+			if err != nil {
+				t.Fatalf("case %d seed %d baseline: %v", ci, seed, err)
+			}
+			if !bl.Feasible {
+				t.Errorf("case %d seed %d: baseline infeasible", ci, seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package assign_test
+
+import (
+	"testing"
+
+	"thermaldc/internal/assign"
+)
+
+func TestVerifyCleanAssignment(t *testing.T) {
+	// Every assignment the pipeline produces must verify cleanly, across
+	// seeds.
+	for seed := int64(61); seed < 64; seed++ {
+		sc := smallScenario(t, seed)
+		res, err := assign.ThreeStage(sc.DC, sc.Thermal, assign.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := assign.Verify(sc.DC, sc.Thermal, res, 1e-6); len(vs) != 0 {
+			for _, v := range vs {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+		}
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	sc := smallScenario(t, 65)
+	hasKind := func(vs []assign.Violation, kind string) bool {
+		for _, v := range vs {
+			if v.Constraint == kind {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Utilization: inflate one core's desired rate massively.
+	tamper := func() *assign.ThreeStageResult {
+		r, err := assign.ThreeStage(sc.DC, sc.Thermal, assign.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	r := tamper()
+	// Find an active core.
+	core := -1
+	for k := range r.PStates {
+		j := sc.DC.CoreNode(k)
+		if r.PStates[k] < sc.DC.NodeType(j).OffState() {
+			core = k
+			break
+		}
+	}
+	if core < 0 {
+		t.Fatal("no active core")
+	}
+	r.Stage3.TC[0][core] += 1e6
+	vs := assign.Verify(sc.DC, sc.Thermal, r, 1e-6)
+	if !hasKind(vs, "utilization") && !hasKind(vs, "deadline") {
+		t.Errorf("inflated TC not detected: %v", vs)
+	}
+	if !hasKind(vs, "arrival") {
+		t.Errorf("arrival violation not detected: %v", vs)
+	}
+
+	// Power: put every core in P-state 0.
+	r = tamper()
+	for k := range r.PStates {
+		r.PStates[k] = 0
+	}
+	vs = assign.Verify(sc.DC, sc.Thermal, r, 1e-6)
+	if !hasKind(vs, "power") {
+		t.Errorf("power violation not detected: %v", vs)
+	}
+
+	// P-state range.
+	r = tamper()
+	r.PStates[0] = 99
+	if vs := assign.Verify(sc.DC, sc.Thermal, r, 1e-6); !hasKind(vs, "pstate-range") {
+		t.Errorf("invalid P-state not detected: %v", vs)
+	}
+
+	// Violation stringer.
+	if len(vs) == 0 || vs[0].String() == "" {
+		t.Error("violation String empty")
+	}
+}

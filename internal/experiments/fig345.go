@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/model"
+	"thermaldc/internal/power"
+	"thermaldc/internal/pwl"
+)
+
+// Fig345Series holds one plotted function as (power, reward-rate) samples.
+type Fig345Series struct {
+	Name string
+	Func *pwl.Func
+}
+
+// exampleDC rebuilds the Section-V.B.2 worked example: P-state powers
+// 0.15/0.1/0.05/0 W, ECS 1.2/0.9/0.5/0, reward 1.
+func exampleDC(relDeadline float64) *model.DataCenter {
+	nt := model.NodeType{
+		Name:      "example core",
+		BasePower: 0.1,
+		NumCores:  2,
+		Core: power.CoreModel{
+			FreqMHz: []float64{3000, 2000, 1000},
+			Voltage: []float64{1, 1, 1},
+			P0Power: 0.15,
+		},
+		AirFlow: 0.07,
+	}
+	return &model.DataCenter{
+		NodeTypes:   []model.NodeType{nt},
+		Nodes:       []model.Node{{Type: 0}},
+		CRACs:       []model.CRAC{{Flow: 0.07}},
+		TaskTypes:   []model.TaskType{{Name: "i", Reward: 1, RelDeadline: relDeadline, ArrivalRate: 10}},
+		ECS:         model.ECS{{{1.2, 0.9, 0.5, 0}}},
+		Alpha:       [][]float64{{0, 1}, {1, 0}},
+		RedlineNode: 25,
+		RedlineCRAC: 40,
+		Pconst:      100,
+	}
+}
+
+// Figures345 regenerates the three worked-example functions:
+// Figure 3 — RR without deadline pressure; Figure 4 — RR with m_i = 1.5
+// zeroing P-state 2; Figure 5 — the concave ARR envelope eliding the bad
+// P-state.
+func Figures345() ([]Fig345Series, error) {
+	noDeadline := exampleDC(100)
+	withDeadline := exampleDC(1.5)
+	arr, err := assign.ARR(withDeadline, 0, 100)
+	if err != nil {
+		return nil, err
+	}
+	return []Fig345Series{
+		{Name: "Figure 3: RR_{i,j}", Func: assign.RR(noDeadline, 0, 0)},
+		{Name: "Figure 4: RR_{i,j} with m_i = 1.5", Func: assign.RR(withDeadline, 0, 0)},
+		{Name: "Figure 5: ARR_j, bad P-state elided", Func: arr},
+	}, nil
+}
+
+// RenderFig345 prints each series' breakpoints and a dense sample table
+// ready for plotting.
+func RenderFig345(series []Fig345Series) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s\n", s.Name)
+		fmt.Fprintf(&b, "  breakpoints: %s\n", s.Func)
+		fmt.Fprintf(&b, "  %-12s %-12s\n", "power (W)", "reward rate")
+		lo, hi := s.Func.Domain()
+		const samples = 16
+		for i := 0; i <= samples; i++ {
+			x := lo + (hi-lo)*float64(i)/samples
+			fmt.Fprintf(&b, "  %-12.4f %-12.4f\n", x, s.Func.Eval(x))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

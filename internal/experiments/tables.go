@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"thermaldc/internal/layout"
+	"thermaldc/internal/model"
+)
+
+// Table1 renders the paper's Table I — the two node types' parameters —
+// extended with the per-P-state core powers the Appendix-A CMOS model
+// derives for the given static share of P-state-0 power.
+func Table1(staticShare float64) string {
+	types := model.TableINodeTypes(staticShare)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — node-type parameters (static share %.0f%%)\n\n", staticShare*100)
+	fmt.Fprintf(&b, "%-34s %14s %14s\n", "", types[0].Name, types[1].Name)
+	row := func(name string, f func(nt *model.NodeType) string) {
+		fmt.Fprintf(&b, "%-34s %14s %14s\n", name, f(&types[0]), f(&types[1]))
+	}
+	row("Base power (kW)", func(nt *model.NodeType) string { return fmt.Sprintf("%.3f", nt.BasePower) })
+	row("Number of cores", func(nt *model.NodeType) string { return fmt.Sprintf("%d", nt.NumCores) })
+	row("Number of P-states", func(nt *model.NodeType) string { return fmt.Sprintf("%d", nt.NumPStates()) })
+	row("P-state 0 power (kW)", func(nt *model.NodeType) string { return fmt.Sprintf("%.5f", nt.Core.P0Power) })
+	row("Air flow rate (m³/s)", func(nt *model.NodeType) string { return fmt.Sprintf("%.4f", nt.AirFlow) })
+	for k := 0; k < 4; k++ {
+		k := k
+		row(fmt.Sprintf("P-state %d clock (MHz)", k), func(nt *model.NodeType) string {
+			return fmt.Sprintf("%.0f", nt.Core.FreqMHz[k])
+		})
+	}
+	fmt.Fprintf(&b, "\nDerived per-P-state core power (kW), Appendix-A model:\n")
+	for k := 0; k < 4; k++ {
+		k := k
+		row(fmt.Sprintf("π_%d", k), func(nt *model.NodeType) string {
+			return fmt.Sprintf("%.5f", nt.Core.PStatePower(k))
+		})
+	}
+	fmt.Fprintf(&b, "\nStatic fraction per P-state (grows as frequency drops):\n")
+	for k := 0; k < 4; k++ {
+		k := k
+		row(fmt.Sprintf("static@P%d", k), func(nt *model.NodeType) string {
+			return fmt.Sprintf("%.1f%%", 100*nt.Core.StaticFraction(k))
+		})
+	}
+	return b.String()
+}
+
+// Table2 renders the paper's Table II — EC/RC ranges per rack label.
+func Table2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — exit/recirculation coefficient ranges by rack position\n\n")
+	fmt.Fprintf(&b, "%-6s %-12s %-12s\n", "Label", "EC range", "RC range")
+	for l := model.LabelA; l <= model.LabelE; l++ {
+		ec, rc := layout.ECRange[l], layout.RCRange[l]
+		fmt.Fprintf(&b, "%-6s %3.0f–%-3.0f%%     %3.0f–%-3.0f%%\n",
+			l, ec[0]*100, ec[1]*100, rc[0]*100, rc[1]*100)
+	}
+	return b.String()
+}

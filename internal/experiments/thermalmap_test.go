@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/scenario"
+)
+
+func TestThermalMap(t *testing.T) {
+	cfg := scenario.Default(0.3, 0.1, 5)
+	cfg.NCracs = 2
+	cfg.NNodes = 10
+	res, err := ThermalMap(cfg, assign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodeInlet) != 10 || len(res.CRACInlet) != 2 {
+		t.Fatalf("inlet vectors: %d nodes, %d CRACs", len(res.NodeInlet), len(res.CRACInlet))
+	}
+	for j, temp := range res.NodeInlet {
+		if temp > res.RedlineNode+1e-6 {
+			t.Errorf("node %d inlet %g exceeds redline", j, temp)
+		}
+		if temp < 0 {
+			t.Errorf("node %d inlet %g negative", j, temp)
+		}
+	}
+	// Histogram totals must equal the core count.
+	total := 0
+	for _, hist := range res.PStateHistogram {
+		for _, c := range hist {
+			total += c
+		}
+	}
+	if total != 320 {
+		t.Errorf("histogram covers %d cores, want 320", total)
+	}
+	if res.ComputePower+res.CRACPower > res.Pconst+1e-6 {
+		t.Errorf("power ledger %g exceeds Pconst %g", res.ComputePower+res.CRACPower, res.Pconst)
+	}
+	if res.PowerShadowPrice <= 0 {
+		t.Error("oversubscribed scenario should have a positive shadow price")
+	}
+	out := res.Render()
+	for _, want := range []string{"Thermal map", "slot 4", "P-state histogram", "shadow price"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestShadeMonotone(t *testing.T) {
+	order := []byte{'.', '-', '+', '#', '!'}
+	idx := func(b byte) int {
+		for i, o := range order {
+			if o == b {
+				return i
+			}
+		}
+		return -1
+	}
+	prev := -1
+	for _, frac := range []float64{0.1, 0.65, 0.8, 0.95, 1.0} {
+		g := idx(shade(frac*25, 25))
+		if g < prev {
+			t.Fatalf("shade not monotone at %g", frac)
+		}
+		prev = g
+	}
+}

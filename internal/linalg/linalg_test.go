@@ -1,0 +1,252 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("Set/At mismatch")
+	}
+	r := m.Row(1)
+	r[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must be a view")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must be a deep copy")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMulVecKnown(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	y := m.MulVec([]float64{5, 6})
+	if y[0] != 17 || y[1] != 39 {
+		t.Fatalf("MulVec = %v, want [17 39]", y)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{2, 1}, {4, 3}})
+	for i := range c.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v, want %v", c.Data, want.Data)
+		}
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := FromRows([][]float64{{2, -1, 0}, {1, 3, 5}, {0, 0, 1}})
+	if got := Identity(3).Mul(a); !matricesClose(got, a, 0) {
+		t.Fatal("I·A != A")
+	}
+	if got := a.Mul(Identity(3)); !matricesClose(got, a, 0) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("Transpose wrong: %+v", at)
+	}
+}
+
+func TestSub(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{1, 1}, {1, 1}})
+	c := a.Sub(b)
+	if c.At(0, 0) != 0 || c.At(1, 1) != 3 {
+		t.Fatalf("Sub wrong: %v", c.Data)
+	}
+}
+
+func matricesClose(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, 1},
+		{4, -6, 0},
+		{-2, 7, 2},
+	})
+	b := []float64{5, -2, 9}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.MulVec(x)
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > 1e-10 {
+			t.Fatalf("A·x = %v, want %v", got, b)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err != ErrSingular {
+		t.Fatalf("FactorLU on singular matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := FactorLU(a); err == nil {
+		t.Fatal("FactorLU accepted a non-square matrix")
+	}
+}
+
+func TestLUNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := f.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesClose(a.Mul(inv), Identity(2), 1e-12) {
+		t.Fatalf("A·A⁻¹ != I: %v", a.Mul(inv).Data)
+	}
+}
+
+func randomDiagDominant(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		sum := 0.0
+		for c := 0; c < n; c++ {
+			if c == r {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			a.Set(r, c, v)
+			sum += math.Abs(v)
+		}
+		a.Set(r, r, sum+1+rng.Float64())
+	}
+	return a
+}
+
+// Property: for random diagonally dominant systems, Solve produces a
+// residual at numerical noise level.
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		got := a.MulVec(x)
+		for i := range b {
+			if math.Abs(got[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SolveMatrix(I) equals Inverse, and applying it recovers the RHS.
+func TestSolveMatrixProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		a := randomDiagDominant(rng, n)
+		fac, err := FactorLU(a)
+		if err != nil {
+			return false
+		}
+		inv, err := fac.Inverse()
+		if err != nil {
+			return false
+		}
+		return matricesClose(a.Mul(inv), Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLengthMismatch(t *testing.T) {
+	a := Identity(3)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("Solve accepted wrong-length RHS")
+	}
+}
+
+func BenchmarkLUFactorSolve153(b *testing.B) {
+	// 153 = NCRAC + NCN at the paper's scale (3 CRACs + 150 nodes).
+	rng := rand.New(rand.NewSource(1))
+	a := randomDiagDominant(rng, 153)
+	rhs := make([]float64, 153)
+	for i := range rhs {
+		rhs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := FactorLU(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

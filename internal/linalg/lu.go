@@ -1,0 +1,136 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, stored
+// compactly in lu with the permutation in piv.
+type LU struct {
+	n   int
+	lu  *Matrix
+	piv []int
+}
+
+// FactorLU computes the LU factorization of the square matrix a with
+// partial pivoting. The input matrix is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: FactorLU needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot: largest absolute value in column k at or below the diagonal.
+		p := k
+		maxAbs := math.Abs(lu.At(k, k))
+		for r := k + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, k)); v > maxAbs {
+				maxAbs, p = v, r
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for c := range rk {
+				rk[c], rp[c] = rp[c], rk[c]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+		}
+		pivot := lu.At(k, k)
+		for r := k + 1; r < n; r++ {
+			m := lu.At(r, k) / pivot
+			lu.Set(r, k, m)
+			if m == 0 {
+				continue
+			}
+			rr, rk := lu.Row(r), lu.Row(k)
+			for c := k + 1; c < n; c++ {
+				rr[c] -= m * rk[c]
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, piv: piv}, nil
+}
+
+// Solve solves A·x = b for x using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("linalg: Solve length mismatch: %d want %d", len(b), f.n)
+	}
+	x := make([]float64, f.n)
+	// Apply the permutation, then forward-substitute L (unit diagonal).
+	for i := 0; i < f.n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 0; i < f.n; i++ {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute U.
+	for i := f.n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A·X = B column by column and returns X.
+func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
+	if b.Rows != f.n {
+		return nil, fmt.Errorf("linalg: SolveMatrix shape mismatch: %d rows want %d", b.Rows, f.n)
+	}
+	out := NewMatrix(f.n, b.Cols)
+	col := make([]float64, f.n)
+	for c := 0; c < b.Cols; c++ {
+		for r := 0; r < f.n; r++ {
+			col[r] = b.At(r, c)
+		}
+		x, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < f.n; r++ {
+			out.Set(r, c, x[r])
+		}
+	}
+	return out, nil
+}
+
+// Inverse returns A⁻¹ computed from the factorization.
+func (f *LU) Inverse() (*Matrix, error) {
+	return f.SolveMatrix(Identity(f.n))
+}
+
+// Solve is a convenience wrapper that factors a and solves a·x = b once.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

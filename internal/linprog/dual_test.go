@@ -1,0 +1,100 @@
+package linprog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDualKnown2D(t *testing.T) {
+	// max 3x + 5y; x ≤ 4; 2y ≤ 12; 3x + 2y ≤ 18. Optimal (2,6), obj 36.
+	// Known duals: row 0 slack (dual 0), row 1 dual 3/2, row 2 dual 1.
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, Inf, 3)
+	y := p.AddVar("y", 0, Inf, 5)
+	p.AddRow(LE, 4, Term{x, 1})
+	p.AddRow(LE, 12, Term{y, 2})
+	p.AddRow(LE, 18, Term{x, 3}, Term{y, 2})
+	sol := solveOK(t, p)
+	want := []float64{0, 1.5, 1}
+	for i, w := range want {
+		if !approx(sol.Dual(i), w, 1e-8) {
+			t.Errorf("Dual(%d) = %g, want %g", i, sol.Dual(i), w)
+		}
+	}
+}
+
+func TestDualMinimization(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10 (binding). Dual = 2 (x is cheaper):
+	// raising the requirement by 1 costs 2.
+	p := NewProblem(Minimize)
+	x := p.AddVar("x", 0, Inf, 2)
+	y := p.AddVar("y", 0, Inf, 3)
+	p.AddRow(GE, 10, Term{x, 1}, Term{y, 1})
+	sol := solveOK(t, p)
+	if !approx(sol.Dual(0), 2, 1e-8) {
+		t.Errorf("Dual = %g, want 2", sol.Dual(0))
+	}
+}
+
+func TestDualEqualityRow(t *testing.T) {
+	// max x + 2y s.t. x + y = 5, x ≤ 3 (bound). Optimal y=5: dual of the
+	// equality = 2 (one more unit of rhs goes to y).
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, 3, 1)
+	y := p.AddVar("y", 0, Inf, 2)
+	p.AddRow(EQ, 5, Term{x, 1}, Term{y, 1})
+	sol := solveOK(t, p)
+	if !approx(sol.Dual(0), 2, 1e-8) {
+		t.Errorf("Dual = %g, want 2", sol.Dual(0))
+	}
+}
+
+// TestDualFiniteDifferenceProperty verifies the dual against a finite
+// difference of the optimal objective on random knapsack LPs.
+func TestDualFiniteDifferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		build := func(b float64) *Problem {
+			r := rand.New(rand.NewSource(seed)) // same coefficients
+			p := NewProblem(Maximize)
+			terms := make([]Term, n)
+			for i := 0; i < n; i++ {
+				c := math.Round(r.Float64()*90)/10 + 0.1
+				u := math.Round(r.Float64()*40)/10 + 0.2
+				v := p.AddVar("", 0, u, c)
+				terms[i] = Term{v, 1}
+			}
+			p.AddRow(LE, b, terms...)
+			return p
+		}
+		b := 1 + rng.Float64()*5
+		sol, err := build(b).Solve()
+		if err != nil {
+			return false
+		}
+		const eps = 1e-6
+		up, err := build(b + eps).Solve()
+		if err != nil {
+			return false
+		}
+		fd := (up.Objective - sol.Objective) / eps
+		// The dual matches the right-derivative of the optimal value.
+		return math.Abs(fd-sol.Dual(0)) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDualNonBindingRowIsZero(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, 1, 1)
+	p.AddRow(LE, 100, Term{x, 1}) // slack row, never binding
+	sol := solveOK(t, p)
+	if !approx(sol.Dual(0), 0, 1e-9) {
+		t.Errorf("non-binding dual = %g, want 0", sol.Dual(0))
+	}
+}

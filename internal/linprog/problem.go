@@ -1,0 +1,200 @@
+// Package linprog implements a dense two-phase primal simplex solver for
+// linear programs with bounded variables. It is the optimization substrate
+// for every LP the paper solves: the Stage-1 relaxed power assignment, the
+// Stage-3 desired-execution-rate assignment (Equation 7 with fixed
+// P-states), the Equation-21 baseline, the Equation-17 power bounds, and
+// the Appendix-B cross-interference feasibility problem.
+//
+// The solver handles
+//   - minimization and maximization,
+//   - ≤ / ≥ / = and two-sided range rows,
+//   - per-variable lower/upper bounds (including infinite bounds),
+//
+// using the textbook bounded-variable simplex with a dense tableau, Dantzig
+// pricing, and a Bland anti-cycling fallback. Problem sizes in this
+// repository are a few hundred rows by a few thousand columns, well within
+// dense-tableau territory.
+package linprog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects the optimization direction.
+type Sense int
+
+const (
+	// Minimize the objective.
+	Minimize Sense = iota
+	// Maximize the objective.
+	Maximize
+)
+
+// Op is a row comparison operator.
+type Op int
+
+const (
+	// LE constrains a·x ≤ rhs.
+	LE Op = iota
+	// GE constrains a·x ≥ rhs.
+	GE
+	// EQ constrains a·x = rhs.
+	EQ
+)
+
+// Inf is a convenience alias for +∞ bounds.
+var Inf = math.Inf(1)
+
+// Term is a single coefficient Coef on variable Var within a row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Status describes the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective is unbounded over the feasible set.
+	Unbounded
+	// IterLimit means the iteration limit was exhausted.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrNotOptimal is wrapped by Solve errors when the status is not Optimal.
+var ErrNotOptimal = errors.New("linprog: no optimal solution")
+
+type row struct {
+	terms []Term
+	op    Op
+	rhs   float64
+	// rangeLo is used only when isRange: rangeLo ≤ a·x ≤ rhs.
+	rangeLo float64
+	isRange bool
+}
+
+// Problem is an LP under construction. Create one with NewProblem, add
+// variables and rows, then call Solve. A Problem may be solved repeatedly;
+// each Solve works on a fresh tableau.
+type Problem struct {
+	sense Sense
+	cost  []float64
+	lo    []float64
+	hi    []float64
+	names []string
+	rows  []row
+
+	// MaxIter optionally overrides the iteration budget (0 = automatic).
+	MaxIter int
+}
+
+// NewProblem returns an empty problem with the given optimization sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.cost) }
+
+// NumRows returns the number of rows added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddVar adds a variable with bounds [lo, hi] and the given objective
+// coefficient, returning its index. lo may be -Inf and hi may be +Inf;
+// lo must not exceed hi. The name is used only in error messages.
+func (p *Problem) AddVar(name string, lo, hi, cost float64) int {
+	if lo > hi {
+		panic(fmt.Sprintf("linprog: variable %q has lo %g > hi %g", name, lo, hi))
+	}
+	p.cost = append(p.cost, cost)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.names = append(p.names, name)
+	return len(p.cost) - 1
+}
+
+// SetCost overwrites the objective coefficient of variable v. This allows
+// reusing one constraint matrix for several objectives (e.g. the random
+// objectives used to diversify Appendix-B solutions).
+func (p *Problem) SetCost(v int, cost float64) {
+	p.cost[v] = cost
+}
+
+// AddRow adds the constraint Σ terms ⋈ rhs.
+func (p *Problem) AddRow(op Op, rhs float64, terms ...Term) {
+	p.checkTerms(terms)
+	p.rows = append(p.rows, row{terms: cloneTerms(terms), op: op, rhs: rhs})
+}
+
+// AddRangeRow adds the two-sided constraint lo ≤ Σ terms ≤ hi.
+func (p *Problem) AddRangeRow(lo, hi float64, terms ...Term) {
+	if lo > hi {
+		panic(fmt.Sprintf("linprog: range row with lo %g > hi %g", lo, hi))
+	}
+	p.checkTerms(terms)
+	p.rows = append(p.rows, row{terms: cloneTerms(terms), rhs: hi, rangeLo: lo, isRange: true})
+}
+
+func (p *Problem) checkTerms(terms []Term) {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.cost) {
+			panic(fmt.Sprintf("linprog: term references unknown variable %d", t.Var))
+		}
+		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+			panic(fmt.Sprintf("linprog: non-finite coefficient %g on variable %d", t.Coef, t.Var))
+		}
+	}
+}
+
+func cloneTerms(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// Solution is the result of a successful Solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	x         []float64
+	duals     []float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// Dual returns the shadow price of row r: the rate of change of the
+// optimal objective per unit increase of the row's right-hand side
+// (rhs for ≤/=/≥ rows, the upper bound for range rows), valid for small
+// perturbations that keep the optimal basis. For a maximization, a binding
+// ≤ row has a non-negative dual.
+func (s *Solution) Dual(r int) float64 { return s.duals[r] }
+
+// Value returns the optimal value of variable v.
+func (s *Solution) Value(v int) float64 { return s.x[v] }
+
+// Values returns a copy of the full primal solution vector (structural
+// variables only, in AddVar order).
+func (s *Solution) Values() []float64 {
+	return append([]float64(nil), s.x...)
+}

@@ -1,0 +1,547 @@
+package linprog
+
+import (
+	"fmt"
+	"math"
+)
+
+// Numerical tolerances for the simplex. The LPs in this repository are well
+// scaled (powers in kW, temperatures in °C, rates in tasks/s), so fixed
+// tolerances are adequate.
+const (
+	tolReduced   = 1e-9 // reduced-cost optimality tolerance
+	tolPivot     = 1e-9 // smallest acceptable pivot magnitude
+	tolFeas      = 1e-7 // bound/feasibility tolerance
+	refreshEvery = 256  // recompute the reduced-cost row every this many pivots
+)
+
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	basic
+	freeZero // nonbasic free variable pinned at 0
+)
+
+// tableauState is the mutable state of one Solve call.
+type tableauState struct {
+	m, n int // rows, total columns (structural + slack + artificial)
+
+	t      [][]float64 // m×n working tableau, starts as the (row-scaled) constraint matrix
+	xB     []float64   // current values of basic variables, per row
+	basis  []int       // basic variable per row
+	status []varStatus // per column
+	lo, hi []float64   // per column bounds
+	cost   []float64   // current phase objective (minimization)
+	d      []float64   // reduced costs, maintained incrementally
+
+	nStruct int // number of structural variables
+	nArt    int
+	flipped []bool // rows scaled by −1 during artificial setup
+	iters   int
+	maxIter int
+	bland   bool
+	degen   int // consecutive degenerate pivots, triggers Bland's rule
+}
+
+// Solve optimizes the problem and returns the solution. A non-Optimal
+// outcome is reported both in Solution.Status and as an error wrapping
+// ErrNotOptimal, so callers may either branch on the status or simply
+// propagate the error.
+func (p *Problem) Solve() (*Solution, error) {
+	st := p.newState()
+
+	// Phase 1: minimize the sum of artificial variables.
+	if st.nArt > 0 {
+		st.setPhase1Costs()
+		status := st.iterate()
+		if status != Optimal {
+			return p.finish(st, status)
+		}
+		if st.phase1Objective() > 1e-6 {
+			return p.finish(st, Infeasible)
+		}
+		st.evictArtificials()
+	}
+
+	// Phase 2: the real objective.
+	st.setPhase2Costs(p)
+	status := st.iterate()
+	return p.finish(st, status)
+}
+
+// newState builds the initial tableau, slacks, artificials and starting
+// basis for the problem.
+func (p *Problem) newState() *tableauState {
+	m := len(p.rows)
+	nStruct := len(p.cost)
+
+	st := &tableauState{
+		m:       m,
+		nStruct: nStruct,
+	}
+
+	// Column layout: [structural | one slack per row | artificials as needed].
+	nCols := nStruct + m // artificials appended later
+	st.lo = append(st.lo, p.lo...)
+	st.hi = append(st.hi, p.hi...)
+	for _, r := range p.rows {
+		slo, shi := slackBounds(r)
+		st.lo = append(st.lo, slo)
+		st.hi = append(st.hi, shi)
+	}
+
+	// Initial nonbasic statuses and values for structural + slack columns.
+	st.status = make([]varStatus, nCols)
+	for j := 0; j < nCols; j++ {
+		st.status[j] = initialStatus(st.lo[j], st.hi[j])
+	}
+
+	// Dense rows.
+	st.t = make([][]float64, m)
+	rhs := make([]float64, m)
+	for i, r := range p.rows {
+		rowv := make([]float64, nCols)
+		for _, tm := range r.terms {
+			rowv[tm.Var] += tm.Coef
+		}
+		rowv[nStruct+i] = 1 // slack
+		st.t[i] = rowv
+		rhs[i] = r.rhs
+	}
+
+	// Residuals at the initial nonbasic point decide the starting basis.
+	st.basis = make([]int, m)
+	st.flipped = make([]bool, m)
+	st.xB = make([]float64, m)
+	for i := 0; i < m; i++ {
+		res := rhs[i]
+		for j := 0; j < nCols; j++ {
+			res -= st.t[i][j] * nonbasicValue(st.status[j], st.lo[j], st.hi[j])
+		}
+		slack := nStruct + i
+		if res >= st.lo[slack]-tolFeas && res <= st.hi[slack]+tolFeas {
+			// The slack itself can carry the residual: no artificial needed.
+			st.basis[i] = slack
+			st.xB[i] = clamp(res, st.lo[slack], st.hi[slack])
+			st.status[slack] = basic
+			continue
+		}
+		// Need an artificial. Scale the row so the artificial is +1 with a
+		// non-negative basic value.
+		if res < 0 {
+			for j := range st.t[i] {
+				st.t[i][j] = -st.t[i][j]
+			}
+			res = -res
+			st.flipped[i] = true
+		}
+		art := len(st.lo)
+		st.lo = append(st.lo, 0)
+		st.hi = append(st.hi, Inf)
+		st.status = append(st.status, basic)
+		for k := 0; k < m; k++ {
+			if k == i {
+				st.t[k] = append(st.t[k], 1)
+			} else {
+				st.t[k] = append(st.t[k], 0)
+			}
+		}
+		st.basis[i] = art
+		st.xB[i] = res
+		st.nArt++
+	}
+	st.n = len(st.lo)
+	// Artificial columns were appended after some rows already existed;
+	// normalize row lengths (rows created before artificials are shorter).
+	for i := range st.t {
+		for len(st.t[i]) < st.n {
+			st.t[i] = append(st.t[i], 0)
+		}
+	}
+
+	st.maxIter = p.MaxIter
+	if st.maxIter == 0 {
+		st.maxIter = 200*(st.m+st.n) + 2000
+	}
+	return st
+}
+
+func slackBounds(r row) (lo, hi float64) {
+	if r.isRange {
+		return 0, r.rhs - r.rangeLo
+	}
+	switch r.op {
+	case LE:
+		return 0, Inf
+	case GE:
+		return math.Inf(-1), 0
+	case EQ:
+		return 0, 0
+	default:
+		panic(fmt.Sprintf("linprog: unknown op %d", r.op))
+	}
+}
+
+func initialStatus(lo, hi float64) varStatus {
+	switch {
+	case !math.IsInf(lo, -1):
+		return atLower
+	case !math.IsInf(hi, 1):
+		return atUpper
+	default:
+		return freeZero
+	}
+}
+
+func nonbasicValue(s varStatus, lo, hi float64) float64 {
+	switch s {
+	case atLower:
+		return lo
+	case atUpper:
+		return hi
+	default:
+		return 0
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func (st *tableauState) setPhase1Costs() {
+	st.cost = make([]float64, st.n)
+	for j := st.n - st.nArt; j < st.n; j++ {
+		st.cost[j] = 1
+	}
+	st.recomputeReducedCosts()
+}
+
+func (st *tableauState) setPhase2Costs(p *Problem) {
+	st.cost = make([]float64, st.n)
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1 // internally always minimize
+	}
+	for j := 0; j < st.nStruct; j++ {
+		st.cost[j] = sign * p.cost[j]
+	}
+	// Artificials must never re-enter: pin them to 0.
+	for j := st.n - st.nArt; j < st.n; j++ {
+		st.lo[j], st.hi[j] = 0, 0
+		if st.status[j] != basic {
+			st.status[j] = atLower
+		}
+	}
+	st.recomputeReducedCosts()
+}
+
+func (st *tableauState) phase1Objective() float64 {
+	sum := 0.0
+	for i, b := range st.basis {
+		if b >= st.n-st.nArt {
+			sum += st.xB[i]
+		}
+	}
+	return sum
+}
+
+// evictArtificials pivots basic artificial variables (necessarily at value
+// ~0 after a feasible phase 1) out of the basis where possible. Rows whose
+// non-artificial entries are all zero are redundant and keep their
+// artificial basic at 0, pinned by its [0,0] bounds.
+func (st *tableauState) evictArtificials() {
+	for i := 0; i < st.m; i++ {
+		if st.basis[i] < st.n-st.nArt {
+			continue
+		}
+		pivCol, pivAbs := -1, tolPivot
+		for j := 0; j < st.n-st.nArt; j++ {
+			if st.status[j] == basic || st.lo[j] == st.hi[j] {
+				continue
+			}
+			if a := math.Abs(st.t[i][j]); a > pivAbs {
+				pivAbs, pivCol = a, j
+			}
+		}
+		if pivCol >= 0 {
+			st.pivot(i, pivCol, nonbasicValue(st.status[pivCol], st.lo[pivCol], st.hi[pivCol]))
+		}
+	}
+}
+
+// recomputeReducedCosts rebuilds the reduced-cost row d from scratch:
+// d_j = c_j − Σ_i c_{B(i)}·T[i][j].
+func (st *tableauState) recomputeReducedCosts() {
+	st.d = append(st.d[:0], st.cost...)
+	for i := 0; i < st.m; i++ {
+		cb := st.cost[st.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := st.t[i]
+		for j := 0; j < st.n; j++ {
+			st.d[j] -= cb * row[j]
+		}
+	}
+}
+
+// iterate runs simplex pivots until optimality, unboundedness or the
+// iteration budget is reached.
+func (st *tableauState) iterate() Status {
+	sinceRefresh := 0
+	for ; st.iters < st.maxIter; st.iters++ {
+		if sinceRefresh >= refreshEvery {
+			st.recomputeReducedCosts()
+			sinceRefresh = 0
+		}
+		enter, dir := st.chooseEntering()
+		if enter < 0 {
+			return Optimal
+		}
+		flip, leaveRow, theta := st.ratioTest(enter, dir)
+		if math.IsInf(theta, 1) {
+			return Unbounded
+		}
+		if theta <= tolFeas {
+			st.degen++
+			if st.degen > 2*(st.m+64) {
+				st.bland = true
+			}
+		} else {
+			st.degen = 0
+			if st.bland {
+				st.bland = false
+			}
+		}
+		if flip {
+			// Bound flip: the entering variable runs to its other bound;
+			// no basis change.
+			col := st.colCache(enter)
+			for i := 0; i < st.m; i++ {
+				st.xB[i] -= dir * theta * col[i]
+			}
+			if st.status[enter] == atLower {
+				st.status[enter] = atUpper
+			} else {
+				st.status[enter] = atLower
+			}
+			sinceRefresh++
+			continue
+		}
+		entVal := nonbasicValue(st.status[enter], st.lo[enter], st.hi[enter]) + dir*theta
+		st.updateBasics(enter, dir, theta)
+		st.pivot(leaveRow, enter, entVal)
+		sinceRefresh++
+	}
+	return IterLimit
+}
+
+// chooseEntering picks the entering column and its direction (+1 =
+// increasing, −1 = decreasing), or (-1, 0) at optimality.
+func (st *tableauState) chooseEntering() (int, float64) {
+	best, bestScore, bestDir := -1, tolReduced, 0.0
+	for j := 0; j < st.n; j++ {
+		if st.status[j] == basic || st.lo[j] == st.hi[j] {
+			continue
+		}
+		dj := st.d[j]
+		var score, dir float64
+		switch st.status[j] {
+		case atLower:
+			score, dir = -dj, 1
+		case atUpper:
+			score, dir = dj, -1
+		case freeZero:
+			if dj < 0 {
+				score, dir = -dj, 1
+			} else {
+				score, dir = dj, -1
+			}
+		}
+		if score <= tolReduced {
+			continue
+		}
+		if st.bland {
+			return j, dir // first eligible index
+		}
+		if score > bestScore {
+			best, bestScore, bestDir = j, score, dir
+		}
+	}
+	return best, bestDir
+}
+
+func (st *tableauState) colCache(j int) []float64 {
+	col := make([]float64, st.m)
+	for i := 0; i < st.m; i++ {
+		col[i] = st.t[i][j]
+	}
+	return col
+}
+
+// ratioTest determines how far the entering variable can move. It returns
+// flip=true when the binding limit is the entering variable's own opposite
+// bound, otherwise the leaving row index and the step length.
+func (st *tableauState) ratioTest(enter int, dir float64) (flip bool, leaveRow int, theta float64) {
+	theta = Inf
+	// The entering variable's own range.
+	if !math.IsInf(st.lo[enter], -1) && !math.IsInf(st.hi[enter], 1) {
+		theta = st.hi[enter] - st.lo[enter]
+	}
+	flip = true
+	leaveRow = -1
+	bestPiv := 0.0
+	for i := 0; i < st.m; i++ {
+		t := st.t[i][enter]
+		rate := -dir * t // d(xB_i)/dθ
+		var lim float64
+		switch {
+		case rate > tolPivot:
+			if math.IsInf(st.hi[st.basis[i]], 1) {
+				continue
+			}
+			lim = (st.hi[st.basis[i]] - st.xB[i]) / rate
+		case rate < -tolPivot:
+			if math.IsInf(st.lo[st.basis[i]], -1) {
+				continue
+			}
+			lim = (st.xB[i] - st.lo[st.basis[i]]) / -rate
+		default:
+			continue
+		}
+		if lim < -tolFeas {
+			lim = 0
+		}
+		replace := false
+		if lim < theta-tolFeas {
+			replace = true
+		} else if lim < theta+tolFeas && leaveRow >= 0 {
+			// Tie-break on pivot magnitude for stability, or on smallest
+			// basis index under Bland's rule.
+			if st.bland {
+				replace = st.basis[i] < st.basis[leaveRow]
+			} else {
+				replace = math.Abs(t) > bestPiv
+			}
+		} else if lim < theta+tolFeas && leaveRow < 0 && lim <= theta {
+			replace = true
+		}
+		if replace {
+			theta = math.Min(theta, math.Max(lim, 0))
+			leaveRow = i
+			bestPiv = math.Abs(t)
+			flip = false
+		}
+	}
+	if leaveRow < 0 && math.IsInf(theta, 1) {
+		return false, -1, Inf // unbounded
+	}
+	return flip, leaveRow, theta
+}
+
+// updateBasics applies the step to every basic value, including the leaving
+// row: the leaving variable lands exactly on the bound it hit, which pivot
+// then uses to classify it before the entering variable takes its slot.
+func (st *tableauState) updateBasics(enter int, dir, theta float64) {
+	if theta == 0 {
+		return
+	}
+	for i := 0; i < st.m; i++ {
+		st.xB[i] -= dir * theta * st.t[i][enter]
+	}
+}
+
+// pivot makes column enter basic in row r with the entering value entVal,
+// performing the row elimination on the tableau and the reduced-cost row.
+func (st *tableauState) pivot(r, enter int, entVal float64) {
+	leave := st.basis[r]
+	// Classify the leaving variable at whichever bound it reached.
+	lv := st.xB[r] // value before replacement, already stepped to its bound
+	if !math.IsInf(st.lo[leave], -1) && math.Abs(lv-st.lo[leave]) <= math.Abs(lv-st.hi[leave]) {
+		st.status[leave] = atLower
+	} else if !math.IsInf(st.hi[leave], 1) {
+		st.status[leave] = atUpper
+	} else {
+		st.status[leave] = atLower // free variable leaving: pin at lower (finite by construction)
+	}
+
+	piv := st.t[r][enter]
+	row := st.t[r]
+	inv := 1 / piv
+	for j := range row {
+		row[j] *= inv
+	}
+	for i := 0; i < st.m; i++ {
+		if i == r {
+			continue
+		}
+		f := st.t[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := st.t[i]
+		for j := range ri {
+			ri[j] -= f * row[j]
+		}
+		ri[enter] = 0 // exact zero to stop drift
+	}
+	f := st.d[enter]
+	if f != 0 {
+		for j := range st.d {
+			st.d[j] -= f * row[j]
+		}
+		st.d[enter] = 0
+	}
+	st.basis[r] = enter
+	st.status[enter] = basic
+	st.xB[r] = entVal
+}
+
+// finish extracts the solution vector, objective and row duals.
+func (p *Problem) finish(st *tableauState, status Status) (*Solution, error) {
+	sol := &Solution{Status: status, Iterations: st.iters}
+	if status != Optimal {
+		return sol, fmt.Errorf("%w: %s", ErrNotOptimal, status)
+	}
+	x := make([]float64, st.n)
+	for j := 0; j < st.n; j++ {
+		if st.status[j] != basic {
+			x[j] = nonbasicValue(st.status[j], st.lo[j], st.hi[j])
+		}
+	}
+	for i, b := range st.basis {
+		x[b] = st.xB[i]
+	}
+	sol.x = x[:st.nStruct]
+	obj := 0.0
+	for j := 0; j < st.nStruct; j++ {
+		obj += p.cost[j] * sol.x[j]
+	}
+	sol.Objective = obj
+
+	// Row duals from the slack columns' reduced costs: with the row
+	// possibly scaled by σ_i = ±1, d_slack_i = −σ_i·y_i for the internal
+	// minimization; the user-facing dual also flips sign for Maximize.
+	st.recomputeReducedCosts()
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1
+	}
+	sol.duals = make([]float64, st.m)
+	for i := 0; i < st.m; i++ {
+		sigma := 1.0
+		if st.flipped[i] {
+			sigma = -1
+		}
+		sol.duals[i] = sign * -sigma * st.d[st.nStruct+i]
+	}
+	return sol, nil
+}

@@ -1,0 +1,243 @@
+package model
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyDC builds a minimal valid data center: 1 CRAC, 2 nodes (one of each
+// Table-I type), 2 task types.
+func tinyDC(t *testing.T) *DataCenter {
+	t.Helper()
+	dc := &DataCenter{
+		NodeTypes: TableINodeTypes(0.3),
+		Nodes: []Node{
+			{Type: 0, Rack: 0, Slot: 0, Label: LabelA, HotAisle: 0},
+			{Type: 1, Rack: 0, Slot: 1, Label: LabelB, HotAisle: 0},
+		},
+		CRACs:       []CRAC{{Flow: 0.1528}},
+		TaskTypes:   []TaskType{{Name: "t0", Reward: 1, RelDeadline: 2, ArrivalRate: 3}, {Name: "t1", Reward: 2, RelDeadline: 1, ArrivalRate: 4}},
+		RedlineNode: DefaultRedlineNode,
+		RedlineCRAC: DefaultRedlineCRAC,
+		Pconst:      10,
+	}
+	// ECS: 2 tasks × 2 types × (4 P-states + off).
+	dc.ECS = make(ECS, 2)
+	for i := range dc.ECS {
+		dc.ECS[i] = make([][]float64, 2)
+		for j := range dc.ECS[i] {
+			dc.ECS[i][j] = []float64{1, 0.8, 0.6, 0.3, 0}
+		}
+	}
+	// A valid doubly-balanced Alpha for 3 thermal units: uniform mixing
+	// weighted so Σ_i α_ij F_i = F_j holds with these flows.
+	n := dc.NumThermal()
+	dc.Alpha = make([][]float64, n)
+	F := dc.Flows()
+	total := 0.0
+	for _, f := range F {
+		total += f
+	}
+	for i := range dc.Alpha {
+		dc.Alpha[i] = make([]float64, n)
+		for j := range dc.Alpha[i] {
+			dc.Alpha[i][j] = F[j] / total
+		}
+	}
+	if err := dc.Validate(); err != nil {
+		t.Fatalf("tinyDC invalid: %v", err)
+	}
+	return dc
+}
+
+func TestTableIConstants(t *testing.T) {
+	hp := HPProLiantDL785G5(0.3)
+	nec := NECExpress5800A1080aS(0.3)
+	if hp.BasePower != 0.353 || nec.BasePower != 0.418 {
+		t.Error("base powers disagree with Table I")
+	}
+	if hp.NumCores != 32 || nec.NumCores != 32 {
+		t.Error("core counts disagree with Table I")
+	}
+	if hp.Core.P0Power != 0.01375 || nec.Core.P0Power != 0.01625 {
+		t.Error("P-state-0 powers disagree with Table I")
+	}
+	if hp.AirFlow != 0.07 || nec.AirFlow != 0.0828 {
+		t.Error("air flows disagree with Table I")
+	}
+	if hp.Core.FreqMHz[0] != 2500 || hp.Core.FreqMHz[3] != 800 {
+		t.Error("HP frequencies disagree with Table I")
+	}
+	if nec.Core.FreqMHz[0] != 2666 || nec.Core.FreqMHz[3] != 1000 {
+		t.Error("NEC frequencies disagree with Table I")
+	}
+	// Appendix A: HP node at 100% utilization consumes 0.793 kW.
+	if got := hp.MaxPower(); math.Abs(got-0.793) > 1e-9 {
+		t.Errorf("HP max power = %g, want 0.793", got)
+	}
+	if got := hp.MinPower(); got != 0.353 {
+		t.Errorf("HP min power = %g, want 0.353", got)
+	}
+}
+
+func TestNodeTypeHelpers(t *testing.T) {
+	hp := HPProLiantDL785G5(0.3)
+	if hp.NumPStates() != 4 {
+		t.Errorf("NumPStates = %d, want 4", hp.NumPStates())
+	}
+	if hp.OffState() != 4 {
+		t.Errorf("OffState = %d, want 4", hp.OffState())
+	}
+	ps := hp.CorePowers()
+	if len(ps) != 5 || ps[4] != 0 || math.Abs(ps[0]-0.01375) > 1e-12 {
+		t.Errorf("CorePowers = %v", ps)
+	}
+}
+
+func TestNodeLabelString(t *testing.T) {
+	if LabelA.String() != "A" || LabelE.String() != "E" {
+		t.Error("label strings wrong")
+	}
+	if !strings.Contains(NodeLabel(9).String(), "9") {
+		t.Error("out-of-range label should include numeric value")
+	}
+}
+
+func TestDataCenterCounts(t *testing.T) {
+	dc := tinyDC(t)
+	if dc.NCRAC() != 1 || dc.NCN() != 2 || dc.T() != 2 || dc.NumThermal() != 3 {
+		t.Fatalf("counts wrong: %d %d %d %d", dc.NCRAC(), dc.NCN(), dc.T(), dc.NumThermal())
+	}
+	if dc.NumCores() != 64 {
+		t.Errorf("NumCores = %d, want 64", dc.NumCores())
+	}
+	if dc.NodeThermalIndex(1) != 2 {
+		t.Errorf("NodeThermalIndex(1) = %d, want 2", dc.NodeThermalIndex(1))
+	}
+}
+
+func TestCoreRangeAndCoreNode(t *testing.T) {
+	dc := tinyDC(t)
+	lo, hi := dc.CoreRange(0)
+	if lo != 0 || hi != 32 {
+		t.Errorf("CoreRange(0) = [%d, %d)", lo, hi)
+	}
+	lo, hi = dc.CoreRange(1)
+	if lo != 32 || hi != 64 {
+		t.Errorf("CoreRange(1) = [%d, %d)", lo, hi)
+	}
+	if dc.CoreNode(0) != 0 || dc.CoreNode(31) != 0 || dc.CoreNode(32) != 1 || dc.CoreNode(63) != 1 {
+		t.Error("CoreNode mapping wrong")
+	}
+}
+
+func TestCoreNodePanicsOutOfRange(t *testing.T) {
+	dc := tinyDC(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CoreNode(64) did not panic")
+		}
+	}()
+	dc.CoreNode(64)
+}
+
+func TestRedlineAndFlows(t *testing.T) {
+	dc := tinyDC(t)
+	rl := dc.Redline()
+	if rl[0] != 40 || rl[1] != 25 || rl[2] != 25 {
+		t.Errorf("Redline = %v", rl)
+	}
+	f := dc.Flows()
+	if f[0] != 0.1528 || f[1] != 0.07 || f[2] != 0.0828 {
+		t.Errorf("Flows = %v", f)
+	}
+}
+
+func TestNodePower(t *testing.T) {
+	dc := tinyDC(t)
+	// All cores off: base power only.
+	off := make([]int, 32)
+	for i := range off {
+		off[i] = 4
+	}
+	if got := dc.NodePower(0, off); math.Abs(got-0.353) > 1e-12 {
+		t.Errorf("all-off power = %g, want 0.353", got)
+	}
+	// All cores at P0: Table-I max.
+	p0 := make([]int, 32)
+	if got := dc.NodePower(0, p0); math.Abs(got-0.793) > 1e-9 {
+		t.Errorf("all-P0 power = %g, want 0.793", got)
+	}
+}
+
+func TestNodePowerPanicsOnWrongLen(t *testing.T) {
+	dc := tinyDC(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NodePower with wrong P-state count did not panic")
+		}
+	}()
+	dc.NodePower(0, []int{0})
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(dc *DataCenter)
+	}{
+		{"no node types", func(dc *DataCenter) { dc.NodeTypes = nil }},
+		{"no nodes", func(dc *DataCenter) { dc.Nodes = nil }},
+		{"bad node type ref", func(dc *DataCenter) { dc.Nodes[0].Type = 7 }},
+		{"bad label", func(dc *DataCenter) { dc.Nodes[0].Label = 9 }},
+		{"bad hot aisle", func(dc *DataCenter) { dc.Nodes[0].HotAisle = 3 }},
+		{"no CRACs", func(dc *DataCenter) { dc.CRACs = nil }},
+		{"bad CRAC flow", func(dc *DataCenter) { dc.CRACs[0].Flow = 0 }},
+		{"no task types", func(dc *DataCenter) { dc.TaskTypes = nil }},
+		{"bad deadline", func(dc *DataCenter) { dc.TaskTypes[0].RelDeadline = 0 }},
+		{"ECS wrong tasks", func(dc *DataCenter) { dc.ECS = dc.ECS[:1] }},
+		{"ECS negative", func(dc *DataCenter) { dc.ECS[0][0][1] = -1 }},
+		{"ECS off not zero", func(dc *DataCenter) { dc.ECS[0][0][4] = 0.5 }},
+		{"Alpha wrong size", func(dc *DataCenter) { dc.Alpha = dc.Alpha[:2] }},
+		{"Alpha row sum", func(dc *DataCenter) { dc.Alpha[0][0] += 0.5 }},
+		{"Alpha out of range", func(dc *DataCenter) { dc.Alpha[0][0] = 1.7; dc.Alpha[0][1] = -0.7 }},
+		{"bad redline", func(dc *DataCenter) { dc.RedlineNode = 0 }},
+		{"negative Pconst", func(dc *DataCenter) { dc.Pconst = -1 }},
+	}
+	for _, m := range mutations {
+		dc := tinyDC(t)
+		m.mut(dc)
+		if err := dc.Validate(); err == nil {
+			t.Errorf("mutation %q not caught by Validate", m.name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dc := tinyDC(t)
+	raw, err := json.Marshal(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DataCenter
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped data center invalid: %v", err)
+	}
+	if back.NumCores() != dc.NumCores() || back.NCRAC() != dc.NCRAC() {
+		t.Error("round trip lost structure")
+	}
+	if back.NodeTypes[0].Core.P0Power != dc.NodeTypes[0].Core.P0Power {
+		t.Error("round trip lost core model")
+	}
+}
+
+func TestECSAt(t *testing.T) {
+	dc := tinyDC(t)
+	if dc.ECS.At(0, 1, 2) != 0.6 {
+		t.Errorf("ECS.At = %g, want 0.6", dc.ECS.At(0, 1, 2))
+	}
+}

@@ -1,0 +1,54 @@
+package model
+
+import "thermaldc/internal/power"
+
+// The two server models of paper Table I / Appendix A.
+
+// HPProLiantDL785G5 returns node type 1: an HP ProLiant DL785 G5 with
+// 8 AMD Opteron 8381 HE processors × 4 cores. The static share of P-state-0
+// core power is the experiment knob varied in Figure 6 (0.3 or 0.2).
+func HPProLiantDL785G5(staticShare float64) NodeType {
+	return NodeType{
+		Name:      "HP ProLiant DL785 G5",
+		BasePower: 0.353,
+		NumCores:  32,
+		Core: power.CoreModel{
+			FreqMHz:     []float64{2500, 2100, 1700, 800},
+			Voltage:     []float64{1.325, 1.25, 1.175, 1.025},
+			P0Power:     0.01375,
+			StaticShare: staticShare,
+		},
+		AirFlow: 0.07,
+	}
+}
+
+// NECExpress5800A1080aS returns node type 2: an NEC Express5800/A1080a-S
+// with 4 Intel Xeon X7560 processors × 8 cores.
+func NECExpress5800A1080aS(staticShare float64) NodeType {
+	return NodeType{
+		Name:      "NEC Express5800/A1080a-S",
+		BasePower: 0.418,
+		NumCores:  32,
+		Core: power.CoreModel{
+			FreqMHz:     []float64{2666, 2200, 1700, 1000},
+			Voltage:     []float64{1.35, 1.268, 1.18, 1.056},
+			P0Power:     0.01625,
+			StaticShare: staticShare,
+		},
+		AirFlow: 0.0828,
+	}
+}
+
+// TableINodeTypes returns both paper node types with the given static
+// share of P-state-0 power.
+func TableINodeTypes(staticShare float64) []NodeType {
+	return []NodeType{HPProLiantDL785G5(staticShare), NECExpress5800A1080aS(staticShare)}
+}
+
+// Paper-default redline temperatures (Section VI.F).
+const (
+	// DefaultRedlineNode is the compute-node inlet redline in °C.
+	DefaultRedlineNode = 25.0
+	// DefaultRedlineCRAC is the CRAC inlet redline in °C.
+	DefaultRedlineCRAC = 40.0
+)

@@ -1,0 +1,34 @@
+package power_test
+
+import (
+	"fmt"
+
+	"thermaldc/internal/power"
+)
+
+// Example derives the paper's node-type-1 P-state powers from the
+// Appendix-A CMOS model with a 30% static share.
+func Example() {
+	core := power.CoreModel{
+		FreqMHz:     []float64{2500, 2100, 1700, 800},
+		Voltage:     []float64{1.325, 1.25, 1.175, 1.025},
+		P0Power:     0.01375,
+		StaticShare: 0.3,
+	}
+	for k := range core.FreqMHz {
+		fmt.Printf("π_%d = %.5f kW\n", k, core.PStatePower(k))
+	}
+	// Output:
+	// π_0 = 0.01375 kW
+	// π_1 = 0.01109 kW
+	// π_2 = 0.00881 kW
+	// π_3 = 0.00503 kW
+}
+
+// ExampleCoP evaluates the HP Utility Data Center CoP curve (Equation 8):
+// warmer outlet air is cheaper to produce.
+func ExampleCoP() {
+	fmt.Printf("CoP(15) = %.3f, CoP(25) = %.3f\n", power.CoP(15), power.CoP(25))
+	// Output:
+	// CoP(15) = 2.000, CoP(25) = 4.728
+}

@@ -1,0 +1,147 @@
+// Package power implements the paper's power physics: the Appendix-A CMOS
+// core power model that derives per-P-state core powers from data-sheet
+// frequencies/voltages and a static-power share, and the CRAC model of
+// Section III.E (heat removal, Coefficient of Performance, CRAC power).
+//
+// Units follow the paper's Appendix A: power in kW, air flow in m³/s,
+// temperatures in °C, air density 1.205 kg/m³ and specific heat capacity
+// 1 kJ/(kg·°C), so that a 0.793 kW node with 0.07 m³/s flow heats its air
+// by 9.4 °C as the paper states.
+package power
+
+import "fmt"
+
+// Physical constants assumed by the paper (Appendix A).
+const (
+	// AirDensity ρ in kg/m³.
+	AirDensity = 1.205
+	// AirSpecificHeat Cp in kJ/(kg·°C).
+	AirSpecificHeat = 1.0
+)
+
+// RhoCp is the ρ·Cp product that converts (flow × ΔT) into kW.
+const RhoCp = AirDensity * AirSpecificHeat
+
+// CoP is the Coefficient of Performance of a CRAC unit as a function of
+// its outlet temperature τ in °C, measured at the HP Labs Utility Data
+// Center (paper Equation 8):
+//
+//	CoP(τ) = 0.0068·τ² + 0.0008·τ + 0.458
+func CoP(tau float64) float64 {
+	return 0.0068*tau*tau + 0.0008*tau + 0.458
+}
+
+// HeatRemoved returns the heat (kW) a CRAC with the given air flow (m³/s)
+// removes when cooling air from tin to tout °C (paper Equation 2). It is 0
+// when tin ≤ tout (nothing to remove).
+func HeatRemoved(flow, tin, tout float64) float64 {
+	if tin <= tout {
+		return 0
+	}
+	return RhoCp * flow * (tin - tout)
+}
+
+// CRACPower returns the power (kW) consumed by a CRAC unit with the given
+// flow when cooling air from tin to tout (paper Equation 3): heat removed
+// divided by CoP(tout).
+func CRACPower(flow, tin, tout float64) float64 {
+	h := HeatRemoved(flow, tin, tout)
+	if h == 0 {
+		return 0
+	}
+	return h / CoP(tout)
+}
+
+// OutletTemp returns the node outlet air temperature for a node consuming
+// pcn kW with inlet temperature tin and air flow rate flow (paper
+// Equation 4).
+func OutletTemp(tin, pcn, flow float64) float64 {
+	return tin + pcn/(RhoCp*flow)
+}
+
+// CoreModel captures the Appendix-A description of one core type: the
+// per-P-state frequencies and supply voltages from the data sheet, the
+// measured P-state-0 power, and the assumed fraction of that power that is
+// static. From these it derives every P-state's power via
+//
+//	π_k = SC·f_k·V_k² + β·V_k
+//
+// where β·V_0 is the static share of π_0 and SC·f_0·V_0² the dynamic rest.
+type CoreModel struct {
+	// FreqMHz and Voltage list the real P-states, lowest index = P-state 0
+	// (highest frequency). Both must have the same length ≥ 1.
+	FreqMHz []float64
+	Voltage []float64
+	// P0Power is the measured total core power at P-state 0 in kW.
+	P0Power float64
+	// StaticShare is the fraction of P0Power that is static (leakage).
+	StaticShare float64
+}
+
+// Validate checks the model for internal consistency.
+func (m *CoreModel) Validate() error {
+	if len(m.FreqMHz) == 0 {
+		return fmt.Errorf("power: core model needs at least one P-state")
+	}
+	if len(m.FreqMHz) != len(m.Voltage) {
+		return fmt.Errorf("power: %d frequencies but %d voltages", len(m.FreqMHz), len(m.Voltage))
+	}
+	for k := 1; k < len(m.FreqMHz); k++ {
+		if m.FreqMHz[k] > m.FreqMHz[k-1] {
+			return fmt.Errorf("power: P-state %d frequency %g exceeds P-state %d frequency %g",
+				k, m.FreqMHz[k], k-1, m.FreqMHz[k-1])
+		}
+	}
+	for k, v := range m.Voltage {
+		if v <= 0 {
+			return fmt.Errorf("power: P-state %d has non-positive voltage %g", k, v)
+		}
+		if m.FreqMHz[k] <= 0 {
+			return fmt.Errorf("power: P-state %d has non-positive frequency %g", k, m.FreqMHz[k])
+		}
+	}
+	if m.P0Power <= 0 {
+		return fmt.Errorf("power: P0 power must be positive, got %g", m.P0Power)
+	}
+	if m.StaticShare < 0 || m.StaticShare >= 1 {
+		return fmt.Errorf("power: static share must be in [0, 1), got %g", m.StaticShare)
+	}
+	return nil
+}
+
+// Coefficients returns the derived constants SC = S·C_L (switching
+// capacitance factor) and β (static-power coefficient) of Equation 23.
+func (m *CoreModel) Coefficients() (sc, beta float64) {
+	f0, v0 := m.FreqMHz[0], m.Voltage[0]
+	beta = m.StaticShare * m.P0Power / v0
+	sc = (1 - m.StaticShare) * m.P0Power / (f0 * v0 * v0)
+	return sc, beta
+}
+
+// PStatePower returns the power of P-state k in kW (Equation 23).
+func (m *CoreModel) PStatePower(k int) float64 {
+	sc, beta := m.Coefficients()
+	return sc*m.FreqMHz[k]*m.Voltage[k]*m.Voltage[k] + beta*m.Voltage[k]
+}
+
+// PStatePowers returns the power of every real P-state in kW, plus a final
+// 0 entry for the turned-off state the paper appends as P-state η.
+func (m *CoreModel) PStatePowers() []float64 {
+	out := make([]float64, len(m.FreqMHz)+1)
+	for k := range m.FreqMHz {
+		out[k] = m.PStatePower(k)
+	}
+	// out[len] stays 0: the turned-off P-state.
+	return out
+}
+
+// StaticFraction returns the static share of P-state k's total power.
+// Higher P-state indices (lower voltage/frequency) have larger static
+// shares, which is why P-state 0 can still have the best
+// performance/power ratio when the share at P-state 0 is low.
+func (m *CoreModel) StaticFraction(k int) float64 {
+	sc, beta := m.Coefficients()
+	static := beta * m.Voltage[k]
+	dynamic := sc * m.FreqMHz[k] * m.Voltage[k] * m.Voltage[k]
+	return static / (static + dynamic)
+}

@@ -1,0 +1,191 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// opteron returns the paper's node-type-1 core (AMD Opteron 8381 HE,
+// Table I and Appendix A).
+func opteron(staticShare float64) *CoreModel {
+	return &CoreModel{
+		FreqMHz:     []float64{2500, 2100, 1700, 800},
+		Voltage:     []float64{1.325, 1.25, 1.175, 1.025},
+		P0Power:     0.01375,
+		StaticShare: staticShare,
+	}
+}
+
+// xeon returns the paper's node-type-2 core (Intel Xeon X7560).
+func xeon(staticShare float64) *CoreModel {
+	return &CoreModel{
+		FreqMHz:     []float64{2666, 2200, 1700, 1000},
+		Voltage:     []float64{1.35, 1.268, 1.18, 1.056},
+		P0Power:     0.01625,
+		StaticShare: staticShare,
+	}
+}
+
+func TestCoPPaperValues(t *testing.T) {
+	// Equation 8 at a few outlet temperatures.
+	cases := []struct{ tau, want float64 }{
+		{0, 0.458},
+		{10, 0.0068*100 + 0.008 + 0.458},
+		{25, 0.0068*625 + 0.02 + 0.458},
+	}
+	for _, c := range cases {
+		if got := CoP(c.tau); !approx(got, c.want, 1e-12) {
+			t.Errorf("CoP(%g) = %g, want %g", c.tau, got, c.want)
+		}
+	}
+	// CoP improves with warmer outlet air (less aggressive cooling).
+	if CoP(25) <= CoP(15) {
+		t.Error("CoP should increase with outlet temperature")
+	}
+}
+
+func TestHeatRemovedAndCRACPower(t *testing.T) {
+	// No heat to remove when inlet ≤ outlet.
+	if HeatRemoved(10, 15, 15) != 0 || HeatRemoved(10, 14, 15) != 0 {
+		t.Error("HeatRemoved should be 0 when tin <= tout")
+	}
+	if CRACPower(10, 14, 15) != 0 {
+		t.Error("CRACPower should be 0 when tin <= tout")
+	}
+	// Removing heat: ρ·Cp·F·ΔT.
+	got := HeatRemoved(2, 30, 20)
+	want := RhoCp * 2 * 10
+	if !approx(got, want, 1e-12) {
+		t.Errorf("HeatRemoved = %g, want %g", got, want)
+	}
+	if p := CRACPower(2, 30, 20); !approx(p, want/CoP(20), 1e-12) {
+		t.Errorf("CRACPower = %g, want %g", p, want/CoP(20))
+	}
+}
+
+func TestOutletTempPaperExample(t *testing.T) {
+	// Appendix A: node type 1 at max power 0.793 kW with 0.07 m³/s flow
+	// heats air by 9.4 °C.
+	rise := OutletTemp(20, 0.793, 0.07) - 20
+	if !approx(rise, 9.4, 0.05) {
+		t.Errorf("temperature rise = %g, want ≈9.4", rise)
+	}
+}
+
+func TestCoreModelValidate(t *testing.T) {
+	if err := opteron(0.3).Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []*CoreModel{
+		{},
+		{FreqMHz: []float64{100}, Voltage: []float64{1, 1}, P0Power: 1},
+		{FreqMHz: []float64{100, 200}, Voltage: []float64{1, 1}, P0Power: 1},           // increasing freq
+		{FreqMHz: []float64{100}, Voltage: []float64{-1}, P0Power: 1},                  // bad voltage
+		{FreqMHz: []float64{100}, Voltage: []float64{1}, P0Power: 0},                   // bad power
+		{FreqMHz: []float64{100}, Voltage: []float64{1}, P0Power: 1, StaticShare: 1.0}, // bad share
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestPStatePowerAnchorsAtP0(t *testing.T) {
+	for _, share := range []float64{0.2, 0.3} {
+		for _, m := range []*CoreModel{opteron(share), xeon(share)} {
+			if got := m.PStatePower(0); !approx(got, m.P0Power, 1e-15) {
+				t.Errorf("P0 power = %g, want %g", got, m.P0Power)
+			}
+		}
+	}
+}
+
+func TestPStatePowersDecreaseAndEndAtZero(t *testing.T) {
+	m := opteron(0.3)
+	ps := m.PStatePowers()
+	if len(ps) != 5 {
+		t.Fatalf("got %d P-state powers, want 5 (4 real + off)", len(ps))
+	}
+	for k := 1; k < len(ps); k++ {
+		if ps[k] >= ps[k-1] {
+			t.Errorf("P-state power not decreasing: π_%d=%g, π_%d=%g", k-1, ps[k-1], k, ps[k])
+		}
+	}
+	if ps[4] != 0 {
+		t.Errorf("turned-off power = %g, want 0", ps[4])
+	}
+}
+
+func TestStaticShareSplit(t *testing.T) {
+	m := opteron(0.3)
+	sc, beta := m.Coefficients()
+	// Reconstruct P0: dynamic + static must equal P0Power with the split.
+	stat := beta * m.Voltage[0]
+	dyn := sc * m.FreqMHz[0] * m.Voltage[0] * m.Voltage[0]
+	if !approx(stat, 0.3*m.P0Power, 1e-15) {
+		t.Errorf("static at P0 = %g, want %g", stat, 0.3*m.P0Power)
+	}
+	if !approx(stat+dyn, m.P0Power, 1e-15) {
+		t.Errorf("static+dynamic = %g, want %g", stat+dyn, m.P0Power)
+	}
+	if got := m.StaticFraction(0); !approx(got, 0.3, 1e-12) {
+		t.Errorf("StaticFraction(0) = %g, want 0.3", got)
+	}
+}
+
+func TestStaticFractionGrowsWithPState(t *testing.T) {
+	// The paper's Figure-6 discussion: higher P-states have a higher
+	// static share, making their performance/power ratio relatively worse
+	// as the P0 static share rises.
+	for _, m := range []*CoreModel{opteron(0.3), xeon(0.2)} {
+		prev := m.StaticFraction(0)
+		for k := 1; k < len(m.FreqMHz); k++ {
+			f := m.StaticFraction(k)
+			if f <= prev {
+				t.Errorf("static fraction not increasing at P-state %d: %g <= %g", k, f, prev)
+			}
+			prev = f
+		}
+	}
+}
+
+// Property: frequency-per-watt at P-state 0 relative to other P-states
+// flips as the static share grows — with a large static share, P-state 0
+// becomes relatively more attractive.
+func TestPerfPerWattShiftsWithStaticShare(t *testing.T) {
+	ratio := func(m *CoreModel, k int) float64 {
+		return m.FreqMHz[k] / m.PStatePower(k)
+	}
+	low := opteron(0.05)  // almost all dynamic
+	high := opteron(0.45) // large static share
+	// Normalized advantage of a mid P-state over P0.
+	advLow := ratio(low, 2) / ratio(low, 0)
+	advHigh := ratio(high, 2) / ratio(high, 0)
+	if advHigh >= advLow {
+		t.Errorf("P-state 2 advantage should shrink with static share: low=%g high=%g", advLow, advHigh)
+	}
+}
+
+// Property: PStatePower is always positive and bounded by P0 power for
+// every valid model derived from the paper's two cores.
+func TestPStatePowerBoundsProperty(t *testing.T) {
+	f := func(shareRaw uint8) bool {
+		share := float64(shareRaw%90) / 100.0
+		for _, m := range []*CoreModel{opteron(share), xeon(share)} {
+			for k := range m.FreqMHz {
+				p := m.PStatePower(k)
+				if p <= 0 || p > m.P0Power+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

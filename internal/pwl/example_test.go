@@ -1,0 +1,46 @@
+package pwl_test
+
+import (
+	"fmt"
+
+	"thermaldc/internal/pwl"
+)
+
+// ExampleFunc_ConcaveEnvelope reproduces the paper's Figure-4→Figure-5
+// step: the deadline-adjusted reward-rate function is non-concave because
+// P-state 2 earns nothing; the envelope elides that "bad" P-state.
+func ExampleFunc_ConcaveEnvelope() {
+	rr := pwl.MustNew(
+		[]float64{0, 0.05, 0.1, 0.15}, // P-state powers (W), off first
+		[]float64{0, 0, 0.9, 1.2},     // reward rates with m_i = 1.5
+	)
+	fmt.Println("concave before:", rr.IsConcave(1e-9))
+	env := rr.ConcaveEnvelope()
+	fmt.Println("envelope:", env)
+	fmt.Println("value at 0.05 W:", env.Eval(0.05))
+	// Output:
+	// concave before: false
+	// envelope: pwl[(0,0) (0.1,0.9) (0.15,1.2)]
+	// value at 0.05 W: 0.45
+}
+
+// ExampleFunc_Scale shows the exact node-level aggregation: 32 identical
+// concave cores sharing a power budget behave like one scaled function.
+func ExampleFunc_Scale() {
+	core := pwl.MustNew([]float64{0, 0.1}, []float64{0, 0.9})
+	node := core.Scale(32)
+	fmt.Println(node.Eval(1.6)) // half the node budget
+	// Output:
+	// 14.4
+}
+
+// ExampleMean averages reward-rate functions over selected task types,
+// the ψ-percent step of the paper's ARR construction.
+func ExampleMean() {
+	a := pwl.MustNew([]float64{0, 1}, []float64{0, 2})
+	b := pwl.MustNew([]float64{0, 0.5, 1}, []float64{0, 1, 1})
+	m, _ := pwl.Mean([]*pwl.Func{a, b})
+	fmt.Println(m.Eval(0.5), m.Eval(1))
+	// Output:
+	// 1 1.5
+}

@@ -1,0 +1,54 @@
+package pwl
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzConcaveEnvelope checks the envelope invariants on arbitrary point
+// sets: concavity, majorization of every breakpoint, endpoint
+// preservation, and idempotence.
+func FuzzConcaveEnvelope(f *testing.F) {
+	f.Add(int64(1), uint8(4))
+	f.Add(int64(42), uint8(9))
+	f.Add(int64(-3), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8) {
+		n := int(nRaw)%12 + 1
+		s := uint64(seed)*6364136223846793005 + 1
+		next := func() float64 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return float64(s%1_000_000) / 100_000
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		acc := 0.0
+		for i := range xs {
+			acc += next() + 0.001
+			xs[i] = acc
+			ys[i] = next()
+		}
+		fn := MustNew(xs, ys)
+		env := fn.ConcaveEnvelope()
+		if !env.IsConcave(1e-9) {
+			t.Fatalf("envelope not concave: %v from %v", env, fn)
+		}
+		for i := range fn.X {
+			if env.Eval(fn.X[i]) < fn.Y[i]-1e-9 {
+				t.Fatalf("envelope below input at x=%g: %g < %g", fn.X[i], env.Eval(fn.X[i]), fn.Y[i])
+			}
+		}
+		lo1, hi1 := fn.Domain()
+		lo2, hi2 := env.Domain()
+		if lo1 != lo2 || hi1 != hi2 {
+			t.Fatalf("envelope changed domain: [%g %g] vs [%g %g]", lo1, hi1, lo2, hi2)
+		}
+		again := env.ConcaveEnvelope()
+		for _, x := range fn.X {
+			if math.Abs(again.Eval(x)-env.Eval(x)) > 1e-9 {
+				t.Fatalf("envelope not idempotent at %g", x)
+			}
+		}
+	})
+}

@@ -1,0 +1,234 @@
+// Package pwl implements the piecewise-linear (PWL) functions at the heart
+// of the paper's Stage-1 relaxation: reward-rate functions RR_{i,j} through
+// the P-state (power, reward-rate) points (Figures 3 and 4), their averages
+// ARR_j over the best ψ% of task types, and the upper concave envelope that
+// realizes the paper's "ignore bad P-states" rule (Figure 5).
+package pwl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Func is a continuous piecewise-linear function defined by breakpoints
+// (X[i], Y[i]) with strictly increasing X. Outside [X[0], X[n-1]] the
+// function is clamped to its boundary values: in this codebase the domain
+// is always the physically meaningful power range [0, π_{j,0}].
+type Func struct {
+	X, Y []float64
+}
+
+// New builds a Func from breakpoints. Points are sorted by x; points with
+// (numerically) duplicate x keep the maximum y, which is the right choice
+// for reward-rate envelopes. At least one point is required.
+func New(xs, ys []float64) (*Func, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("pwl: length mismatch: %d xs, %d ys", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("pwl: need at least one point")
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(xs))
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+			return nil, fmt.Errorf("pwl: NaN point (%g, %g)", xs[i], ys[i])
+		}
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+	const eps = 1e-12
+	f := &Func{}
+	for _, p := range pts {
+		n := len(f.X)
+		if n > 0 && p.x-f.X[n-1] <= eps {
+			if p.y > f.Y[n-1] {
+				f.Y[n-1] = p.y
+			}
+			continue
+		}
+		f.X = append(f.X, p.x)
+		f.Y = append(f.Y, p.y)
+	}
+	return f, nil
+}
+
+// MustNew is New but panics on error; for static tables and tests.
+func MustNew(xs, ys []float64) *Func {
+	f, err := New(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Len returns the number of breakpoints.
+func (f *Func) Len() int { return len(f.X) }
+
+// Domain returns the x-range [lo, hi] covered by breakpoints.
+func (f *Func) Domain() (lo, hi float64) { return f.X[0], f.X[len(f.X)-1] }
+
+// Eval evaluates the function at x with linear interpolation, clamping
+// outside the breakpoint range.
+func (f *Func) Eval(x float64) float64 {
+	n := len(f.X)
+	if x <= f.X[0] {
+		return f.Y[0]
+	}
+	if x >= f.X[n-1] {
+		return f.Y[n-1]
+	}
+	// Find the segment with X[i] <= x < X[i+1].
+	i := sort.SearchFloat64s(f.X, x)
+	if i < n && f.X[i] == x {
+		return f.Y[i]
+	}
+	i-- // now X[i] < x < X[i+1]
+	t := (x - f.X[i]) / (f.X[i+1] - f.X[i])
+	return f.Y[i] + t*(f.Y[i+1]-f.Y[i])
+}
+
+// Clone returns a deep copy.
+func (f *Func) Clone() *Func {
+	return &Func{X: append([]float64(nil), f.X...), Y: append([]float64(nil), f.Y...)}
+}
+
+// Slopes returns the slope of each of the Len()-1 segments.
+func (f *Func) Slopes() []float64 {
+	if len(f.X) < 2 {
+		return nil
+	}
+	s := make([]float64, len(f.X)-1)
+	for i := range s {
+		s[i] = (f.Y[i+1] - f.Y[i]) / (f.X[i+1] - f.X[i])
+	}
+	return s
+}
+
+// IsConcave reports whether segment slopes are non-increasing within tol.
+func (f *Func) IsConcave(tol float64) bool {
+	s := f.Slopes()
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcaveEnvelope returns the upper concave envelope of the breakpoints:
+// the least concave function that majorizes every breakpoint. Breakpoints
+// strictly below the envelope are dropped. This is exactly the paper's
+// elision of "bad" P-states — P-states whose reward-rate/power ratio is
+// dominated by a mix of their neighbours (Figure 5).
+func (f *Func) ConcaveEnvelope() *Func {
+	n := len(f.X)
+	if n <= 2 {
+		return f.Clone()
+	}
+	// Upper hull by x (Andrew's monotone chain, keeping left turns).
+	hx := []float64{f.X[0]}
+	hy := []float64{f.Y[0]}
+	for i := 1; i < n; i++ {
+		for len(hx) >= 2 {
+			// Cross product of (p_{k-1}→p_k) × (p_{k-1}→p_i); for an upper
+			// hull we pop while the middle point is at or below the chord.
+			k := len(hx) - 1
+			cross := (hx[k]-hx[k-1])*(f.Y[i]-hy[k-1]) - (f.X[i]-hx[k-1])*(hy[k]-hy[k-1])
+			if cross >= -1e-15 {
+				hx = hx[:k]
+				hy = hy[:k]
+			} else {
+				break
+			}
+		}
+		hx = append(hx, f.X[i])
+		hy = append(hy, f.Y[i])
+	}
+	return &Func{X: hx, Y: hy}
+}
+
+// Scale returns g(x) = n·f(x/n): the exact aggregate of n identical concave
+// copies of f sharing a total budget x (equal split is optimal by
+// concavity). Used to aggregate the identical cores of one compute node.
+func (f *Func) Scale(n float64) *Func {
+	if n <= 0 {
+		panic(fmt.Sprintf("pwl: Scale factor must be positive, got %g", n))
+	}
+	out := f.Clone()
+	for i := range out.X {
+		out.X[i] *= n
+		out.Y[i] *= n
+	}
+	return out
+}
+
+// Mean returns the pointwise average of fs on the union of their
+// breakpoints. This is the paper's averaging of RR_{i,j} over the selected
+// ψ% task types to obtain ARR_j.
+func Mean(fs []*Func) (*Func, error) {
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("pwl: Mean of no functions")
+	}
+	var xs []float64
+	for _, f := range fs {
+		xs = append(xs, f.X...)
+	}
+	sort.Float64s(xs)
+	// Deduplicate.
+	ux := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x-ux[len(ux)-1] > 1e-12 {
+			ux = append(ux, x)
+		}
+	}
+	ys := make([]float64, len(ux))
+	for i, x := range ux {
+		s := 0.0
+		for _, f := range fs {
+			s += f.Eval(x)
+		}
+		ys[i] = s / float64(len(fs))
+	}
+	return New(append([]float64(nil), ux...), ys)
+}
+
+// Segment is one linear piece of a Func, used to encode a concave Func into
+// LP variables: a segment contributes Slope·t to the objective for
+// t ∈ [0, Length] of allocated x.
+type Segment struct {
+	X0, Y0 float64 // left endpoint
+	Length float64 // horizontal extent
+	Slope  float64
+}
+
+// Segments returns the linear pieces left to right.
+func (f *Func) Segments() []Segment {
+	if len(f.X) < 2 {
+		return nil
+	}
+	segs := make([]Segment, len(f.X)-1)
+	for i := range segs {
+		dx := f.X[i+1] - f.X[i]
+		segs[i] = Segment{
+			X0:     f.X[i],
+			Y0:     f.Y[i],
+			Length: dx,
+			Slope:  (f.Y[i+1] - f.Y[i]) / dx,
+		}
+	}
+	return segs
+}
+
+// String renders the breakpoints compactly for logs and experiment output.
+func (f *Func) String() string {
+	s := "pwl["
+	for i := range f.X {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("(%g,%g)", f.X[i], f.Y[i])
+	}
+	return s + "]"
+}

@@ -1,0 +1,278 @@
+package pwl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperFig3 is the example RR function of Figure 3: a 4-P-state core with
+// powers 0.15/0.1/0.05/0 W and ECS 1.2/0.9/0.5/0, reward 1.
+func paperFig3() *Func {
+	return MustNew(
+		[]float64{0, 0.05, 0.1, 0.15},
+		[]float64{0, 0.5, 0.9, 1.2},
+	)
+}
+
+// paperFig4 zeroes the P-state-2 point (deadline m=1.5 < 1/0.5): the RR
+// becomes non-concave.
+func paperFig4() *Func {
+	return MustNew(
+		[]float64{0, 0.05, 0.1, 0.15},
+		[]float64{0, 0, 0.9, 1.2},
+	)
+}
+
+func TestNewSortsAndDedups(t *testing.T) {
+	f := MustNew([]float64{0.1, 0, 0.1, 0.05}, []float64{1, 0, 2, 0.5})
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	if f.Eval(0.1) != 2 {
+		t.Fatalf("duplicate x should keep max y, got %g", f.Eval(0.1))
+	}
+	lo, hi := f.Domain()
+	if lo != 0 || hi != 0.1 {
+		t.Fatalf("Domain = [%g, %g]", lo, hi)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New([]float64{1}, []float64{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := New([]float64{math.NaN()}, []float64{0}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestEvalInterpolation(t *testing.T) {
+	f := paperFig3()
+	cases := []struct{ x, want float64 }{
+		{0, 0},
+		{0.05, 0.5},
+		{0.1, 0.9},
+		{0.15, 1.2},
+		{0.025, 0.25}, // midpoint of first segment
+		{0.075, 0.7},  // midpoint of second segment
+		{0.125, 1.05}, // midpoint of third segment
+		{-1, 0},       // clamped left
+		{0.2, 1.2},    // clamped right
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSlopesAndConcavity(t *testing.T) {
+	f := paperFig3()
+	s := f.Slopes()
+	want := []float64{10, 8, 6}
+	for i := range want {
+		if math.Abs(s[i]-want[i]) > 1e-9 {
+			t.Fatalf("Slopes = %v, want %v", s, want)
+		}
+	}
+	if !f.IsConcave(1e-9) {
+		t.Error("Figure-3 RR should be concave")
+	}
+	if paperFig4().IsConcave(1e-9) {
+		t.Error("Figure-4 RR (deadline-zeroed) should NOT be concave")
+	}
+}
+
+func TestConcaveEnvelopePaperFig5(t *testing.T) {
+	// Figure 5: eliding the bad P-state 2 leaves points (0,0), (0.1,0.9),
+	// (0.15,1.2).
+	env := paperFig4().ConcaveEnvelope()
+	if env.Len() != 3 {
+		t.Fatalf("envelope has %d points, want 3: %v", env.Len(), env)
+	}
+	wantX := []float64{0, 0.1, 0.15}
+	wantY := []float64{0, 0.9, 1.2}
+	for i := range wantX {
+		if math.Abs(env.X[i]-wantX[i]) > 1e-12 || math.Abs(env.Y[i]-wantY[i]) > 1e-12 {
+			t.Fatalf("envelope = %v, want X=%v Y=%v", env, wantX, wantY)
+		}
+	}
+	if !env.IsConcave(1e-12) {
+		t.Error("envelope not concave")
+	}
+	// The paper's 2-core example: 0.1 W total on the envelope yields
+	// aggregate reward rate 0.45 at 0.05 W each.
+	if got := env.Eval(0.05); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("envelope(0.05) = %g, want 0.45", got)
+	}
+}
+
+func TestConcaveEnvelopeIdempotentOnConcave(t *testing.T) {
+	f := paperFig3()
+	env := f.ConcaveEnvelope()
+	if env.Len() != f.Len() {
+		t.Fatalf("concave input lost points: %v -> %v", f, env)
+	}
+}
+
+func TestConcaveEnvelopeProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) * (0.5 + rng.Float64())
+			ys[i] = rng.Float64() * 10
+		}
+		f := MustNew(xs, ys)
+		env := f.ConcaveEnvelope()
+		if !env.IsConcave(1e-9) {
+			return false
+		}
+		// Envelope majorizes the original at every original breakpoint.
+		for i := range f.X {
+			if env.Eval(f.X[i]) < f.Y[i]-1e-9 {
+				return false
+			}
+		}
+		// Endpoints are preserved.
+		return env.X[0] == f.X[0] && env.X[env.Len()-1] == f.X[f.Len()-1]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	f := paperFig3()
+	g := f.Scale(32) // a 32-core node
+	if got := g.Eval(32 * 0.1); math.Abs(got-32*0.9) > 1e-9 {
+		t.Errorf("Scale(32)(3.2) = %g, want %g", got, 32*0.9)
+	}
+	// g(x) == 32 f(x/32) pointwise.
+	for _, x := range []float64{0, 0.7, 1.6, 3.99, 4.8} {
+		if math.Abs(g.Eval(x)-32*f.Eval(x/32)) > 1e-9 {
+			t.Fatalf("Scale mismatch at %g", x)
+		}
+	}
+}
+
+func TestScalePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(0) did not panic")
+		}
+	}()
+	paperFig3().Scale(0)
+}
+
+func TestMeanTwoFunctions(t *testing.T) {
+	a := MustNew([]float64{0, 1}, []float64{0, 2})
+	b := MustNew([]float64{0, 0.5, 1}, []float64{0, 1, 1})
+	m, err := Mean([]*Func{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 0.5: (1 + 1)/2 = 1. At 1: (2+1)/2 = 1.5.
+	if got := m.Eval(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Mean(0.5) = %g, want 1", got)
+	}
+	if got := m.Eval(1); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Mean(1) = %g, want 1.5", got)
+	}
+	// Union of breakpoints: 0, 0.5, 1.
+	if m.Len() != 3 {
+		t.Errorf("Mean has %d breakpoints, want 3", m.Len())
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("Mean(nil) accepted")
+	}
+}
+
+func TestMeanSingleIsIdentityPointwise(t *testing.T) {
+	f := paperFig4()
+	m, err := Mean([]*Func{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.03, 0.05, 0.11, 0.15} {
+		if math.Abs(m.Eval(x)-f.Eval(x)) > 1e-12 {
+			t.Fatalf("Mean of single function differs at %g", x)
+		}
+	}
+}
+
+func TestSegments(t *testing.T) {
+	segs := paperFig3().Segments()
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3", len(segs))
+	}
+	if segs[0].Slope != 10 || segs[1].Slope != 8 || segs[2].Slope != 6 {
+		t.Fatalf("slopes = %v", segs)
+	}
+	total := 0.0
+	for _, s := range segs {
+		total += s.Length
+	}
+	if math.Abs(total-0.15) > 1e-12 {
+		t.Fatalf("total length = %g, want 0.15", total)
+	}
+}
+
+func TestSegmentsSinglePoint(t *testing.T) {
+	f := MustNew([]float64{1}, []float64{2})
+	if segs := f.Segments(); segs != nil {
+		t.Fatalf("single point should have no segments, got %v", segs)
+	}
+	if s := f.Slopes(); s != nil {
+		t.Fatalf("single point should have no slopes, got %v", s)
+	}
+	if !f.IsConcave(0) {
+		t.Error("single point should be vacuously concave")
+	}
+}
+
+func TestEvalPropertyMonotoneInputs(t *testing.T) {
+	// For a function with increasing Y, Eval is monotone non-decreasing.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		acc := 0.0
+		for i := range xs {
+			xs[i] = float64(i)
+			acc += rng.Float64()
+			ys[i] = acc
+		}
+		f := MustNew(xs, ys)
+		prev := math.Inf(-1)
+		for x := -0.5; x < float64(n); x += 0.1 {
+			v := f.Eval(x)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := MustNew([]float64{0, 1}, []float64{0, 2}).String()
+	if s != "pwl[(0,0) (1,2)]" {
+		t.Errorf("String = %q", s)
+	}
+}

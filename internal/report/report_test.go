@@ -1,0 +1,139 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"thermaldc/internal/experiments"
+	"thermaldc/internal/stats"
+)
+
+func fakeFig6() *experiments.Fig6Result {
+	cfg := experiments.DefaultFig6Config()
+	cfg.Trials = 2
+	cfg.Psis = []float64{25, 50}
+	return &experiments.Fig6Result{
+		Config: cfg,
+		Groups: []experiments.Fig6GroupResult{
+			{
+				Group: experiments.Fig6Group{StaticShare: 0.3, Vprop: 0.1},
+				Trials: []experiments.Fig6Trial{
+					{Seed: 1, BaselineReward: 100, RewardByPsi: []float64{104, 106}, ImprovementByPsi: []float64{4, 6}, BestImprovement: 6},
+					{Seed: 2, BaselineReward: 200, RewardByPsi: []float64{210, 208}, ImprovementByPsi: []float64{5, 4}, BestImprovement: 5},
+				},
+				PsiSummaries: []stats.Summary{stats.Summarize([]float64{4, 5}), stats.Summarize([]float64{6, 4})},
+				BestSummary:  stats.Summarize([]float64{6, 5}),
+			},
+		},
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6CSV(&buf, fakeFig6()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2 trials", len(rows))
+	}
+	if rows[0][0] != "static_share" || rows[0][len(rows[0])-1] != "best_improvement_pct" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][3] != "100" {
+		t.Errorf("baseline cell = %q", rows[1][3])
+	}
+	best, err := strconv.ParseFloat(rows[2][len(rows[2])-1], 64)
+	if err != nil || best != 5 {
+		t.Errorf("best cell = %v", rows[2])
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	res := &experiments.SweepResult{
+		Kind:   "powercap",
+		XLabel: "fraction",
+		Points: []experiments.SweepPoint{
+			{X: 0.5, Baseline: stats.Summarize([]float64{10, 12}), ThreeStage: stats.Summarize([]float64{11, 13}), Improvement: stats.Summarize([]float64{10, 8})},
+		},
+	}
+	var buf bytes.Buffer
+	if err := SweepCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1][0] != "0.5" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][1] != "11" { // mean of 10, 12
+		t.Errorf("baseline mean = %q", rows[1][1])
+	}
+}
+
+func TestFig345CSV(t *testing.T) {
+	series, err := experiments.Figures345()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Fig345CSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+3*65 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if !strings.Contains(rows[1][0], "Figure 3") {
+		t.Errorf("first series = %q", rows[1][0])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"a\": 1") {
+		t.Errorf("json = %q", buf.String())
+	}
+}
+
+func TestFig6CSVWithSimColumns(t *testing.T) {
+	res := fakeFig6()
+	res.Config.SimHorizon = 60
+	for g := range res.Groups {
+		for i := range res.Groups[g].Trials {
+			res.Groups[g].Trials[i].RealizedBaseline = 90
+			res.Groups[g].Trials[i].RealizedThreeStage = 95
+			res.Groups[g].Trials[i].RealizedImprovement = 5.5
+			res.Groups[g].Trials[i].AdmittedImprovement = 6.5
+		}
+	}
+	var buf bytes.Buffer
+	if err := Fig6CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[0][len(rows[0])-1]
+	if last != "admitted_improvement_pct" {
+		t.Errorf("last header = %q", last)
+	}
+	if rows[1][len(rows[1])-1] != "6.5" {
+		t.Errorf("admitted cell = %q", rows[1][len(rows[1])-1])
+	}
+}

@@ -1,0 +1,145 @@
+// Package scenario assembles complete simulation instances per Section VI:
+// Table-I node types with uniformly random assignment, the Figure-1
+// hot-aisle layout with Appendix-B cross-interference coefficients, §VI.C
+// ECS tensors, §VI.D task types, and the Equation-17/18 power constraint.
+// One Config + seed deterministically yields one data center, ready for
+// the assignment techniques and the dynamic-scheduler simulation.
+package scenario
+
+import (
+	"fmt"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/layout"
+	"thermaldc/internal/model"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/tempsearch"
+	"thermaldc/internal/thermal"
+	"thermaldc/internal/workload"
+)
+
+// Config selects the scenario's size and the experiment knobs.
+type Config struct {
+	// NCracs and NNodes size the data center (paper: 3 and 150).
+	NCracs, NNodes int
+	// StaticShare is the static fraction of P-state-0 core power
+	// (paper: 0.3 or 0.2; Figure-6 knob).
+	StaticShare float64
+	// Vprop is the ECS frequency-proportionality variation
+	// (paper: 0.1 or 0.3; Figure-6 knob).
+	Vprop float64
+	// Seed drives every random draw in the scenario.
+	Seed int64
+	// PconstFraction places Pconst between Pmin (0) and Pmax (1);
+	// the paper's Equation 18 uses 0.5.
+	PconstFraction float64
+	// Type1Fraction is the probability that a node is node type 1 (the HP
+	// server). 0 means the paper's uniform draw (0.5); use small/large
+	// values to study how heterogeneity itself affects the techniques.
+	Type1Fraction float64
+	// Layout overrides the floor-plan parameters (zero value = defaults).
+	Layout layout.Config
+	// Search overrides the bounds-search window (zero value = defaults).
+	Search tempsearch.Config
+	// Workload overrides the §VI generator (zero value = defaults with
+	// Vprop above).
+	Workload workload.GenConfig
+}
+
+// Default returns the paper's simulation setup for one Figure-6 cell:
+// 3 CRACs, 150 nodes, the given static share and Vprop, Pconst halfway
+// between the bounds.
+func Default(staticShare, vprop float64, seed int64) Config {
+	return Config{
+		NCracs:         3,
+		NNodes:         150,
+		StaticShare:    staticShare,
+		Vprop:          vprop,
+		Seed:           seed,
+		PconstFraction: 0.5,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.NCracs == 0 {
+		c.NCracs = 3
+	}
+	if c.NNodes == 0 {
+		c.NNodes = 150
+	}
+	if c.PconstFraction == 0 {
+		c.PconstFraction = 0.5
+	}
+	if c.Layout.NodesPerRack == 0 {
+		c.Layout = layout.DefaultConfig()
+	}
+	if c.Search.CoarseStep == 0 {
+		c.Search = tempsearch.DefaultConfig()
+	}
+	if c.Workload.T == 0 {
+		c.Workload = workload.DefaultGenConfig(c.Vprop)
+	}
+	return c
+}
+
+// Scenario is a fully built instance.
+type Scenario struct {
+	Config  Config
+	DC      *model.DataCenter
+	Thermal *thermal.Model
+	// Pmin and Pmax are the Equation-17 power bounds.
+	Pmin, Pmax float64
+}
+
+// Build constructs the scenario deterministically from cfg.Seed.
+func Build(cfg Config) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRand(cfg.Seed)
+
+	dc := &model.DataCenter{
+		NodeTypes:   model.TableINodeTypes(cfg.StaticShare),
+		CRACs:       make([]model.CRAC, cfg.NCracs),
+		RedlineNode: model.DefaultRedlineNode,
+		RedlineCRAC: model.DefaultRedlineCRAC,
+	}
+	// Random node types: uniform per Section VI.B, or biased by
+	// Type1Fraction for the heterogeneity sweep. The default path keeps
+	// the original Intn draw so recorded experiment outputs stay
+	// bit-reproducible.
+	for j := 0; j < cfg.NNodes; j++ {
+		var typ int
+		if cfg.Type1Fraction == 0 {
+			typ = rng.Intn(len(dc.NodeTypes))
+		} else if rng.Float64() >= cfg.Type1Fraction {
+			typ = 1
+		}
+		dc.Nodes = append(dc.Nodes, model.Node{Type: typ})
+	}
+	if err := layout.Arrange(dc, cfg.Layout); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := layout.GenerateAlpha(dc, cfg.Layout, rng); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	ecs, err := workload.GenerateECS(dc.NodeTypes, cfg.Workload, rng)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	dc.ECS = ecs
+	if err := workload.GenerateTaskTypes(dc, cfg.Workload, rng); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	tm, err := thermal.New(dc)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	pmin, pmax, err := assign.PowerBounds(dc, tm, cfg.Search)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	dc.Pconst = pmin + cfg.PconstFraction*(pmax-pmin)
+	if err := dc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: built an invalid data center: %w", err)
+	}
+	return &Scenario{Config: cfg, DC: dc, Thermal: tm, Pmin: pmin, Pmax: pmax}, nil
+}

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+func small(seed int64) Config {
+	cfg := Default(0.3, 0.1, seed)
+	cfg.NCracs = 2
+	cfg.NNodes = 10
+	return cfg
+}
+
+func TestBuildProducesValidOversubscribedDC(t *testing.T) {
+	sc, err := Build(small(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.DC.Validate(); err != nil {
+		t.Fatalf("built DC invalid: %v", err)
+	}
+	if sc.DC.NCN() != 10 || sc.DC.NCRAC() != 2 || sc.DC.T() != 8 {
+		t.Fatalf("counts: %d nodes, %d CRACs, %d tasks", sc.DC.NCN(), sc.DC.NCRAC(), sc.DC.T())
+	}
+	if sc.Pmin >= sc.Pmax {
+		t.Fatalf("Pmin %g >= Pmax %g", sc.Pmin, sc.Pmax)
+	}
+	if math.Abs(sc.DC.Pconst-(sc.Pmin+sc.Pmax)/2) > 1e-9 {
+		t.Errorf("Pconst %g not at Equation-18 midpoint", sc.DC.Pconst)
+	}
+	// Both node types should appear with high probability over 10 draws.
+	seen := map[int]bool{}
+	for _, n := range sc.DC.Nodes {
+		seen[n.Type] = true
+	}
+	if len(seen) != 2 {
+		t.Log("note: only one node type drawn (possible but unlikely)")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(small(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(small(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pmin != b.Pmin || a.Pmax != b.Pmax {
+		t.Error("power bounds differ across identical builds")
+	}
+	for i := range a.DC.TaskTypes {
+		if a.DC.TaskTypes[i] != b.DC.TaskTypes[i] {
+			t.Fatal("task types differ across identical builds")
+		}
+	}
+	for i := range a.DC.Alpha {
+		for j := range a.DC.Alpha[i] {
+			if a.DC.Alpha[i][j] != b.DC.Alpha[i][j] {
+				t.Fatal("alpha differs across identical builds")
+			}
+		}
+	}
+}
+
+func TestBuildSeedsDiffer(t *testing.T) {
+	a, err := Build(small(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(small(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.DC.TaskTypes {
+		if a.DC.TaskTypes[i] != b.DC.TaskTypes[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestPconstFraction(t *testing.T) {
+	lo := small(3)
+	lo.PconstFraction = 0.25
+	hi := small(3)
+	hi.PconstFraction = 0.75
+	a, err := Build(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DC.Pconst >= b.DC.Pconst {
+		t.Errorf("Pconst not monotone in fraction: %g vs %g", a.DC.Pconst, b.DC.Pconst)
+	}
+	wantA := a.Pmin + 0.25*(a.Pmax-a.Pmin)
+	if math.Abs(a.DC.Pconst-wantA) > 1e-9 {
+		t.Errorf("Pconst %g, want %g", a.DC.Pconst, wantA)
+	}
+}
+
+func TestWithDefaultsFillsZeroValues(t *testing.T) {
+	cfg := Config{Seed: 1, StaticShare: 0.3, Vprop: 0.1}
+	got := cfg.withDefaults()
+	if got.NCracs != 3 || got.NNodes != 150 || got.PconstFraction != 0.5 {
+		t.Errorf("defaults wrong: %+v", got)
+	}
+	if got.Layout.NodesPerRack != 5 || got.Search.CoarseStep == 0 || got.Workload.T != 8 {
+		t.Errorf("sub-config defaults wrong: %+v", got)
+	}
+	if got.Workload.Vprop != 0.1 {
+		t.Errorf("Vprop not threaded into workload config: %g", got.Workload.Vprop)
+	}
+}

@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"thermaldc/internal/workload"
+)
+
+// Candidate is one deadline-feasible core choice for an arriving task.
+type Candidate struct {
+	// Core is the global core index.
+	Core int
+	// Start and Completion are the execution window if chosen.
+	Start, Completion float64
+	// Ratio is ATC/TC at decision time (+Inf when TC = 0 for this pair).
+	Ratio float64
+}
+
+// Policy chooses among deadline-feasible candidates (never empty) or
+// decides to drop the task anyway. Implementations must be deterministic
+// given their own state.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Pick returns the index into cands of the chosen core, or drop=true.
+	Pick(task workload.Task, now float64, cands []Candidate) (idx int, drop bool)
+}
+
+// PaperPolicy is the paper's Section-V.C rule: among cores whose
+// actual/desired ratio is at most 1, pick the minimum ratio (ties: the
+// earliest completion); if every candidate is over its desired rate, drop.
+type PaperPolicy struct{}
+
+// Name implements Policy.
+func (PaperPolicy) Name() string { return "paper-min-ratio" }
+
+// Pick implements Policy.
+func (PaperPolicy) Pick(_ workload.Task, _ float64, cands []Candidate) (int, bool) {
+	best := -1
+	for i, c := range cands {
+		if c.Ratio > 1 {
+			continue
+		}
+		if best < 0 || c.Ratio < cands[best].Ratio ||
+			(c.Ratio == cands[best].Ratio && c.Completion < cands[best].Completion) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, true
+	}
+	return best, false
+}
+
+// SoftRatioPolicy is our softened variant of the paper's rule: prefer the
+// minimum-ratio core among those within quota, but when every candidate is
+// over its desired rate, assign to the minimum-ratio core anyway instead
+// of dropping. The policy-ablation experiment motivates it: the hard
+// quota cap forfeits reward that idle cores could harvest, especially
+// early in a run when the ATC estimate is noisy.
+type SoftRatioPolicy struct{}
+
+// Name implements Policy.
+func (SoftRatioPolicy) Name() string { return "soft-min-ratio" }
+
+// Pick implements Policy.
+func (SoftRatioPolicy) Pick(task workload.Task, now float64, cands []Candidate) (int, bool) {
+	if idx, drop := (PaperPolicy{}).Pick(task, now, cands); !drop {
+		return idx, false
+	}
+	// All over quota: take the least-over-quota core; among untracked
+	// (TC = 0, ratio +Inf) cores prefer the earliest completion.
+	best := 0
+	for i, c := range cands {
+		if c.Ratio < cands[best].Ratio ||
+			(c.Ratio == cands[best].Ratio && c.Completion < cands[best].Completion) {
+			best = i
+		}
+	}
+	return best, false
+}
+
+// MinCompletionPolicy greedily picks the earliest completion regardless of
+// the desired rates (a natural "fastest first" strawman).
+type MinCompletionPolicy struct{}
+
+// Name implements Policy.
+func (MinCompletionPolicy) Name() string { return "min-completion" }
+
+// Pick implements Policy.
+func (MinCompletionPolicy) Pick(_ workload.Task, _ float64, cands []Candidate) (int, bool) {
+	best := 0
+	for i, c := range cands {
+		if c.Completion < cands[best].Completion {
+			best = i
+		}
+	}
+	return best, false
+}
+
+// RandomPolicy picks a uniformly random feasible core; it isolates how
+// much of the paper policy's value comes from honoring TC at all.
+type RandomPolicy struct {
+	// Rng must be non-nil.
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (*RandomPolicy) Name() string { return "random-feasible" }
+
+// Pick implements Policy.
+func (p *RandomPolicy) Pick(_ workload.Task, _ float64, cands []Candidate) (int, bool) {
+	return p.Rng.Intn(len(cands)), false
+}
+
+// RoundRobinPolicy cycles through cores, taking the next feasible one.
+type RoundRobinPolicy struct {
+	next int
+}
+
+// Name implements Policy.
+func (*RoundRobinPolicy) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobinPolicy) Pick(_ workload.Task, _ float64, cands []Candidate) (int, bool) {
+	best := 0
+	bestKey := math.MaxInt
+	for i, c := range cands {
+		key := c.Core - p.next
+		if key < 0 {
+			key += 1 << 30
+		}
+		if key < bestKey {
+			bestKey, best = key, i
+		}
+	}
+	p.next = cands[best].Core + 1
+	return best, false
+}
+
+// ScheduleWith is the policy-parameterized variant of Schedule: the
+// scheduler builds the deadline-feasible candidate set (cores that can run
+// the type at all), the policy chooses. ATC counts update on assignment.
+func (s *Scheduler) ScheduleWith(policy Policy, task workload.Task, now float64, freeAt []float64) (core int, completion float64, ok bool) {
+	if policy == nil {
+		panic("sched: nil policy")
+	}
+	var cands []Candidate
+	for _, k := range s.eligible[task.Type] {
+		et := s.execTime[task.Type][k]
+		start := math.Max(now, freeAt[k])
+		done := start + et
+		if done > task.Deadline+1e-12 {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Core:       k,
+			Start:      start,
+			Completion: done,
+			Ratio:      s.Ratio(task.Type, k, now),
+		})
+	}
+	if len(cands) == 0 {
+		return -1, 0, false
+	}
+	idx, drop := policy.Pick(task, now, cands)
+	if drop {
+		return -1, 0, false
+	}
+	if idx < 0 || idx >= len(cands) {
+		panic(fmt.Sprintf("sched: policy %s picked invalid candidate %d of %d", policy.Name(), idx, len(cands)))
+	}
+	chosen := cands[idx]
+	s.counts[task.Type][chosen.Core]++
+	return chosen.Core, chosen.Completion, true
+}

@@ -1,0 +1,160 @@
+// Package sim runs the second-step discrete-event simulation: a Poisson
+// task stream flows through the dynamic scheduler onto the cores fixed by
+// the first-step assignment, and the realized reward rate is compared to
+// the Stage-3 steady-state prediction. Cores execute non-preemptively in
+// FIFO order, so a core's state is simply its earliest free time.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"thermaldc/internal/model"
+	"thermaldc/internal/sched"
+	"thermaldc/internal/workload"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Horizon is the arrival window in seconds.
+	Horizon float64
+	// TotalReward is the reward collected from every admitted task (all
+	// admitted tasks meet their deadlines); RewardRate = TotalReward /
+	// Horizon. Tasks admitted near the end of the horizon may complete
+	// after it, so this slightly overstates sustainable throughput for
+	// policies that build deep queues.
+	TotalReward float64
+	RewardRate  float64
+	// WindowReward counts only tasks that *complete* within the horizon;
+	// WindowRewardRate = WindowReward / Horizon is the fair
+	// apples-to-apples number against the Stage-3 steady-state prediction
+	// (no borrowing of post-horizon capacity).
+	WindowReward     float64
+	WindowRewardRate float64
+	// Completed and Dropped count tasks; dropped tasks never start.
+	Completed, Dropped int
+	// CompletedByType and DroppedByType break the counts down per task
+	// type.
+	CompletedByType, DroppedByType []int
+	// ATC is the achieved execution-rate matrix at the horizon.
+	ATC [][]float64
+	// MeanRatioError is the mean of |ATC(i,k)/TC(i,k) − 1| over entries
+	// with TC > 0: how closely the dynamic scheduler tracked the desired
+	// rates.
+	MeanRatioError float64
+	// BusyFraction is the core-time-weighted utilization across all cores
+	// over the horizon.
+	BusyFraction float64
+}
+
+// TaskRecord is one trace entry: the fate of a single task.
+type TaskRecord struct {
+	ID       int
+	Type     int
+	Arrival  float64
+	Deadline float64
+	// Dropped tasks have Core = -1 and zero Start/Completion.
+	Dropped           bool
+	Core              int
+	Start, Completion float64
+}
+
+// Options tunes a simulation run beyond the defaults.
+type Options struct {
+	// Policy overrides the paper's min-ratio scheduling rule (nil = paper).
+	Policy sched.Policy
+	// Recorder, when non-nil, receives one TaskRecord per task in arrival
+	// order (the simulation trace).
+	Recorder func(TaskRecord)
+}
+
+// Run simulates the task stream against the first-step assignment
+// (pstates + TC) with the paper's scheduling policy.
+func Run(dc *model.DataCenter, pstates []int, tc [][]float64, tasks []workload.Task, horizon float64) (*Result, error) {
+	return RunOpts(dc, pstates, tc, tasks, horizon, Options{})
+}
+
+// RunPolicy simulates the task stream under an alternative second-step
+// scheduling policy (for the policy ablation experiment).
+func RunPolicy(dc *model.DataCenter, pstates []int, tc [][]float64, tasks []workload.Task, horizon float64, policy sched.Policy) (*Result, error) {
+	return RunOpts(dc, pstates, tc, tasks, horizon, Options{Policy: policy})
+}
+
+// RunOpts is the fully configurable entry point.
+func RunOpts(dc *model.DataCenter, pstates []int, tc [][]float64, tasks []workload.Task, horizon float64, opts Options) (*Result, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive, got %g", horizon)
+	}
+	policy := opts.Policy
+	if policy == nil {
+		policy = sched.PaperPolicy{}
+	}
+	s, err := sched.New(dc, pstates, tc)
+	if err != nil {
+		return nil, err
+	}
+	ncores := dc.NumCores()
+	freeAt := make([]float64, ncores)
+	busy := make([]float64, ncores)
+
+	res := &Result{
+		Horizon:         horizon,
+		CompletedByType: make([]int, dc.T()),
+		DroppedByType:   make([]int, dc.T()),
+	}
+	for _, task := range tasks {
+		core, completion, ok := s.ScheduleWith(policy, task, task.Arrival, freeAt)
+		if !ok {
+			res.Dropped++
+			res.DroppedByType[task.Type]++
+			if opts.Recorder != nil {
+				opts.Recorder(TaskRecord{
+					ID: task.ID, Type: task.Type, Arrival: task.Arrival,
+					Deadline: task.Deadline, Dropped: true, Core: -1,
+				})
+			}
+			continue
+		}
+		start := math.Max(task.Arrival, freeAt[core])
+		busy[core] += completion - start
+		freeAt[core] = completion
+		// The scheduler only assigns when the deadline is met, so the
+		// reward is always collected.
+		res.TotalReward += dc.TaskTypes[task.Type].Reward
+		if completion <= horizon {
+			res.WindowReward += dc.TaskTypes[task.Type].Reward
+		}
+		res.Completed++
+		res.CompletedByType[task.Type]++
+		if opts.Recorder != nil {
+			opts.Recorder(TaskRecord{
+				ID: task.ID, Type: task.Type, Arrival: task.Arrival,
+				Deadline: task.Deadline, Core: core, Start: start, Completion: completion,
+			})
+		}
+	}
+	res.RewardRate = res.TotalReward / horizon
+	res.WindowRewardRate = res.WindowReward / horizon
+	res.ATC = s.ATC(horizon)
+
+	// Desired-rate tracking error.
+	n := 0
+	for i := range tc {
+		for k := range tc[i] {
+			if tc[i][k] <= 0 {
+				continue
+			}
+			res.MeanRatioError += math.Abs(res.ATC[i][k]/tc[i][k] - 1)
+			n++
+		}
+	}
+	if n > 0 {
+		res.MeanRatioError /= float64(n)
+	}
+	total := 0.0
+	for _, b := range busy {
+		total += b
+	}
+	res.BusyFraction = total / (float64(ncores) * horizon)
+	return res, nil
+}

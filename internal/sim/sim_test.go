@@ -1,0 +1,209 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/scenario"
+	"thermaldc/internal/sim"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/workload"
+)
+
+func buildAssigned(t testing.TB, seed int64) (*scenario.Scenario, *assign.ThreeStageResult) {
+	t.Helper()
+	cfg := scenario.Default(0.3, 0.1, seed)
+	cfg.NCracs = 2
+	cfg.NNodes = 10
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := assign.ThreeStage(sc.DC, sc.Thermal, assign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, res
+}
+
+func TestRunRejectsBadHorizon(t *testing.T) {
+	sc, res := buildAssigned(t, 1)
+	if _, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, nil, 0); err == nil {
+		t.Fatal("horizon 0 accepted")
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	sc, res := buildAssigned(t, 1)
+	out, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalReward != 0 || out.Completed != 0 || out.Dropped != 0 {
+		t.Error("empty stream should produce zero activity")
+	}
+}
+
+func TestRunTracksStage3Prediction(t *testing.T) {
+	// The realized reward rate should come close to (and not exceed by
+	// much) the Stage-3 steady-state prediction. It can't systematically
+	// exceed it because Stage 3 is optimal for the P-state assignment;
+	// stochastic arrivals and the ratio-cap rule typically land it a bit
+	// below.
+	sc, res := buildAssigned(t, 2)
+	const horizon = 60.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(99))
+	out, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := res.RewardRate()
+	if out.RewardRate < 0.5*pred {
+		t.Errorf("realized rate %g below half the prediction %g", out.RewardRate, pred)
+	}
+	if out.RewardRate > 1.3*pred {
+		t.Errorf("realized rate %g implausibly above prediction %g", out.RewardRate, pred)
+	}
+	if out.Completed+out.Dropped != len(tasks) {
+		t.Errorf("completed %d + dropped %d != %d tasks", out.Completed, out.Dropped, len(tasks))
+	}
+	t.Logf("predicted %.1f, realized %.1f (%.0f%% of prediction), dropped %d/%d, ratio err %.3f",
+		pred, out.RewardRate, 100*out.RewardRate/pred, out.Dropped, len(tasks), out.MeanRatioError)
+}
+
+func TestRunAccountingConsistency(t *testing.T) {
+	sc, res := buildAssigned(t, 3)
+	const horizon = 30.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(5))
+	out, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reward equals Σ completed-by-type × reward.
+	want := 0.0
+	totC, totD := 0, 0
+	for i, c := range out.CompletedByType {
+		want += float64(c) * sc.DC.TaskTypes[i].Reward
+		totC += c
+		totD += out.DroppedByType[i]
+	}
+	if math.Abs(want-out.TotalReward) > 1e-9 {
+		t.Errorf("reward %g != per-type sum %g", out.TotalReward, want)
+	}
+	if totC != out.Completed || totD != out.Dropped {
+		t.Error("per-type counts inconsistent with totals")
+	}
+	if out.BusyFraction < 0 || out.BusyFraction > 1+1e-9 {
+		t.Errorf("busy fraction %g", out.BusyFraction)
+	}
+	// ATC sums to completed counts / horizon.
+	for i := range out.ATC {
+		sum := 0.0
+		for _, v := range out.ATC[i] {
+			sum += v
+		}
+		if math.Abs(sum-float64(out.CompletedByType[i])/horizon) > 1e-9 {
+			t.Errorf("type %d ATC sum %g != %g", i, sum, float64(out.CompletedByType[i])/horizon)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	sc, res := buildAssigned(t, 4)
+	tasks := workload.GenerateTasks(sc.DC, 20, stats.NewRand(7))
+	a, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, tasks, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, tasks, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalReward != b.TotalReward || a.Dropped != b.Dropped {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestOversubscriptionCausesDrops(t *testing.T) {
+	// Doubling every arrival rate far beyond capacity must produce drops
+	// rather than crashes or deadline violations.
+	sc, res := buildAssigned(t, 5)
+	for i := range sc.DC.TaskTypes {
+		sc.DC.TaskTypes[i].ArrivalRate *= 3
+	}
+	const horizon = 20.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(11))
+	out, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dropped == 0 {
+		t.Error("3× oversubscription should drop tasks")
+	}
+}
+
+func TestTraceRecorder(t *testing.T) {
+	sc, res := buildAssigned(t, 10)
+	const horizon = 15.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(3))
+	var records []sim.TaskRecord
+	out, err := sim.RunOpts(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon, sim.Options{
+		Recorder: func(r sim.TaskRecord) { records = append(records, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(tasks) {
+		t.Fatalf("trace has %d records for %d tasks", len(records), len(tasks))
+	}
+	dropped, completed := 0, 0
+	for i, r := range records {
+		if r.ID != tasks[i].ID || r.Type != tasks[i].Type {
+			t.Fatal("trace order mismatch")
+		}
+		if r.Dropped {
+			dropped++
+			if r.Core != -1 {
+				t.Fatal("dropped record with core assignment")
+			}
+			continue
+		}
+		completed++
+		if r.Start < r.Arrival-1e-12 {
+			t.Fatalf("task %d started before arrival", r.ID)
+		}
+		if r.Completion > r.Deadline+1e-9 {
+			t.Fatalf("task %d completed after deadline", r.ID)
+		}
+		if r.Core < 0 || r.Core >= sc.DC.NumCores() {
+			t.Fatalf("task %d on invalid core %d", r.ID, r.Core)
+		}
+	}
+	if dropped != out.Dropped || completed != out.Completed {
+		t.Fatal("trace counts disagree with result")
+	}
+}
+
+// TestTraceNonOverlappingPerCore checks the fundamental execution
+// invariant: a core never runs two tasks at once.
+func TestTraceNonOverlappingPerCore(t *testing.T) {
+	sc, res := buildAssigned(t, 11)
+	const horizon = 15.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(5))
+	lastEnd := make(map[int]float64)
+	_, err := sim.RunOpts(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon, sim.Options{
+		Recorder: func(r sim.TaskRecord) {
+			if r.Dropped {
+				return
+			}
+			if r.Start < lastEnd[r.Core]-1e-9 {
+				t.Fatalf("core %d overlap: start %g before previous end %g", r.Core, r.Start, lastEnd[r.Core])
+			}
+			lastEnd[r.Core] = r.Completion
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package stats provides the small statistical toolkit used across the
+// simulator: summary statistics, Student-t confidence intervals for the
+// paper's 95% error bars (Figure 6), and deterministic random helpers for
+// the workload generators of Section VI.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (divisor n-1).
+// It returns 0 when fewer than two samples are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary bundles the sample statistics reported for each experiment cell.
+type Summary struct {
+	N        int     // number of samples
+	Mean     float64 // sample mean
+	StdDev   float64 // unbiased sample standard deviation
+	HalfCI95 float64 // half-width of the 95% confidence interval on the mean
+	Lo, Hi   float64 // Mean ∓ HalfCI95
+}
+
+// Summarize computes the sample mean, standard deviation and a 95%
+// Student-t confidence interval for the mean, matching the error bars the
+// paper draws in Figure 6 (25 trials per bar).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs)}
+	if s.N >= 2 {
+		s.HalfCI95 = TQuantile95(s.N-1) * s.StdDev / math.Sqrt(float64(s.N))
+	}
+	s.Lo = s.Mean - s.HalfCI95
+	s.Hi = s.Mean + s.HalfCI95
+	return s
+}
+
+// String renders the summary in the "mean ± half-width" form used by the
+// experiment printers.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean, s.HalfCI95, s.N)
+}
+
+// tTable holds two-sided 97.5th-percentile Student-t quantiles for small
+// degrees of freedom; beyond the table the normal quantile 1.96 is close
+// enough for reporting purposes.
+var tTable = []float64{
+	0:  math.NaN(),
+	1:  12.706,
+	2:  4.303,
+	3:  3.182,
+	4:  2.776,
+	5:  2.571,
+	6:  2.447,
+	7:  2.365,
+	8:  2.306,
+	9:  2.262,
+	10: 2.228,
+	11: 2.201,
+	12: 2.179,
+	13: 2.160,
+	14: 2.145,
+	15: 2.131,
+	16: 2.120,
+	17: 2.110,
+	18: 2.101,
+	19: 2.093,
+	20: 2.086,
+	21: 2.080,
+	22: 2.074,
+	23: 2.069,
+	24: 2.064,
+	25: 2.060,
+	26: 2.056,
+	27: 2.052,
+	28: 2.048,
+	29: 2.045,
+	30: 2.042,
+	40: 2.021,
+	60: 2.000,
+}
+
+// TQuantile95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom. For df values between table entries it uses the
+// nearest smaller tabulated df (conservative); for df > 60 it returns the
+// normal approximation 1.96.
+func TQuantile95(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= 30 {
+		return tTable[df]
+	}
+	if df <= 40 {
+		return tTable[30]
+	}
+	if df <= 60 {
+		return tTable[40]
+	}
+	return 1.960
+}
+
+// Uniform draws a sample from the uniform distribution on [a, b], the
+// rand[a,b] primitive used throughout Section VI of the paper.
+func Uniform(rng *rand.Rand, a, b float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	return a + (b-a)*rng.Float64()
+}
+
+// Exp draws an exponential inter-arrival time with the given rate
+// (events per unit time). It panics if rate <= 0.
+func Exp(rng *rand.Rand, rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("stats: Exp rate must be positive, got %g", rate))
+	}
+	return rng.ExpFloat64() / rate
+}
+
+// Poisson draws a Poisson-distributed count with the given mean using
+// inversion by sequential search for small means and the PTRS
+// transformed-rejection method for large means.
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean < 0 {
+		panic(fmt.Sprintf("stats: Poisson mean must be non-negative, got %g", mean))
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean < 30 {
+		// Knuth's product-of-uniforms method.
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction is adequate for the
+	// large-mean regime used only in stress tests.
+	for {
+		x := rng.NormFloat64()*math.Sqrt(mean) + mean + 0.5
+		if x >= 0 {
+			return int(x)
+		}
+	}
+}
+
+// NewRand returns a deterministic RNG for the given seed. Trials use
+// seed = base + trial index so every experiment is reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 divisor: sum sq dev = 32, / 7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, want)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("StdDev = %g, want %g", got, math.Sqrt(want))
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %g, want 0", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance(single) = %g, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -2, 7, 0}
+	if got := Min(xs); got != -2 {
+		t.Errorf("Min = %g, want -2", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %g, want 7", got)
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestSummarizePaperTrialCount(t *testing.T) {
+	// 25 trials, df = 24, t = 2.064 as in the paper's Figure 6 error bars.
+	xs := make([]float64, 25)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 25 {
+		t.Fatalf("N = %d, want 25", s.N)
+	}
+	wantHalf := 2.064 * StdDev(xs) / math.Sqrt(25)
+	if !almostEqual(s.HalfCI95, wantHalf, 1e-9) {
+		t.Errorf("HalfCI95 = %g, want %g", s.HalfCI95, wantHalf)
+	}
+	if !almostEqual(s.Hi-s.Lo, 2*wantHalf, 1e-9) {
+		t.Errorf("CI width = %g, want %g", s.Hi-s.Lo, 2*wantHalf)
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := TQuantile95(df)
+		if q > prev+1e-12 {
+			t.Fatalf("TQuantile95 not non-increasing at df=%d: %g > %g", df, q, prev)
+		}
+		if q < 1.959 {
+			t.Fatalf("TQuantile95(%d) = %g below normal limit", df, q)
+		}
+		prev = q
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		x := Uniform(rng, 0.9, 1.1)
+		if x < 0.9 || x >= 1.1 {
+			t.Fatalf("Uniform out of range: %g", x)
+		}
+	}
+	// Swapped bounds are tolerated.
+	x := Uniform(rng, 5, 2)
+	if x < 2 || x >= 5 {
+		t.Fatalf("Uniform with swapped bounds out of range: %g", x)
+	}
+}
+
+func TestUniformMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRand(seed)
+		sum := 0.0
+		const n = 4000
+		for i := 0; i < n; i++ {
+			sum += Uniform(rng, 2, 4)
+		}
+		return almostEqual(sum/n, 3, 0.1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := NewRand(7)
+	const rate = 2.5
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += Exp(rng, rate)
+	}
+	if !almostEqual(sum/n, 1/rate, 0.02) {
+		t.Errorf("Exp mean = %g, want %g", sum/n, 1/rate)
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(rate=0) did not panic")
+		}
+	}()
+	Exp(NewRand(1), 0)
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	rng := NewRand(11)
+	const mean = 3.2
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += Poisson(rng, mean)
+	}
+	got := float64(sum) / n
+	if !almostEqual(got, mean, 0.1) {
+		t.Errorf("Poisson mean = %g, want %g", got, mean)
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	rng := NewRand(13)
+	const mean = 200.0
+	const n = 5000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += Poisson(rng, mean)
+	}
+	got := float64(sum) / n
+	if !almostEqual(got, mean, 2) {
+		t.Errorf("Poisson mean = %g, want %g", got, mean)
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	rng := NewRand(1)
+	if got := Poisson(rng, 0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package tempsearch finds good CRAC outlet-temperature vectors by
+// discretized search. The paper's Stage-1 problem and the Equation-21
+// baseline are NLPs only because CRAC power depends nonlinearly on the
+// outlet temperatures; with the outlets fixed they become LPs. Section
+// V.B.2 proposes a discretized search at 1 °C granularity, refined
+// coarse-to-fine to avoid the exponential blowup in the number of CRAC
+// units — exactly what this package implements, plus an exhaustive grid
+// and a coordinate-descent variant for ablations.
+package tempsearch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective evaluates one outlet-temperature vector and reports its value
+// and whether the configuration is feasible. Higher values are better
+// (callers maximizing reward pass their objective directly; power
+// minimizers pass the negated power).
+type Objective func(cracOut []float64) (value float64, feasible bool)
+
+// Config bounds and discretizes the search.
+type Config struct {
+	// Lo and Hi bound every CRAC outlet temperature in °C.
+	Lo, Hi float64
+	// CoarseStep is the first-pass granularity in °C.
+	CoarseStep float64
+	// FineStep is the final granularity in °C (paper: 1 °C).
+	FineStep float64
+}
+
+// DefaultConfig returns the search window used by the experiments:
+// outlets in [5, 25] °C, coarse 5 °C pass refined down to 1 °C.
+func DefaultConfig() Config {
+	return Config{Lo: 5, Hi: 25, CoarseStep: 5, FineStep: 1}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Hi < c.Lo {
+		return fmt.Errorf("tempsearch: Hi %g < Lo %g", c.Hi, c.Lo)
+	}
+	if c.CoarseStep <= 0 || c.FineStep <= 0 {
+		return fmt.Errorf("tempsearch: steps must be positive")
+	}
+	if c.FineStep > c.CoarseStep {
+		return fmt.Errorf("tempsearch: FineStep %g > CoarseStep %g", c.FineStep, c.CoarseStep)
+	}
+	return nil
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Out is the best outlet-temperature vector found.
+	Out []float64
+	// Value is the objective at Out.
+	Value float64
+	// Evals counts objective evaluations.
+	Evals int
+}
+
+// Grid exhaustively evaluates the lattice with the given step and returns
+// the best feasible point. It is exponential in the number of CRACs and
+// exists as the ground truth for ablations on small instances.
+func Grid(ncrac int, cfg Config, step float64, eval Objective) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	levels := latticeLevels(cfg.Lo, cfg.Hi, step)
+	best := Result{Value: math.Inf(-1)}
+	out := make([]float64, ncrac)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == ncrac {
+			v, ok := eval(out)
+			best.Evals++
+			if ok && v > best.Value {
+				best.Value = v
+				best.Out = append(best.Out[:0], out...)
+			}
+			return
+		}
+		for _, t := range levels {
+			out[i] = t
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	if best.Out == nil {
+		return best, fmt.Errorf("tempsearch: no feasible outlet assignment on the grid")
+	}
+	return best, nil
+}
+
+// CoarseToFine implements the paper's multi-step search: a coarse lattice
+// pass over the full window, then repeated refinement around the incumbent
+// with the step halved until FineStep is reached.
+func CoarseToFine(ncrac int, cfg Config, eval Objective) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	res, err := Grid(ncrac, cfg, cfg.CoarseStep, eval)
+	if err != nil {
+		return res, err
+	}
+	step := cfg.CoarseStep
+	for step > cfg.FineStep {
+		next := step / 2
+		if next < cfg.FineStep {
+			next = cfg.FineStep
+		}
+		// Refine ±next around the incumbent on the finer lattice (3 levels
+		// per CRAC per round keeps the eval count linear in the number of
+		// rounds instead of exponential in the refinement ratio).
+		sub := Config{
+			Lo:         cfg.Lo,
+			Hi:         cfg.Hi,
+			CoarseStep: next,
+			FineStep:   next,
+		}
+		improved, err := gridAround(ncrac, sub, res.Out, next, next, eval)
+		if err == nil {
+			improved.Evals += res.Evals
+			if improved.Value >= res.Value {
+				res = improved
+			} else {
+				res.Evals = improved.Evals
+			}
+		}
+		step = next
+	}
+	return res, nil
+}
+
+// gridAround evaluates the lattice of the given step within ±radius of
+// center, clamped to [cfg.Lo, cfg.Hi].
+func gridAround(ncrac int, cfg Config, center []float64, radius, step float64, eval Objective) (Result, error) {
+	best := Result{Value: math.Inf(-1)}
+	out := make([]float64, ncrac)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == ncrac {
+			v, ok := eval(out)
+			best.Evals++
+			if ok && v > best.Value {
+				best.Value = v
+				best.Out = append(best.Out[:0], out...)
+			}
+			return
+		}
+		lo := math.Max(cfg.Lo, center[i]-radius)
+		hi := math.Min(cfg.Hi, center[i]+radius)
+		for _, t := range latticeLevels(lo, hi, step) {
+			out[i] = t
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	if best.Out == nil {
+		return best, fmt.Errorf("tempsearch: no feasible point in refinement window")
+	}
+	return best, nil
+}
+
+// CoordinateDescent optimizes one CRAC outlet at a time on the FineStep
+// lattice, sweeping until no coordinate improves. It is the cheapest
+// strategy and the paper-scale default ablation point.
+func CoordinateDescent(ncrac int, cfg Config, start []float64, eval Objective) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	out := make([]float64, ncrac)
+	if start != nil {
+		copy(out, start)
+	} else {
+		for i := range out {
+			out[i] = (cfg.Lo + cfg.Hi) / 2
+		}
+	}
+	res := Result{Value: math.Inf(-1)}
+	if v, ok := eval(out); ok {
+		res.Value = v
+		res.Out = append([]float64(nil), out...)
+	}
+	res.Evals = 1
+	levels := latticeLevels(cfg.Lo, cfg.Hi, cfg.FineStep)
+	for sweep := 0; sweep < 50; sweep++ {
+		improved := false
+		for i := 0; i < ncrac; i++ {
+			savedVal := out[i]
+			bestT, bestV := savedVal, res.Value
+			for _, t := range levels {
+				out[i] = t
+				v, ok := eval(out)
+				res.Evals++
+				if ok && v > bestV {
+					bestT, bestV = t, v
+				}
+			}
+			out[i] = bestT
+			if bestV > res.Value {
+				res.Value = bestV
+				res.Out = append(res.Out[:0], out...)
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	if res.Out == nil {
+		return res, fmt.Errorf("tempsearch: coordinate descent found no feasible point")
+	}
+	return res, nil
+}
+
+// latticeLevels returns lo, lo+step, ..., hi (hi always included).
+func latticeLevels(lo, hi, step float64) []float64 {
+	var out []float64
+	for t := lo; t < hi+1e-9; t += step {
+		out = append(out, math.Min(t, hi))
+	}
+	if len(out) == 0 || out[len(out)-1] < hi-1e-9 {
+		out = append(out, hi)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package tempsearch
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic returns an objective with a unique maximum at the given peak.
+func quadratic(peak []float64) Objective {
+	return func(out []float64) (float64, bool) {
+		v := 0.0
+		for i := range out {
+			d := out[i] - peak[i]
+			v -= d * d
+		}
+		return v, true
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Lo: 10, Hi: 5, CoarseStep: 1, FineStep: 1},
+		{Lo: 0, Hi: 5, CoarseStep: 0, FineStep: 1},
+		{Lo: 0, Hi: 5, CoarseStep: 1, FineStep: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGridFindsLatticeOptimum(t *testing.T) {
+	cfg := Config{Lo: 0, Hi: 10, CoarseStep: 1, FineStep: 1}
+	res, err := Grid(2, cfg, 1, quadratic([]float64{3, 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out[0] != 3 || res.Out[1] != 7 {
+		t.Errorf("Grid found %v, want [3 7]", res.Out)
+	}
+	if res.Value != 0 {
+		t.Errorf("value = %g, want 0", res.Value)
+	}
+	if res.Evals != 121 {
+		t.Errorf("evals = %d, want 121", res.Evals)
+	}
+}
+
+func TestGridInfeasible(t *testing.T) {
+	cfg := Config{Lo: 0, Hi: 2, CoarseStep: 1, FineStep: 1}
+	_, err := Grid(1, cfg, 1, func([]float64) (float64, bool) { return 0, false })
+	if err == nil {
+		t.Fatal("expected error when nothing is feasible")
+	}
+}
+
+func TestCoarseToFineMatchesGridOnSmooth(t *testing.T) {
+	cfg := Config{Lo: 0, Hi: 20, CoarseStep: 4, FineStep: 1}
+	peak := []float64{13, 6}
+	ctf, err := CoarseToFine(2, cfg, quadratic(peak))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := Grid(2, cfg, 1, quadratic(peak))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ctf.Value-grid.Value) > 1e-9 {
+		t.Errorf("coarse-to-fine %v (%g) vs grid %v (%g)", ctf.Out, ctf.Value, grid.Out, grid.Value)
+	}
+	if ctf.Evals >= grid.Evals {
+		t.Errorf("coarse-to-fine used %d evals, grid %d — refinement should be cheaper", ctf.Evals, grid.Evals)
+	}
+}
+
+func TestCoarseToFineRespectsBounds(t *testing.T) {
+	cfg := Config{Lo: 5, Hi: 25, CoarseStep: 5, FineStep: 1}
+	// Peak outside the window: search must clamp to the boundary.
+	res, err := CoarseToFine(3, cfg, quadratic([]float64{-10, 30, 15}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 25, 15}
+	for i := range want {
+		if math.Abs(res.Out[i]-want[i]) > 1e-9 {
+			t.Errorf("Out[%d] = %g, want %g", i, res.Out[i], want[i])
+		}
+	}
+}
+
+func TestCoordinateDescentSeparableExact(t *testing.T) {
+	// Separable objectives are solved exactly by coordinate descent.
+	cfg := Config{Lo: 0, Hi: 10, CoarseStep: 1, FineStep: 1}
+	res, err := CoordinateDescent(3, cfg, nil, quadratic([]float64{2, 9, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 9, 4}
+	for i := range want {
+		if math.Abs(res.Out[i]-want[i]) > 1e-9 {
+			t.Errorf("Out[%d] = %g, want %g", i, res.Out[i], want[i])
+		}
+	}
+}
+
+func TestCoordinateDescentWithStart(t *testing.T) {
+	cfg := Config{Lo: 0, Hi: 10, CoarseStep: 1, FineStep: 1}
+	start := []float64{0, 0}
+	res, err := CoordinateDescent(2, cfg, start, quadratic([]float64{8, 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out[0] != 8 || res.Out[1] != 8 {
+		t.Errorf("Out = %v, want [8 8]", res.Out)
+	}
+	if start[0] != 0 {
+		t.Error("start vector must not be mutated")
+	}
+}
+
+func TestPartialFeasibility(t *testing.T) {
+	// Only points with sum ≤ 10 are feasible; the best feasible point on
+	// the lattice maximizing x+y is any with sum exactly 10.
+	obj := func(out []float64) (float64, bool) {
+		s := out[0] + out[1]
+		return s, s <= 10
+	}
+	cfg := Config{Lo: 0, Hi: 10, CoarseStep: 2, FineStep: 1}
+	res, err := CoarseToFine(2, cfg, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-10) > 1e-9 {
+		t.Errorf("value = %g, want 10", res.Value)
+	}
+}
+
+func TestLatticeLevelsIncludesHi(t *testing.T) {
+	ls := latticeLevels(5, 25, 5)
+	if len(ls) != 5 || ls[0] != 5 || ls[len(ls)-1] != 25 {
+		t.Errorf("levels = %v", ls)
+	}
+	// Non-divisible range still ends at hi.
+	ls = latticeLevels(0, 7, 3)
+	if ls[len(ls)-1] != 7 {
+		t.Errorf("levels = %v, last must be 7", ls)
+	}
+}

@@ -1,0 +1,234 @@
+// Package thermal implements the paper's Section-IV thermal model, built on
+// the Abstract Heat Flow Model of Tang et al. [29]: inlet temperatures are
+// a linear mix of outlet temperatures, Tin = A·Tout (Equation 5), with
+// A[j][i] = α[i][j]·F_i/F_j derived from the cross-interference matrix α
+// and the air flow rates F. Node outlets follow Equation 4
+// (Tout = Tin + PCN/(ρ·Cp·F)) and CRAC outlets are control inputs.
+//
+// Substituting Equation 4 into Equation 5 gives a linear fixed point which
+// this package solves symbolically once per data center: one LU
+// factorization yields affine maps
+//
+//	Tin = TinFromCRAC·TcracOut + G·PCN
+//
+// whose rows are exactly the thermal constraint rows of every LP in the
+// paper (Stage 1, Equation 21, Equation 17), and whose CRAC-inlet rows make
+// CRAC power (Equation 3) linear in node power for fixed outlet
+// temperatures.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"thermaldc/internal/linalg"
+	"thermaldc/internal/model"
+	"thermaldc/internal/power"
+)
+
+// Model holds the precomputed affine thermal maps for one data center.
+type Model struct {
+	dc *model.DataCenter
+
+	// a is the heat-distribution matrix of Equation 5: Tin = a·Tout.
+	a *linalg.Matrix
+
+	// outFromCRAC (n×NCRAC) and outFromPower (n×NCN) give
+	// Tout = outFromCRAC·TcracOut + outFromPower·PCN.
+	outFromCRAC  *linalg.Matrix
+	outFromPower *linalg.Matrix
+
+	// tinFromCRAC (n×NCRAC) and g (n×NCN) give
+	// Tin = tinFromCRAC·TcracOut + g·PCN.
+	tinFromCRAC *linalg.Matrix
+	g           *linalg.Matrix
+}
+
+// New builds the thermal model for dc. It returns an error when the
+// recirculation pattern is degenerate (air never reaching a CRAC would
+// make the fixed point singular — physically impossible in a data center
+// with positive exit coefficients).
+func New(dc *model.DataCenter) (*Model, error) {
+	n := dc.NumThermal()
+	ncrac := dc.NCRAC()
+	flows := dc.Flows()
+
+	// A[j][i] = α[i][j]·F_i / F_j  (row j: inlet of unit j).
+	a := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		row := a.Row(j)
+		for i := 0; i < n; i++ {
+			row[i] = dc.Alpha[i][j] * flows[i] / flows[j]
+		}
+	}
+
+	// Fixed point: Tout = S·A·Tout + S·(c ∘ PCN)_ext + (I−S)·TcracOut_ext,
+	// where S selects node rows. Build M = I − S·A and factor it.
+	m := linalg.Identity(n)
+	for t := ncrac; t < n; t++ {
+		mrow := m.Row(t)
+		arow := a.Row(t)
+		for i := 0; i < n; i++ {
+			mrow[i] -= arow[i]
+		}
+	}
+	lu, err := linalg.FactorLU(m)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: heat-flow fixed point is singular (air recirculation never reaches a CRAC): %w", err)
+	}
+
+	// Tout sensitivities: solve M·X = E for the CRAC-selector and
+	// power-injection right-hand sides.
+	eCRAC := linalg.NewMatrix(n, ncrac)
+	for i := 0; i < ncrac; i++ {
+		eCRAC.Set(i, i, 1)
+	}
+	ePow := linalg.NewMatrix(n, dc.NCN())
+	for j := 0; j < dc.NCN(); j++ {
+		t := ncrac + j
+		ePow.Set(t, j, 1/(power.RhoCp*flows[t]))
+	}
+	outFromCRAC, err := lu.SolveMatrix(eCRAC)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: solving CRAC sensitivity: %w", err)
+	}
+	outFromPower, err := lu.SolveMatrix(ePow)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: solving power sensitivity: %w", err)
+	}
+
+	return &Model{
+		dc:           dc,
+		a:            a,
+		outFromCRAC:  outFromCRAC,
+		outFromPower: outFromPower,
+		tinFromCRAC:  a.Mul(outFromCRAC),
+		g:            a.Mul(outFromPower),
+	}, nil
+}
+
+// A returns the heat-distribution matrix of Equation 5 (read-only).
+func (m *Model) A() *linalg.Matrix { return m.a }
+
+// PowerSensitivity returns G with Tin = TinBase(cracOut) + G·PCN. Row t is
+// a thermal unit in thermal-index order; column j is compute node j. All
+// entries are ≥ 0: more node power can never cool an inlet.
+func (m *Model) PowerSensitivity() *linalg.Matrix { return m.g }
+
+// InletBase returns the inlet temperatures with zero node power:
+// tinFromCRAC·cracOut.
+func (m *Model) InletBase(cracOut []float64) []float64 {
+	m.checkCRACLen(cracOut)
+	return m.tinFromCRAC.MulVec(cracOut)
+}
+
+// InletTemps returns all inlet temperatures (thermal-index order) for the
+// given CRAC outlet temperatures and node powers PCN (kW, including base
+// power).
+func (m *Model) InletTemps(cracOut, pcn []float64) []float64 {
+	m.checkCRACLen(cracOut)
+	m.checkNodeLen(pcn)
+	tin := m.tinFromCRAC.MulVec(cracOut)
+	gp := m.g.MulVec(pcn)
+	for i := range tin {
+		tin[i] += gp[i]
+	}
+	return tin
+}
+
+// OutletTemps returns all outlet temperatures. CRAC rows reproduce the
+// requested outlets; node rows satisfy Equation 4.
+func (m *Model) OutletTemps(cracOut, pcn []float64) []float64 {
+	m.checkCRACLen(cracOut)
+	m.checkNodeLen(pcn)
+	tout := m.outFromCRAC.MulVec(cracOut)
+	gp := m.outFromPower.MulVec(pcn)
+	for i := range tout {
+		tout[i] += gp[i]
+	}
+	return tout
+}
+
+// RedlineSlack returns min over thermal units of (redline − Tin); a
+// negative value means some redline constraint (Equation 6) is violated by
+// that many °C.
+func (m *Model) RedlineSlack(tin []float64) float64 {
+	redline := m.dc.Redline()
+	slack := math.Inf(1)
+	for i := range tin {
+		if s := redline[i] - tin[i]; s < slack {
+			slack = s
+		}
+	}
+	return slack
+}
+
+// CRACPowers returns each CRAC's power (Equation 3) for the given outlet
+// temperatures and node powers, applying the exact max(0,·) rule.
+func (m *Model) CRACPowers(cracOut, pcn []float64) []float64 {
+	tin := m.InletTemps(cracOut, pcn)
+	flows := m.dc.Flows()
+	out := make([]float64, m.dc.NCRAC())
+	for i := range out {
+		out[i] = power.CRACPower(flows[i], tin[i], cracOut[i])
+	}
+	return out
+}
+
+// TotalPower returns compute power plus exact CRAC power (the left side of
+// the paper's constraint 4) for the given CRAC outlets and node powers.
+func (m *Model) TotalPower(cracOut, pcn []float64) float64 {
+	total := 0.0
+	for _, p := range pcn {
+		total += p
+	}
+	for _, p := range m.CRACPowers(cracOut, pcn) {
+		total += p
+	}
+	return total
+}
+
+// LinearCRACPower describes CRAC i's power as an affine function of node
+// powers for fixed outlet temperatures: P ≈ Const + Σ_j Coef[j]·PCN_j.
+// The linearization drops Equation 3's max(0,·); callers must verify final
+// solutions with the exact CRACPowers (the two agree whenever every CRAC
+// inlet is warmer than its outlet, the normal operating regime of an
+// oversubscribed data center).
+type LinearCRACPower struct {
+	Const float64
+	Coef  []float64
+}
+
+// LinearizeCRACPower returns the affine CRAC power model for the given
+// outlet temperatures, used to keep the paper's constraint 4 linear inside
+// the Stage-1 and Equation-21 LPs.
+func (m *Model) LinearizeCRACPower(cracOut []float64) []LinearCRACPower {
+	m.checkCRACLen(cracOut)
+	base := m.InletBase(cracOut)
+	flows := m.dc.Flows()
+	out := make([]LinearCRACPower, m.dc.NCRAC())
+	for i := range out {
+		k := power.RhoCp * flows[i] / power.CoP(cracOut[i])
+		coef := make([]float64, m.dc.NCN())
+		for j := range coef {
+			coef[j] = k * m.g.At(i, j)
+		}
+		out[i] = LinearCRACPower{
+			Const: k * (base[i] - cracOut[i]),
+			Coef:  coef,
+		}
+	}
+	return out
+}
+
+func (m *Model) checkCRACLen(v []float64) {
+	if len(v) != m.dc.NCRAC() {
+		panic(fmt.Sprintf("thermal: got %d CRAC outlet temps, want %d", len(v), m.dc.NCRAC()))
+	}
+}
+
+func (m *Model) checkNodeLen(v []float64) {
+	if len(v) != m.dc.NCN() {
+		panic(fmt.Sprintf("thermal: got %d node powers, want %d", len(v), m.dc.NCN()))
+	}
+}

@@ -1,0 +1,323 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"thermaldc/internal/model"
+	"thermaldc/internal/power"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// loopDC is the simplest closed system: one CRAC and one node exchanging
+// all their air (node exhaust → CRAC, CRAC outlet → node inlet). Flows are
+// equal, so the fixed point is exact and hand-computable.
+func loopDC(t *testing.T) *model.DataCenter {
+	t.Helper()
+	nt := model.HPProLiantDL785G5(0.3)
+	dc := &model.DataCenter{
+		NodeTypes:   []model.NodeType{nt},
+		Nodes:       []model.Node{{Type: 0, Label: model.LabelA}},
+		CRACs:       []model.CRAC{{Flow: nt.AirFlow}},
+		TaskTypes:   []model.TaskType{{Name: "t", Reward: 1, RelDeadline: 1, ArrivalRate: 1}},
+		RedlineNode: 25,
+		RedlineCRAC: 40,
+	}
+	dc.ECS = model.ECS{{{1, 0.8, 0.6, 0.3, 0}}}
+	// α: CRAC (index 0) sends 100% to node (index 1) and vice versa.
+	dc.Alpha = [][]float64{{0, 1}, {1, 0}}
+	if err := dc.Validate(); err != nil {
+		t.Fatalf("loopDC invalid: %v", err)
+	}
+	return dc
+}
+
+// mixDC builds nCracs + nNodes with a fully mixed, flow-balanced Alpha
+// (every unit's outlet distributes to all inlets proportionally to the
+// destination's flow share).
+func mixDC(t testing.TB, nCracs, nNodes int) *model.DataCenter {
+	t.Helper()
+	types := model.TableINodeTypes(0.3)
+	dc := &model.DataCenter{
+		NodeTypes:   types,
+		RedlineNode: 25,
+		RedlineCRAC: 40,
+	}
+	nodeFlow := 0.0
+	for j := 0; j < nNodes; j++ {
+		typ := j % 2
+		dc.Nodes = append(dc.Nodes, model.Node{Type: typ, Slot: j % 5, Label: model.NodeLabel(j % 5)})
+		nodeFlow += types[typ].AirFlow
+	}
+	for i := 0; i < nCracs; i++ {
+		dc.CRACs = append(dc.CRACs, model.CRAC{Flow: nodeFlow / float64(nCracs)})
+	}
+	dc.TaskTypes = []model.TaskType{{Name: "t", Reward: 1, RelDeadline: 1, ArrivalRate: 1}}
+	dc.ECS = make(model.ECS, 1)
+	dc.ECS[0] = make([][]float64, len(types))
+	for j := range dc.ECS[0] {
+		dc.ECS[0][j] = []float64{1, 0.8, 0.6, 0.3, 0}
+	}
+	n := dc.NumThermal()
+	F := dc.Flows()
+	total := 0.0
+	for _, f := range F {
+		total += f
+	}
+	dc.Alpha = make([][]float64, n)
+	for i := range dc.Alpha {
+		dc.Alpha[i] = make([]float64, n)
+		for j := range dc.Alpha[i] {
+			dc.Alpha[i][j] = F[j] / total
+		}
+	}
+	if err := dc.Validate(); err != nil {
+		t.Fatalf("mixDC invalid: %v", err)
+	}
+	return dc
+}
+
+func TestLoopFixedPoint(t *testing.T) {
+	dc := loopDC(t)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const out = 18.0
+	const pcn = 0.5
+	flow := dc.CRACs[0].Flow
+	rise := pcn / (power.RhoCp * flow)
+
+	tin := m.InletTemps([]float64{out}, []float64{pcn})
+	// Node inlet = CRAC outlet; CRAC inlet = node outlet = out + rise.
+	if !approx(tin[1], out, 1e-9) {
+		t.Errorf("node inlet = %g, want %g", tin[1], out)
+	}
+	if !approx(tin[0], out+rise, 1e-9) {
+		t.Errorf("CRAC inlet = %g, want %g", tin[0], out+rise)
+	}
+	tout := m.OutletTemps([]float64{out}, []float64{pcn})
+	if !approx(tout[0], out, 1e-12) {
+		t.Errorf("CRAC outlet = %g, want %g", tout[0], out)
+	}
+	if !approx(tout[1], out+rise, 1e-9) {
+		t.Errorf("node outlet = %g, want %g", tout[1], out+rise)
+	}
+}
+
+func TestLoopEnergyConservation(t *testing.T) {
+	dc := loopDC(t)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const out = 15.0
+	const pcn = 0.7
+	// All heat generated must be removed by the CRAC.
+	cp := m.CRACPowers([]float64{out}, []float64{pcn})
+	tin := m.InletTemps([]float64{out}, []float64{pcn})
+	removed := power.HeatRemoved(dc.CRACs[0].Flow, tin[0], out)
+	if !approx(removed, pcn, 1e-9) {
+		t.Errorf("heat removed = %g, want %g", removed, pcn)
+	}
+	wantPower := pcn / power.CoP(out)
+	if !approx(cp[0], wantPower, 1e-9) {
+		t.Errorf("CRAC power = %g, want %g", cp[0], wantPower)
+	}
+	if got := m.TotalPower([]float64{out}, []float64{pcn}); !approx(got, pcn+wantPower, 1e-9) {
+		t.Errorf("TotalPower = %g, want %g", got, pcn+wantPower)
+	}
+}
+
+func TestEnergyConservationProperty(t *testing.T) {
+	// For any flow-balanced α, the heat removed across CRACs equals the
+	// total node power (law of energy conservation, Section IV).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCracs := rng.Intn(3) + 1
+		nNodes := rng.Intn(8) + 1
+		dc := mixDC(t, nCracs, nNodes)
+		m, err := New(dc)
+		if err != nil {
+			return false
+		}
+		cracOut := make([]float64, nCracs)
+		for i := range cracOut {
+			cracOut[i] = 10 + rng.Float64()*10
+		}
+		pcn := make([]float64, nNodes)
+		totalP := 0.0
+		for j := range pcn {
+			pcn[j] = rng.Float64()
+			totalP += pcn[j]
+		}
+		tin := m.InletTemps(cracOut, pcn)
+		// Unclamped balance: Σ ρ·Cp·F_i·(Tin_i − Tout_i) over CRACs equals
+		// the generated heat exactly (a CRAC with Tin < Tout contributes
+		// negatively here; Equation 3 clamps that to zero power, but the
+		// energy ledger itself must balance).
+		removed := 0.0
+		for i := 0; i < nCracs; i++ {
+			removed += power.RhoCp * dc.CRACs[i].Flow * (tin[i] - cracOut[i])
+		}
+		return approx(removed, totalP, 1e-6*(1+totalP))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerSensitivityNonNegative(t *testing.T) {
+	dc := mixDC(t, 2, 6)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.PowerSensitivity()
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if g.At(r, c) < -1e-12 {
+				t.Fatalf("negative sensitivity G[%d][%d] = %g", r, c, g.At(r, c))
+			}
+		}
+	}
+}
+
+func TestAffineConsistency(t *testing.T) {
+	// InletTemps must equal InletBase + G·PCN exactly.
+	dc := mixDC(t, 2, 5)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cracOut := []float64{15, 17}
+	pcn := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+	tin := m.InletTemps(cracOut, pcn)
+	base := m.InletBase(cracOut)
+	gp := m.PowerSensitivity().MulVec(pcn)
+	for i := range tin {
+		if !approx(tin[i], base[i]+gp[i], 1e-9) {
+			t.Fatalf("affine mismatch at %d: %g vs %g", i, tin[i], base[i]+gp[i])
+		}
+	}
+}
+
+func TestLinearizeCRACPowerMatchesExact(t *testing.T) {
+	dc := mixDC(t, 3, 9)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cracOut := []float64{12, 14, 16}
+	pcn := make([]float64, 9)
+	for j := range pcn {
+		pcn[j] = 0.5 + 0.05*float64(j)
+	}
+	lin := m.LinearizeCRACPower(cracOut)
+	exact := m.CRACPowers(cracOut, pcn)
+	for i := range lin {
+		got := lin[i].Const
+		for j, c := range lin[i].Coef {
+			got += c * pcn[j]
+		}
+		// In the heavily loaded regime inlet > outlet everywhere, so the
+		// linearization is exact.
+		if !approx(got, exact[i], 1e-9) {
+			t.Errorf("CRAC %d: linear %g, exact %g", i, got, exact[i])
+		}
+	}
+}
+
+func TestCRACPowerZeroWhenIdle(t *testing.T) {
+	// With zero node power the inlets equal a mix of outlets; with uniform
+	// outlets there is no heat to remove.
+	dc := mixDC(t, 2, 4)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := m.CRACPowers([]float64{20, 20}, make([]float64, 4))
+	for i, p := range cp {
+		if !approx(p, 0, 1e-9) {
+			t.Errorf("idle CRAC %d power = %g, want 0", i, p)
+		}
+	}
+}
+
+func TestRedlineSlack(t *testing.T) {
+	dc := mixDC(t, 1, 2)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 thermal units; node redline 25, CRAC redline 40.
+	slack := m.RedlineSlack([]float64{30, 20, 24})
+	if !approx(slack, 1, 1e-12) {
+		t.Errorf("slack = %g, want 1", slack)
+	}
+	slack = m.RedlineSlack([]float64{30, 26, 20})
+	if !approx(slack, -1, 1e-12) {
+		t.Errorf("slack = %g, want -1", slack)
+	}
+}
+
+func TestMonotoneInPower(t *testing.T) {
+	// More node power can only raise every inlet temperature.
+	dc := mixDC(t, 2, 6)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cracOut := []float64{15, 15}
+	lo := m.InletTemps(cracOut, []float64{0.3, 0.3, 0.3, 0.3, 0.3, 0.3})
+	hi := m.InletTemps(cracOut, []float64{0.6, 0.6, 0.6, 0.6, 0.6, 0.6})
+	for i := range lo {
+		if hi[i] < lo[i]-1e-12 {
+			t.Fatalf("inlet %d dropped when power rose: %g -> %g", i, lo[i], hi[i])
+		}
+	}
+}
+
+func TestArgumentLengthPanics(t *testing.T) {
+	dc := mixDC(t, 2, 3)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"short crac": func() { m.InletTemps([]float64{1}, []float64{0, 0, 0}) },
+		"short pcn":  func() { m.InletTemps([]float64{1, 2}, []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSingularWhenAirNeverReachesCRAC(t *testing.T) {
+	// A node that recirculates 100% into itself makes the fixed point
+	// singular: its temperature would grow without bound.
+	dc := loopDC(t)
+	dc.Alpha = [][]float64{{1, 0}, {0, 1}} // CRAC→CRAC, node→node
+	if _, err := New(dc); err == nil {
+		t.Fatal("expected singular heat-flow model")
+	}
+}
+
+func BenchmarkNewModelPaperScale(b *testing.B) {
+	dc := mixDC(b, 3, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(dc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransientStartsAtSteadyState(t *testing.T) {
+	dc := mixDC(t, 2, 6)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cracOut := []float64{15, 16}
+	pcn := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	tr, err := NewTransient(m, 120, cracOut, pcn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.InletTemps(cracOut, pcn)
+	got := tr.InletTemps()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("initial inlet %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Stepping with unchanged inputs stays at the steady state.
+	tr.Step(60, cracOut, pcn)
+	got = tr.InletTemps()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("steady state drifted at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransientConvergesExponentially(t *testing.T) {
+	dc := mixDC(t, 2, 6)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cracOut := []float64{15, 15}
+	low := []float64{0.4, 0.4, 0.4, 0.4, 0.4, 0.4}
+	high := []float64{0.9, 0.9, 0.9, 0.9, 0.9, 0.9}
+	const tau = 120.0
+	tr, err := NewTransient(m, tau, cracOut, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssLow := m.OutletTemps(cracOut, low)
+	ssHigh := m.OutletTemps(cracOut, high)
+
+	// After one time constant, the gap shrinks to exp(-1) of the initial.
+	tr.Step(tau, cracOut, high)
+	got := tr.OutletTemps()
+	for i := range got {
+		wantGap := (ssLow[i] - ssHigh[i]) * math.Exp(-1)
+		if math.Abs((got[i]-ssHigh[i])-wantGap) > 1e-9 {
+			t.Fatalf("unit %d gap = %g, want %g", i, got[i]-ssHigh[i], wantGap)
+		}
+	}
+	// After many time constants it has settled.
+	for k := 0; k < 20; k++ {
+		tr.Step(tau, cracOut, high)
+	}
+	got = tr.OutletTemps()
+	for i := range got {
+		if math.Abs(got[i]-ssHigh[i]) > 1e-6 {
+			t.Fatalf("unit %d not settled: %g vs %g", i, got[i], ssHigh[i])
+		}
+	}
+}
+
+// TestTransientNoOvershoot checks the safety property: transitioning
+// between two redline-feasible operating points keeps every inlet within
+// the envelope of the two steady states at all times.
+func TestTransientNoOvershoot(t *testing.T) {
+	dc := mixDC(t, 2, 8)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA := []float64{14, 14}
+	outB := []float64{17, 15}
+	pcnA := make([]float64, 8)
+	pcnB := make([]float64, 8)
+	for j := range pcnA {
+		pcnA[j] = 0.45
+		pcnB[j] = 0.85
+	}
+	tinA := m.InletTemps(outA, pcnA)
+	tinB := m.InletTemps(outB, pcnB)
+	tr, err := NewTransient(m, 90, outA, pcnA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 200; step++ {
+		tr.Step(5, outB, pcnB)
+		tin := tr.InletTemps()
+		for i := range tin {
+			lo := math.Min(tinA[i], tinB[i]) - 1e-9
+			hi := math.Max(tinA[i], tinB[i]) + 1e-9
+			if tin[i] < lo || tin[i] > hi {
+				t.Fatalf("step %d unit %d: inlet %g outside [%g, %g]", step, i, tin[i], lo, hi)
+			}
+		}
+	}
+}
+
+func TestSettlingTime(t *testing.T) {
+	dc := mixDC(t, 1, 4)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cracOut := []float64{15}
+	low := []float64{0.4, 0.4, 0.4, 0.4}
+	high := []float64{0.9, 0.9, 0.9, 0.9}
+	const tau = 60.0
+	tr, err := NewTransient(m, tau, cracOut, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.SettlingTime(cracOut, low, 0.01); got != 0 {
+		t.Errorf("settled state reports settling time %g", got)
+	}
+	ts := tr.SettlingTime(cracOut, high, 0.01)
+	if ts <= 0 {
+		t.Fatal("transition should need settling time")
+	}
+	// Stepping exactly that long brings the state within eps.
+	tr.Step(ts, cracOut, high)
+	ss := m.OutletTemps(cracOut, high)
+	for i, v := range tr.OutletTemps() {
+		if math.Abs(v-ss[i]) > 0.01+1e-9 {
+			t.Fatalf("unit %d deviation %g after settling time", i, math.Abs(v-ss[i]))
+		}
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	dc := mixDC(t, 1, 2)
+	m, err := New(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTransient(m, 0, []float64{15}, []float64{0.4, 0.4}); err == nil {
+		t.Error("zero tau accepted")
+	}
+	tr, err := NewTransient(m, 10, []float64{15}, []float64{0.4, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative dt did not panic")
+			}
+		}()
+		tr.Step(-1, []float64{15}, []float64{0.4, 0.4})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-positive eps did not panic")
+			}
+		}()
+		tr.SettlingTime([]float64{15}, []float64{0.4, 0.4}, 0)
+	}()
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"thermaldc/internal/model"
+	"thermaldc/internal/stats"
+)
+
+// BurstConfig parameterizes a two-state Markov-modulated Poisson process
+// (MMPP) per task type: arrivals alternate between a high-rate burst state
+// (rate λ·(1+Burst)) and a compensating low-rate state, with the long-run
+// mean still λ. The paper assumes plain Poisson arrivals; this extension
+// stresses the dynamic scheduler with the burstiness real workloads show.
+type BurstConfig struct {
+	// Burst ∈ [0, 1]: the high state runs at λ·(1+Burst).
+	Burst float64
+	// HighFraction ∈ (0, 1): long-run fraction of time in the high state.
+	// HighFraction·(1+Burst) must not exceed 1 so the low rate stays ≥ 0.
+	HighFraction float64
+	// MeanHighDuration is the expected burst length in seconds.
+	MeanHighDuration float64
+}
+
+// Validate checks the configuration.
+func (c BurstConfig) Validate() error {
+	if c.Burst < 0 || c.Burst > 1 {
+		return fmt.Errorf("workload: Burst %g outside [0, 1]", c.Burst)
+	}
+	if c.HighFraction <= 0 || c.HighFraction >= 1 {
+		return fmt.Errorf("workload: HighFraction %g outside (0, 1)", c.HighFraction)
+	}
+	if c.HighFraction*(1+c.Burst) > 1 {
+		return fmt.Errorf("workload: HighFraction·(1+Burst) = %g > 1 leaves a negative low rate",
+			c.HighFraction*(1+c.Burst))
+	}
+	if c.MeanHighDuration <= 0 {
+		return fmt.Errorf("workload: MeanHighDuration must be positive")
+	}
+	return nil
+}
+
+// rates returns the high and low arrival-rate multipliers.
+func (c BurstConfig) rates() (high, low float64) {
+	high = 1 + c.Burst
+	low = (1 - c.HighFraction*high) / (1 - c.HighFraction)
+	return high, low
+}
+
+// GenerateBurstyTasks draws an MMPP arrival stream for every task type
+// over [0, horizon) and returns the merged, arrival-sorted task list. Each
+// type gets an independent state process so bursts do not align.
+func GenerateBurstyTasks(dc *model.DataCenter, horizon float64, cfg BurstConfig, rng *rand.Rand) ([]Task, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	highMul, lowMul := cfg.rates()
+	meanLow := cfg.MeanHighDuration * (1 - cfg.HighFraction) / cfg.HighFraction
+	var tasks []Task
+	for i, tt := range dc.TaskTypes {
+		if tt.ArrivalRate <= 0 {
+			continue
+		}
+		// Start in the high state with probability HighFraction.
+		inHigh := rng.Float64() < cfg.HighFraction
+		t := 0.0
+		for t < horizon {
+			var stateEnd, rate float64
+			if inHigh {
+				stateEnd = t + stats.Exp(rng, 1/cfg.MeanHighDuration)
+				rate = tt.ArrivalRate * highMul
+			} else {
+				stateEnd = t + stats.Exp(rng, 1/meanLow)
+				rate = tt.ArrivalRate * lowMul
+			}
+			if stateEnd > horizon {
+				stateEnd = horizon
+			}
+			if rate > 0 {
+				for at := t + stats.Exp(rng, rate); at < stateEnd; at += stats.Exp(rng, rate) {
+					tasks = append(tasks, Task{Type: i, Arrival: at, Deadline: at + tt.RelDeadline})
+				}
+			}
+			t = stateEnd
+			inHigh = !inHigh
+		}
+	}
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Arrival < tasks[b].Arrival })
+	for i := range tasks {
+		tasks[i].ID = i
+	}
+	return tasks, nil
+}

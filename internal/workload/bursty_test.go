@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"thermaldc/internal/stats"
+)
+
+func TestBurstConfigValidate(t *testing.T) {
+	good := BurstConfig{Burst: 0.5, HighFraction: 0.3, MeanHighDuration: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []BurstConfig{
+		{Burst: -0.1, HighFraction: 0.3, MeanHighDuration: 5},
+		{Burst: 1.5, HighFraction: 0.3, MeanHighDuration: 5},
+		{Burst: 0.5, HighFraction: 0, MeanHighDuration: 5},
+		{Burst: 0.5, HighFraction: 1, MeanHighDuration: 5},
+		{Burst: 1.0, HighFraction: 0.6, MeanHighDuration: 5}, // 0.6·2 > 1
+		{Burst: 0.5, HighFraction: 0.3, MeanHighDuration: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestBurstRatesPreserveMean(t *testing.T) {
+	for _, c := range []BurstConfig{
+		{Burst: 0.8, HighFraction: 0.25, MeanHighDuration: 3},
+		{Burst: 0.3, HighFraction: 0.5, MeanHighDuration: 10},
+	} {
+		high, low := c.rates()
+		mean := c.HighFraction*high + (1-c.HighFraction)*low
+		if math.Abs(mean-1) > 1e-12 {
+			t.Errorf("%+v: long-run multiplier %g, want 1", c, mean)
+		}
+		if low < 0 {
+			t.Errorf("%+v: negative low rate %g", c, low)
+		}
+	}
+}
+
+func TestGenerateBurstyTasksMeanRate(t *testing.T) {
+	dc, _ := genDC(t, 0.1, 21)
+	cfg := BurstConfig{Burst: 0.9, HighFraction: 0.3, MeanHighDuration: 4}
+	const horizon = 300.0
+	tasks, err := GenerateBurstyTasks(dc, horizon, cfg, stats.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(tasks, func(a, b int) bool { return tasks[a].Arrival < tasks[b].Arrival }) {
+		t.Fatal("tasks not sorted")
+	}
+	counts := make([]float64, dc.T())
+	for _, task := range tasks {
+		counts[task.Type]++
+		if task.Arrival < 0 || task.Arrival >= horizon {
+			t.Fatalf("arrival %g outside horizon", task.Arrival)
+		}
+	}
+	// Long-run rates match λ_i despite the modulation (generous bounds:
+	// MMPP variance exceeds Poisson).
+	for i, tt := range dc.TaskTypes {
+		mean := tt.ArrivalRate * horizon
+		if math.Abs(counts[i]-mean) > 6*math.Sqrt(mean)+0.15*mean {
+			t.Errorf("type %d: %g arrivals, expected ≈%g", i, counts[i], mean)
+		}
+	}
+}
+
+func TestGenerateBurstyTasksIsBurstier(t *testing.T) {
+	// The index of dispersion (var/mean of counts in windows) must exceed
+	// the Poisson value of 1.
+	dc, _ := genDC(t, 0.1, 22)
+	// Single type keeps the statistics clean.
+	dc.TaskTypes = dc.TaskTypes[:1]
+	dc.TaskTypes[0].ArrivalRate = 50
+	const horizon = 400.0
+	cfg := BurstConfig{Burst: 1.0, HighFraction: 0.2, MeanHighDuration: 5}
+	bursty, err := GenerateBurstyTasks(dc, horizon, cfg, stats.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson := GenerateTasks(dc, horizon, stats.NewRand(7))
+	dispersion := func(tasks []Task) float64 {
+		const window = 2.0
+		n := int(horizon / window)
+		counts := make([]float64, n)
+		for _, task := range tasks {
+			w := int(task.Arrival / window)
+			if w < n {
+				counts[w]++
+			}
+		}
+		return stats.Variance(counts) / stats.Mean(counts)
+	}
+	db, dp := dispersion(bursty), dispersion(poisson)
+	if db <= dp {
+		t.Errorf("bursty dispersion %g not above Poisson %g", db, dp)
+	}
+	if dp > 1.5 {
+		t.Errorf("Poisson dispersion %g suspiciously high", dp)
+	}
+}
+
+func TestGenerateBurstyTasksBadConfig(t *testing.T) {
+	dc, _ := genDC(t, 0.1, 23)
+	if _, err := GenerateBurstyTasks(dc, 10, BurstConfig{Burst: 2}, stats.NewRand(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SaveTasks writes a task stream as JSON, so generated (or traced)
+// workloads can be replayed across runs and tools.
+func SaveTasks(w io.Writer, tasks []Task) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tasks)
+}
+
+// LoadTasks reads a task stream written by SaveTasks, re-sorts it by
+// arrival (defensively) and validates basic invariants.
+func LoadTasks(r io.Reader) ([]Task, error) {
+	var tasks []Task
+	if err := json.NewDecoder(r).Decode(&tasks); err != nil {
+		return nil, fmt.Errorf("workload: decoding tasks: %w", err)
+	}
+	for i, t := range tasks {
+		if t.Arrival < 0 {
+			return nil, fmt.Errorf("workload: task %d has negative arrival %g", i, t.Arrival)
+		}
+		if t.Deadline < t.Arrival {
+			return nil, fmt.Errorf("workload: task %d deadline %g before arrival %g", i, t.Deadline, t.Arrival)
+		}
+		if t.Type < 0 {
+			return nil, fmt.Errorf("workload: task %d has negative type", i)
+		}
+	}
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Arrival < tasks[b].Arrival })
+	return tasks, nil
+}

@@ -1,0 +1,196 @@
+// Package workload implements the synthetic workload generators of
+// Section VI: the ECS tensor (§VI.C, Equation 10 with the monotonicity
+// repair), task-type rewards (Equation 11), deadlines (Equations 12-14),
+// arrival rates (Equations 15-16), and a Poisson task-stream generator for
+// the second-step dynamic scheduler.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"thermaldc/internal/model"
+	"thermaldc/internal/stats"
+)
+
+// GenConfig holds the §VI generator parameters.
+type GenConfig struct {
+	// T is the number of task types (paper: 8).
+	T int
+	// VECS is the task/node affinity variation factor (paper: 0.1).
+	VECS float64
+	// Vprop is the frequency-proportionality variation factor (paper: 0.1
+	// or 0.3; the Figure-6 knob).
+	Vprop float64
+	// Varrival is the arrival-rate variation factor (paper: 0.3).
+	Varrival float64
+	// NodeTypePerf is the average ECS per node type; the paper uses
+	// {0.6, 1.0} from the SPECpower ssj-ops ratio of the two servers.
+	NodeTypePerf []float64
+	// DeadlineFactor scales deadlines (paper Equation 14: 1.5).
+	DeadlineFactor float64
+}
+
+// DefaultGenConfig returns the paper's §VI parameters for the given Vprop.
+func DefaultGenConfig(vprop float64) GenConfig {
+	return GenConfig{
+		T:              8,
+		VECS:           0.1,
+		Vprop:          vprop,
+		Varrival:       0.3,
+		NodeTypePerf:   []float64{0.6, 1.0},
+		DeadlineFactor: 1.5,
+	}
+}
+
+func (c *GenConfig) validate(numNodeTypes int) error {
+	if c.T <= 0 {
+		return fmt.Errorf("workload: T must be positive, got %d", c.T)
+	}
+	if len(c.NodeTypePerf) != numNodeTypes {
+		return fmt.Errorf("workload: %d node-type performance factors for %d node types",
+			len(c.NodeTypePerf), numNodeTypes)
+	}
+	for _, v := range []float64{c.VECS, c.Vprop, c.Varrival} {
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("workload: variation factors must be in [0, 1), got %g", v)
+		}
+	}
+	if c.DeadlineFactor <= 0 {
+		return fmt.Errorf("workload: deadline factor must be positive")
+	}
+	return nil
+}
+
+// GenerateECS builds the three-dimensional ECS tensor of §VI.C:
+//
+//  1. A 2-D P-state-0 matrix: entry (i, j) is the product of the task
+//     type's average ECS (each type half as fast as the next), the node
+//     type's average ECS, and a variation factor rand[1−VECS, 1+VECS].
+//  2. Extension along P-states by Equation 10 (clock-frequency scaling
+//     times rand[1−Vprop, 1+Vprop]), regenerating any draw that would make
+//     ECS increase with the P-state index.
+//  3. A final 0 entry per (i, j) for the turned-off state.
+func GenerateECS(nodeTypes []model.NodeType, cfg GenConfig, rng *rand.Rand) (model.ECS, error) {
+	if err := cfg.validate(len(nodeTypes)); err != nil {
+		return nil, err
+	}
+	ecs := make(model.ECS, cfg.T)
+	for i := 0; i < cfg.T; i++ {
+		// Task-type average: type T−1 has average 1, each earlier type is
+		// half as fast.
+		taskAvg := math.Pow(2, float64(i-(cfg.T-1)))
+		ecs[i] = make([][]float64, len(nodeTypes))
+		for j := range nodeTypes {
+			eta := nodeTypes[j].NumPStates()
+			row := make([]float64, eta+1)
+			row[0] = taskAvg * cfg.NodeTypePerf[j] * stats.Uniform(rng, 1-cfg.VECS, 1+cfg.VECS)
+			freqs := nodeTypes[j].Core.FreqMHz
+			for k := 1; k < eta; k++ {
+				for {
+					v := row[0] * (freqs[k] / freqs[0]) * stats.Uniform(rng, 1-cfg.Vprop, 1+cfg.Vprop)
+					if v < row[k-1] {
+						row[k] = v
+						break
+					}
+				}
+			}
+			// row[eta] stays 0: turned off.
+			ecs[i][j] = row
+		}
+	}
+	return ecs, nil
+}
+
+// GenerateTaskTypes fills dc.TaskTypes from dc.ECS and the node
+// population, using the paper's reward (Equation 11), deadline
+// (Equations 12-14) and arrival-rate (Equations 15-16) rules. dc.ECS and
+// dc.Nodes must already be populated.
+func GenerateTaskTypes(dc *model.DataCenter, cfg GenConfig, rng *rand.Rand) error {
+	if err := cfg.validate(len(dc.NodeTypes)); err != nil {
+		return err
+	}
+	if len(dc.ECS) != cfg.T {
+		return fmt.Errorf("workload: ECS has %d task types, config says %d", len(dc.ECS), cfg.T)
+	}
+	types := make([]model.TaskType, cfg.T)
+	for i := 0; i < cfg.T; i++ {
+		// Equation 11: reward = 1 / (average P-state-0 ECS over node types).
+		avg := 0.0
+		for j := range dc.NodeTypes {
+			avg += dc.ECS[i][j][0]
+		}
+		avg /= float64(len(dc.NodeTypes))
+		reward := 1 / avg
+
+		// Equations 12-13: extreme ECS over node types; the minimum is at
+		// the slowest real P-state (index η−1 here, the paper's η_j − 2
+		// counting the off state), the maximum at P-state 0.
+		minECS := math.Inf(1)
+		maxECS := math.Inf(-1)
+		for j := range dc.NodeTypes {
+			eta := dc.NodeTypes[j].NumPStates()
+			if v := dc.ECS[i][j][eta-1]; v < minECS {
+				minECS = v
+			}
+			if v := dc.ECS[i][j][0]; v > maxECS {
+				maxECS = v
+			}
+		}
+		// Equation 14: m_i = 1.5·rand[1/MaxECS, 1/MinECS], guaranteeing at
+		// least one core type can meet the deadline at P-state 0.
+		m := cfg.DeadlineFactor * stats.Uniform(rng, 1/maxECS, 1/minECS)
+
+		// Equations 15-16: λ_i sized so the full-power data center could
+		// just absorb the load split evenly across task types.
+		sumECS := 0.0
+		for j := range dc.Nodes {
+			nt := dc.Nodes[j].Type
+			sumECS += dc.ECS[i][nt][0] * float64(dc.NodeTypes[nt].NumCores)
+		}
+		sumECS /= float64(cfg.T)
+		lambda := sumECS * stats.Uniform(rng, 1-cfg.Varrival, 1+cfg.Varrival)
+
+		types[i] = model.TaskType{
+			Name:        fmt.Sprintf("type-%d", i),
+			Reward:      reward,
+			RelDeadline: m,
+			ArrivalRate: lambda,
+		}
+	}
+	dc.TaskTypes = types
+	return nil
+}
+
+// Task is one concrete task instance for the dynamic scheduler.
+type Task struct {
+	// ID is a unique, arrival-ordered identifier.
+	ID int
+	// Type indexes DataCenter.TaskTypes.
+	Type int
+	// Arrival is the arrival time in seconds from simulation start.
+	Arrival float64
+	// Deadline = Arrival + m_type (absolute).
+	Deadline float64
+}
+
+// GenerateTasks draws a Poisson arrival stream for every task type over
+// [0, horizon) seconds and returns the merged, arrival-sorted task list.
+func GenerateTasks(dc *model.DataCenter, horizon float64, rng *rand.Rand) []Task {
+	var tasks []Task
+	for i, tt := range dc.TaskTypes {
+		if tt.ArrivalRate <= 0 {
+			continue
+		}
+		for t := stats.Exp(rng, tt.ArrivalRate); t < horizon; t += stats.Exp(rng, tt.ArrivalRate) {
+			tasks = append(tasks, Task{Type: i, Arrival: t, Deadline: t + tt.RelDeadline})
+		}
+	}
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Arrival < tasks[b].Arrival })
+	for i := range tasks {
+		tasks[i].ID = i
+	}
+	return tasks
+}

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"thermaldc/internal/model"
+	"thermaldc/internal/stats"
+)
+
+func genDC(t testing.TB, vprop float64, seed int64) (*model.DataCenter, GenConfig) {
+	t.Helper()
+	cfg := DefaultGenConfig(vprop)
+	dc := &model.DataCenter{
+		NodeTypes:   model.TableINodeTypes(0.3),
+		RedlineNode: 25,
+		RedlineCRAC: 40,
+		CRACs:       []model.CRAC{{Flow: 1}},
+	}
+	for j := 0; j < 10; j++ {
+		dc.Nodes = append(dc.Nodes, model.Node{Type: j % 2})
+	}
+	rng := stats.NewRand(seed)
+	ecs, err := GenerateECS(dc.NodeTypes, cfg, rng)
+	if err != nil {
+		t.Fatalf("GenerateECS: %v", err)
+	}
+	dc.ECS = ecs
+	if err := GenerateTaskTypes(dc, cfg, rng); err != nil {
+		t.Fatalf("GenerateTaskTypes: %v", err)
+	}
+	return dc, cfg
+}
+
+func TestGenerateECSShape(t *testing.T) {
+	dc, cfg := genDC(t, 0.1, 1)
+	if len(dc.ECS) != cfg.T {
+		t.Fatalf("ECS task dim = %d, want %d", len(dc.ECS), cfg.T)
+	}
+	for i := range dc.ECS {
+		if len(dc.ECS[i]) != 2 {
+			t.Fatalf("ECS node dim = %d, want 2", len(dc.ECS[i]))
+		}
+		for j := range dc.ECS[i] {
+			if len(dc.ECS[i][j]) != 5 {
+				t.Fatalf("ECS pstate dim = %d, want 5", len(dc.ECS[i][j]))
+			}
+		}
+	}
+}
+
+func TestECSMonotoneInPState(t *testing.T) {
+	for _, vprop := range []float64{0.1, 0.3} {
+		dc, _ := genDC(t, vprop, 2)
+		for i := range dc.ECS {
+			for j := range dc.ECS[i] {
+				row := dc.ECS[i][j]
+				for k := 1; k < len(row); k++ {
+					if row[k] >= row[k-1] && row[k-1] != 0 {
+						t.Fatalf("Vprop=%g: ECS[%d][%d] not decreasing: %v", vprop, i, j, row)
+					}
+				}
+				if row[len(row)-1] != 0 {
+					t.Fatalf("off-state ECS = %g, want 0", row[len(row)-1])
+				}
+			}
+		}
+	}
+}
+
+func TestECSTaskEasinessDoubling(t *testing.T) {
+	// Type i+1 is on average twice as fast as type i (within the ±VECS
+	// variation of 10%).
+	dc, _ := genDC(t, 0.1, 3)
+	for i := 0; i+1 < len(dc.ECS); i++ {
+		for j := range dc.ECS[i] {
+			ratio := dc.ECS[i+1][j][0] / dc.ECS[i][j][0]
+			if ratio < 2*0.9/1.1 || ratio > 2*1.1/0.9 {
+				t.Errorf("ECS ratio type %d→%d on node %d = %g, want ≈2", i, i+1, j, ratio)
+			}
+		}
+	}
+}
+
+func TestECSNodeTypePerformanceRatio(t *testing.T) {
+	// Node type 1 performs 0.6× node type 2 on average.
+	dc, _ := genDC(t, 0.1, 4)
+	sum0, sum1 := 0.0, 0.0
+	for i := range dc.ECS {
+		sum0 += dc.ECS[i][0][0]
+		sum1 += dc.ECS[i][1][0]
+	}
+	ratio := sum0 / sum1
+	if ratio < 0.6*0.85 || ratio > 0.6*1.15 {
+		t.Errorf("node performance ratio = %g, want ≈0.6", ratio)
+	}
+}
+
+func TestECSFrequencyScaling(t *testing.T) {
+	// With Vprop=0.1, ECS at P-state k is within ±10% of the frequency-
+	// proportional value (unless the monotonicity repair bit).
+	dc, _ := genDC(t, 0.1, 5)
+	for i := range dc.ECS {
+		for j := range dc.ECS[i] {
+			freqs := dc.NodeTypes[j].Core.FreqMHz
+			for k := 1; k < 4; k++ {
+				ideal := dc.ECS[i][j][0] * freqs[k] / freqs[0]
+				got := dc.ECS[i][j][k]
+				if got < ideal*0.9-1e-12 || got > ideal*1.1+1e-12 {
+					t.Errorf("ECS[%d][%d][%d] = %g outside ±10%% of %g", i, j, k, got, ideal)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateECSConfigValidation(t *testing.T) {
+	rng := stats.NewRand(1)
+	types := model.TableINodeTypes(0.3)
+	bad := []GenConfig{
+		{T: 0, NodeTypePerf: []float64{1, 1}, DeadlineFactor: 1},
+		{T: 2, NodeTypePerf: []float64{1}, DeadlineFactor: 1},
+		{T: 2, NodeTypePerf: []float64{1, 1}, VECS: 1.0, DeadlineFactor: 1},
+		{T: 2, NodeTypePerf: []float64{1, 1}, DeadlineFactor: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateECS(types, cfg, rng); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTaskTypeRewards(t *testing.T) {
+	// Equation 11: reward = 1/avg ECS; easier (higher-ECS) types earn less.
+	dc, _ := genDC(t, 0.1, 6)
+	for i, tt := range dc.TaskTypes {
+		avg := (dc.ECS[i][0][0] + dc.ECS[i][1][0]) / 2
+		if math.Abs(tt.Reward*avg-1) > 1e-9 {
+			t.Errorf("reward %d = %g, want %g", i, tt.Reward, 1/avg)
+		}
+	}
+	for i := 0; i+1 < len(dc.TaskTypes); i++ {
+		if dc.TaskTypes[i].Reward <= dc.TaskTypes[i+1].Reward {
+			t.Errorf("rewards should decrease with task easiness: r%d=%g r%d=%g",
+				i, dc.TaskTypes[i].Reward, i+1, dc.TaskTypes[i+1].Reward)
+		}
+	}
+}
+
+func TestDeadlineRange(t *testing.T) {
+	// Equation 14: m_i ∈ 1.5·[1/MaxECS, 1/MinECS]; in particular at least
+	// one node type meets the deadline at P-state 0 (1/MaxECS ≤ m/1.5).
+	prop := func(seed int64) bool {
+		dc, cfg := genDC(t, 0.3, seed)
+		for i, tt := range dc.TaskTypes {
+			minECS, maxECS := math.Inf(1), math.Inf(-1)
+			for j := range dc.NodeTypes {
+				eta := dc.NodeTypes[j].NumPStates()
+				minECS = math.Min(minECS, dc.ECS[i][j][eta-1])
+				maxECS = math.Max(maxECS, dc.ECS[i][j][0])
+			}
+			lo := cfg.DeadlineFactor / maxECS
+			hi := cfg.DeadlineFactor / minECS
+			if tt.RelDeadline < lo-1e-9 || tt.RelDeadline > hi+1e-9 {
+				return false
+			}
+			// Feasibility at P-state 0 on the fastest type.
+			if tt.RelDeadline < 1/maxECS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrivalRates(t *testing.T) {
+	// Equation 15-16: λ_i ≈ SumECS_i within ±30%.
+	dc, cfg := genDC(t, 0.1, 8)
+	for i, tt := range dc.TaskTypes {
+		sum := 0.0
+		for j := range dc.Nodes {
+			nt := dc.Nodes[j].Type
+			sum += dc.ECS[i][nt][0] * float64(dc.NodeTypes[nt].NumCores)
+		}
+		sum /= float64(cfg.T)
+		if tt.ArrivalRate < sum*(1-cfg.Varrival)-1e-9 || tt.ArrivalRate > sum*(1+cfg.Varrival)+1e-9 {
+			t.Errorf("λ_%d = %g outside SumECS %g ± 30%%", i, tt.ArrivalRate, sum)
+		}
+	}
+}
+
+func TestGenerateTaskTypesRequiresECS(t *testing.T) {
+	cfg := DefaultGenConfig(0.1)
+	dc := &model.DataCenter{NodeTypes: model.TableINodeTypes(0.3)}
+	if err := GenerateTaskTypes(dc, cfg, stats.NewRand(1)); err == nil {
+		t.Fatal("GenerateTaskTypes without ECS accepted")
+	}
+}
+
+func TestGenerateTasksStream(t *testing.T) {
+	dc, _ := genDC(t, 0.1, 9)
+	const horizon = 50.0
+	tasks := GenerateTasks(dc, horizon, stats.NewRand(10))
+	if len(tasks) == 0 {
+		t.Fatal("no tasks generated")
+	}
+	if !sort.SliceIsSorted(tasks, func(a, b int) bool { return tasks[a].Arrival < tasks[b].Arrival }) {
+		t.Fatal("tasks not sorted by arrival")
+	}
+	counts := make([]int, dc.T())
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Fatal("IDs not arrival-ordered")
+		}
+		if task.Arrival < 0 || task.Arrival >= horizon {
+			t.Fatalf("arrival %g outside horizon", task.Arrival)
+		}
+		want := task.Arrival + dc.TaskTypes[task.Type].RelDeadline
+		if math.Abs(task.Deadline-want) > 1e-12 {
+			t.Fatalf("deadline %g, want %g", task.Deadline, want)
+		}
+		counts[task.Type]++
+	}
+	// Empirical rates within 3 sigma of λ·horizon.
+	for i, tt := range dc.TaskTypes {
+		mean := tt.ArrivalRate * horizon
+		sigma := math.Sqrt(mean)
+		if math.Abs(float64(counts[i])-mean) > 4*sigma+1 {
+			t.Errorf("type %d: %d arrivals, expected ≈%g", i, counts[i], mean)
+		}
+	}
+}
+
+func TestGenerateTasksZeroRate(t *testing.T) {
+	dc, _ := genDC(t, 0.1, 11)
+	for i := range dc.TaskTypes {
+		dc.TaskTypes[i].ArrivalRate = 0
+	}
+	if tasks := GenerateTasks(dc, 100, stats.NewRand(1)); len(tasks) != 0 {
+		t.Fatalf("expected no tasks, got %d", len(tasks))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := genDC(t, 0.3, 42)
+	b, _ := genDC(t, 0.3, 42)
+	for i := range a.ECS {
+		for j := range a.ECS[i] {
+			for k := range a.ECS[i][j] {
+				if a.ECS[i][j][k] != b.ECS[i][j][k] {
+					t.Fatal("ECS generation not deterministic")
+				}
+			}
+		}
+	}
+	for i := range a.TaskTypes {
+		if a.TaskTypes[i] != b.TaskTypes[i] {
+			t.Fatal("task-type generation not deterministic")
+		}
+	}
+}

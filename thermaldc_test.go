@@ -1,0 +1,94 @@
+package thermaldc_test
+
+import (
+	"math"
+	"testing"
+
+	"thermaldc"
+)
+
+// buildSmall exercises the full public pipeline at reduced scale.
+func buildSmall(t testing.TB, seed int64) *thermaldc.Scenario {
+	t.Helper()
+	cfg := thermaldc.DefaultScenario(0.3, 0.1, seed)
+	cfg.NCracs = 2
+	cfg.NNodes = 10
+	sc, err := thermaldc.NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sc := buildSmall(t, 1)
+	if sc.Pmin >= sc.Pmax || sc.DC.Pconst <= sc.Pmin || sc.DC.Pconst >= sc.Pmax {
+		t.Fatalf("bounds: Pmin %g, Pconst %g, Pmax %g", sc.Pmin, sc.DC.Pconst, sc.Pmax)
+	}
+	opts := thermaldc.DefaultAssignOptions()
+	ts, err := thermaldc.ThreeStage(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := thermaldc.Baseline(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.RewardRate() <= 0 || bl.RewardRate <= 0 {
+		t.Fatal("rewards should be positive")
+	}
+	const horizon = 25.0
+	tasks := thermaldc.GenerateTasks(sc.DC, horizon, 7)
+	out, err := thermaldc.Simulate(sc.DC, ts, tasks, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RewardRate <= 0 {
+		t.Fatal("simulation produced no reward")
+	}
+	if math.IsNaN(out.MeanRatioError) {
+		t.Fatal("ratio error NaN")
+	}
+}
+
+func TestPublicPowerBounds(t *testing.T) {
+	sc := buildSmall(t, 2)
+	search := sc.Config.Search
+	pmin, pmax, err := thermaldc.PowerBounds(sc.DC, sc.Thermal, search)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pmin-sc.Pmin) > 1e-9 || math.Abs(pmax-sc.Pmax) > 1e-9 {
+		t.Errorf("bounds disagree with scenario: %g/%g vs %g/%g", pmin, pmax, sc.Pmin, sc.Pmax)
+	}
+}
+
+func TestPublicTableTypes(t *testing.T) {
+	types := thermaldc.TableINodeTypes(0.25)
+	if len(types) != 2 || types[0].NumCores != 32 {
+		t.Fatal("TableINodeTypes wrong")
+	}
+	if types[0].Core.StaticShare != 0.25 {
+		t.Fatal("static share not threaded through")
+	}
+}
+
+func TestPublicThermalModel(t *testing.T) {
+	sc := buildSmall(t, 3)
+	tm, err := thermaldc.NewThermalModel(sc.DC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, sc.DC.NCRAC())
+	for i := range out {
+		out[i] = 15
+	}
+	pcn := make([]float64, sc.DC.NCN())
+	for j := range pcn {
+		pcn[j] = sc.DC.NodeType(j).MinPower()
+	}
+	tin := tm.InletTemps(out, pcn)
+	if len(tin) != sc.DC.NumThermal() {
+		t.Fatal("inlet vector wrong length")
+	}
+}
