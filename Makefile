@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fig6 results clean
+.PHONY: all build test test-short race bench bench-json ci fig6 results clean
 
 all: build test
 
@@ -19,8 +19,22 @@ test-short:
 race:
 	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/sched/
 
+# Pre-merge gate (see README): formatting, vet, build, full race suite.
+ci:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Stage-1 solver benchmark (legacy rebuild vs incremental solver, serial
+# and parallel) in machine-readable form.
+bench-json:
+	$(GO) test -run '^$$' -bench 'ThreeStagePaperScale' -benchtime 3x -json . > BENCH_stage1.json
+	@grep 'ns/op' BENCH_stage1.json | sed 's/.*"Test":"\([^"]*\)".*"Output":" *\([0-9]*\)\\t \([0-9]*\) ns.op.*/\1: \3 ns\/op (\2 runs)/' || true
 
 # The paper's headline experiment at full scale (25 trials, 150 nodes,
 # 3 CRACs); takes ~10 minutes on one core.

@@ -208,6 +208,87 @@ func BenchmarkSearchStrategies(b *testing.B) {
 	}
 }
 
+// benchPaperSC caches the paper-scale instance (150 nodes, 3 CRACs).
+var benchPaperSC *scenario.Scenario
+
+func getPaperScenario(b *testing.B) *scenario.Scenario {
+	b.Helper()
+	if benchPaperSC == nil {
+		cfg := scenario.Default(0.3, 0.1, 2)
+		cfg.NCracs = 3
+		cfg.NNodes = 150
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPaperSC = sc
+	}
+	return benchPaperSC
+}
+
+// BenchmarkThreeStagePaperScale measures one full three-stage assignment
+// trial at the paper's scale, comparing the historical per-candidate
+// rebuild path (Stage1Fixed on every search candidate) against the
+// incremental Stage1Solver, serially and with the parallel search.
+func BenchmarkThreeStagePaperScale(b *testing.B) {
+	sc := getPaperScenario(b)
+
+	b.Run("legacy-rebuild", func(b *testing.B) {
+		// The pre-Stage1Solver evaluation path: a fresh LP per candidate.
+		arrs := make([]*pwl.Func, len(sc.DC.NodeTypes))
+		for j := range arrs {
+			f, err := assign.ARR(sc.DC, j, 50)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arrs[j] = f
+		}
+		cfg := tempsearch.DefaultConfig()
+		cfg.Parallelism = 1
+		eval := tempsearch.Shared(func(cracOut []float64) (float64, bool) {
+			res, err := assign.Stage1Fixed(sc.DC, sc.Thermal, arrs, cracOut)
+			if err != nil || !res.Feasible {
+				return 0, false
+			}
+			return res.PredictedARR, true
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			best, err := tempsearch.CoarseToFine(sc.DC.NCRAC(), cfg, eval)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s1, err := assign.Stage1Fixed(sc.DC, sc.Thermal, arrs, best.Out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pstates := assign.Stage2(sc.DC, arrs, s1)
+			if _, err := assign.Stage3(sc.DC, pstates); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, bench := range []struct {
+		name string
+		par  int
+	}{
+		{"solver-serial", 1},
+		{"solver-parallel", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			opts := assign.DefaultOptions()
+			opts.Search.Parallelism = bench.par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := assign.ThreeStage(sc.DC, sc.Thermal, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig6ReducedExperiment runs a miniature end-to-end Figure-6
 // experiment (1 trial per group) including scenario construction.
 func BenchmarkFig6ReducedExperiment(b *testing.B) {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tapo fig6     [-trials N] [-nodes N] [-cracs N] [-seed S] [-quiet]
+//	              [-search-parallelism N]
 //	tapo table1   [-static F]
 //	tapo table2
 //	tapo fig345
@@ -128,6 +129,12 @@ func scaleFlags(fs *flag.FlagSet) (trials, nodes, cracs *int, seed *int64) {
 	return
 }
 
+// searchParFlag registers the CRAC temperature-search worker-pool flag.
+// Results are bit-identical for every setting (see internal/tempsearch).
+func searchParFlag(fs *flag.FlagSet) *int {
+	return fs.Int("search-parallelism", 0, "workers per temperature search (0 = GOMAXPROCS; any value gives identical results)")
+}
+
 func runFig6(args []string) error {
 	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
@@ -135,6 +142,7 @@ func runFig6(args []string) error {
 	csvPath := fs.String("csv", "", "also write per-trial rows to this CSV file")
 	simHorizon := fs.Float64("sim", 0, "also simulate both techniques over this horizon (s) and report realized improvement")
 	simPaper := fs.Bool("sim-paper-policy", false, "use the paper's strict min-ratio policy in the simulation")
+	searchPar := searchParFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,6 +150,7 @@ func runFig6(args []string) error {
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
 	cfg.SimHorizon = *simHorizon
 	cfg.SimPaperPolicy = *simPaper
+	cfg.Options.Search.Parallelism = *searchPar
 	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
 	if *quiet {
 		progress = nil
@@ -220,6 +229,7 @@ func runSweep(args []string) error {
 	valuesFlag := fs.String("values", "", "comma-separated sweep values (defaults per kind)")
 	static := fs.Float64("static", 0.3, "static power share (non-swept)")
 	vprop := fs.Float64("vprop", 0.3, "Vprop (non-swept)")
+	searchPar := searchParFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -243,6 +253,7 @@ func runSweep(args []string) error {
 	cfg := experiments.DefaultSweepConfig(values)
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
 	cfg.StaticShare, cfg.Vprop = *static, *vprop
+	cfg.Options.Search.Parallelism = *searchPar
 	var res *experiments.SweepResult
 	var err error
 	switch *kind {
@@ -267,11 +278,13 @@ func runSweep(args []string) error {
 func runAblation(args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
+	searchPar := searchParFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := experiments.DefaultSweepConfig(nil)
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
+	cfg.Options.Search.Parallelism = *searchPar
 	res, err := experiments.StrategyAblation(cfg, []assign.Strategy{
 		assign.CoarseToFine, assign.FullGrid, assign.CoordDescent,
 	})
@@ -288,6 +301,7 @@ func runMinPower(args []string) error {
 	static := fs.Float64("static", 0.3, "static power share")
 	vprop := fs.Float64("vprop", 0.3, "ECS proportionality variation")
 	fracs := fs.String("floors", "0.3,0.5,0.7,0.9", "reward floors as fractions of the Pconst-optimal reward")
+	searchPar := searchParFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -302,6 +316,7 @@ func runMinPower(args []string) error {
 		return err
 	}
 	opts := assign.DefaultOptions()
+	opts.Search.Parallelism = *searchPar
 	primal, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
 	if err != nil {
 		return err
@@ -407,6 +422,7 @@ func runThermal(args []string) error {
 	static := fs.Float64("static", 0.3, "static power share")
 	vprop := fs.Float64("vprop", 0.3, "ECS proportionality variation")
 	psi := fs.Float64("psi", 50, "ψ parameter")
+	searchPar := searchParFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -414,6 +430,7 @@ func runThermal(args []string) error {
 	scCfg.NNodes, scCfg.NCracs = *nodes, *cracs
 	opts := assign.DefaultOptions()
 	opts.Psi = *psi
+	opts.Search.Parallelism = *searchPar
 	res, err := experiments.ThermalMap(scCfg, opts)
 	if err != nil {
 		return err

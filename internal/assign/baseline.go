@@ -6,6 +6,7 @@ import (
 
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/model"
+	"thermaldc/internal/tempsearch"
 	"thermaldc/internal/thermal"
 )
 
@@ -247,7 +248,8 @@ func (r *BaselineResult) Assignment(dc *model.DataCenter) (pstates []int, tc [][
 
 // Baseline runs the Equation-21 technique with the same CRAC outlet
 // temperature search as the three-stage assignment, using the LP optimum
-// as the search criterion.
+// as the search criterion. BaselineFixed builds a fresh LP per call and
+// only reads dc/tm, so one shared evaluator serves all search workers.
 func Baseline(dc *model.DataCenter, tm *thermal.Model, opts Options) (*BaselineResult, error) {
 	eval := func(cracOut []float64) (float64, bool) {
 		res, err := BaselineFixed(dc, tm, cracOut)
@@ -256,7 +258,7 @@ func Baseline(dc *model.DataCenter, tm *thermal.Model, opts Options) (*BaselineR
 		}
 		return res.RewardRateLP, true
 	}
-	best, err := runSearch(dc.NCRAC(), opts, eval)
+	best, err := runSearch(dc.NCRAC(), opts, tempsearch.Shared(eval))
 	if err != nil {
 		return nil, fmt.Errorf("assign: baseline temperature search: %w", err)
 	}

@@ -23,15 +23,17 @@ func PowerBounds(dc *model.DataCenter, tm *thermal.Model, search tempsearch.Conf
 		minPCN[j] = nt.MinPower()
 		maxPCN[j] = nt.MaxPower()
 	}
-	evalFor := func(pcn []float64) tempsearch.Objective {
-		return func(cracOut []float64) (float64, bool) {
+	// The evaluators only read tm and their pcn vector, so one shared
+	// evaluator serves all search workers.
+	evalFor := func(pcn []float64) tempsearch.Factory {
+		return tempsearch.Shared(func(cracOut []float64) (float64, bool) {
 			tin := tm.InletTemps(cracOut, pcn)
 			if tm.RedlineSlack(tin) < -powerTolerance {
 				return 0, false
 			}
 			// Minimizing power = maximizing its negation.
 			return -tm.TotalPower(cracOut, pcn), true
-		}
+		})
 	}
 	minRes, err := tempsearch.CoarseToFine(dc.NCRAC(), search, evalFor(minPCN))
 	if err != nil {

@@ -71,23 +71,42 @@ func (r *ThreeStageResult) RewardRate() float64 { return r.Stage3.RewardRate }
 // outlet temperatures (Stage-1 LP value as the criterion), then convert
 // the winning relaxed power assignment to integer P-states (Stage 2) and
 // solve the desired-execution-rate LP (Stage 3).
+//
+// The search evaluates Stage-1 candidates through an incremental
+// Stage1Solver — one per search worker (see tempsearch.Config.Parallelism)
+// — so the LP skeleton and simplex tableau are built once per worker, not
+// once per candidate. Results are identical to solving each candidate with
+// Stage1Fixed serially.
 func ThreeStage(dc *model.DataCenter, tm *thermal.Model, opts Options) (*ThreeStageResult, error) {
 	arrs, err := nodeARRs(dc, opts.Psi)
 	if err != nil {
 		return nil, err
 	}
-	eval := func(cracOut []float64) (float64, bool) {
-		res, err := Stage1Fixed(dc, tm, arrs, cracOut)
-		if err != nil || !res.Feasible {
-			return 0, false
+	base := NewStage1Solver(dc, tm, arrs)
+	handed := false
+	factory := func() tempsearch.Objective {
+		// The first worker gets the base solver; later workers get clones.
+		// Searches call the factory from a single goroutine, and all workers
+		// finish before the search returns, so reusing base afterwards for
+		// the final solve is safe.
+		solver := base
+		if handed {
+			solver = base.Clone()
 		}
-		return res.PredictedARR, true
+		handed = true
+		return func(cracOut []float64) (float64, bool) {
+			res, err := solver.Solve(cracOut)
+			if err != nil || !res.Feasible {
+				return 0, false
+			}
+			return res.PredictedARR, true
+		}
 	}
-	best, err := runSearch(dc.NCRAC(), opts, eval)
+	best, err := runSearch(dc.NCRAC(), opts, factory)
 	if err != nil {
 		return nil, fmt.Errorf("assign: temperature search: %w", err)
 	}
-	s1, err := Stage1Fixed(dc, tm, arrs, best.Out)
+	s1, err := base.Solve(best.Out)
 	if err != nil {
 		return nil, err
 	}
@@ -105,13 +124,13 @@ func ThreeStage(dc *model.DataCenter, tm *thermal.Model, opts Options) (*ThreeSt
 }
 
 // runSearch dispatches on the strategy.
-func runSearch(ncrac int, opts Options, eval tempsearch.Objective) (tempsearch.Result, error) {
+func runSearch(ncrac int, opts Options, newEval tempsearch.Factory) (tempsearch.Result, error) {
 	switch opts.Strategy {
 	case FullGrid:
-		return tempsearch.Grid(ncrac, opts.Search, opts.Search.FineStep, eval)
+		return tempsearch.Grid(ncrac, opts.Search, opts.Search.FineStep, newEval)
 	case CoordDescent:
-		return tempsearch.CoordinateDescent(ncrac, opts.Search, nil, eval)
+		return tempsearch.CoordinateDescent(ncrac, opts.Search, nil, newEval)
 	default:
-		return tempsearch.CoarseToFine(ncrac, opts.Search, eval)
+		return tempsearch.CoarseToFine(ncrac, opts.Search, newEval)
 	}
 }

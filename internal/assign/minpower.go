@@ -5,6 +5,7 @@ import (
 
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/model"
+	"thermaldc/internal/tempsearch"
 	"thermaldc/internal/thermal"
 )
 
@@ -168,6 +169,8 @@ func MinPowerForReward(dc *model.DataCenter, tm *thermal.Model, rewardFloor floa
 	if err != nil {
 		return nil, err
 	}
+	// minPowerFixed builds a fresh LP per call over the read-only segment
+	// sets, so one shared evaluator serves all search workers.
 	eval := func(cracOut []float64) (float64, bool) {
 		res, err := minPowerFixed(dc, tm, sets, cracOut, rewardFloor)
 		if err != nil || !res.Feasible {
@@ -175,7 +178,7 @@ func MinPowerForReward(dc *model.DataCenter, tm *thermal.Model, rewardFloor floa
 		}
 		return -res.TotalPower, true
 	}
-	best, err := runSearch(dc.NCRAC(), opts, eval)
+	best, err := runSearch(dc.NCRAC(), opts, tempsearch.Shared(eval))
 	if err != nil {
 		return nil, fmt.Errorf("assign: no outlet assignment can reach reward %g within the redlines: %w", rewardFloor, err)
 	}

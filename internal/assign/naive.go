@@ -45,7 +45,7 @@ func NaiveOndemand(dc *model.DataCenter, tm *thermal.Model, search tempsearch.Co
 			}
 			return -tm.TotalPower(cracOut, pcn), true
 		}
-		res, err := tempsearch.CoarseToFine(dc.NCRAC(), search, eval)
+		res, err := tempsearch.CoarseToFine(dc.NCRAC(), search, tempsearch.Shared(eval))
 		if err != nil {
 			return nil, 0, false
 		}

@@ -1,0 +1,166 @@
+package assign_test
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/pwl"
+	"thermaldc/internal/scenario"
+	"thermaldc/internal/stats"
+)
+
+// buildARRs mirrors what ThreeStage precomputes per ψ.
+func buildARRs(t *testing.T, sc *scenario.Scenario, psi float64) []*pwl.Func {
+	t.Helper()
+	arrs := make([]*pwl.Func, len(sc.DC.NodeTypes))
+	for j := range arrs {
+		f, err := assign.ARR(sc.DC, j, psi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrs[j] = f
+	}
+	return arrs
+}
+
+// TestStage1SolverMatchesFixed checks the incremental solver against the
+// from-scratch Stage1Fixed across randomized scenarios and many lattice
+// points, including repeated solves on one solver and solves on a clone.
+// The two paths perform identical floating-point operations, so the
+// comparison tolerance of 1e-9 should see differences of exactly zero.
+func TestStage1SolverMatchesFixed(t *testing.T) {
+	const tol = 1e-9
+	cases := []struct {
+		seed           int64
+		ncracs, nnodes int
+		psi            float64
+	}{
+		{seed: 3, ncracs: 2, nnodes: 20, psi: 50},
+		{seed: 11, ncracs: 2, nnodes: 20, psi: 25},
+		{seed: 7, ncracs: 3, nnodes: 45, psi: 50},
+	}
+	for _, tc := range cases {
+		cfg := scenario.Default(0.3, 0.1, tc.seed)
+		cfg.NCracs = tc.ncracs
+		cfg.NNodes = tc.nnodes
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: scenario.Build: %v", tc.seed, err)
+		}
+		arrs := buildARRs(t, sc, tc.psi)
+		solver := assign.NewStage1Solver(sc.DC, sc.Thermal, arrs)
+		clone := solver.Clone()
+
+		// Random outlet vectors across the search window, plus the window
+		// corners (the hot corner often makes base power alone violate a
+		// redline, exercising the infeasible-candidate error path).
+		rng := stats.NewRand(tc.seed + 500)
+		points := [][]float64{
+			repeated(5, tc.ncracs), repeated(25, tc.ncracs), repeated(16, tc.ncracs),
+		}
+		for n := 0; n < 12; n++ {
+			p := make([]float64, tc.ncracs)
+			for i := range p {
+				p[i] = 5 + 20*rng.Float64()
+			}
+			points = append(points, p)
+		}
+
+		// Two passes over all points on the same solver: the second pass
+		// must reproduce the first (no state leaks between solves).
+		for pass := 0; pass < 2; pass++ {
+			for pi, out := range points {
+				want, wantErr := assign.Stage1Fixed(sc.DC, sc.Thermal, arrs, out)
+				s := solver
+				if pi%2 == 1 {
+					s = clone
+				}
+				got, gotErr := s.Solve(out)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d point %v pass %d: error mismatch: fixed=%v solver=%v",
+						tc.seed, out, pass, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if got.Feasible != want.Feasible {
+						t.Errorf("seed %d point %v: Feasible %v vs %v on error", tc.seed, out, got.Feasible, want.Feasible)
+					}
+					continue
+				}
+				if got.Feasible != want.Feasible {
+					t.Errorf("seed %d point %v pass %d: Feasible = %v, want %v", tc.seed, out, pass, got.Feasible, want.Feasible)
+				}
+				close := func(name string, g, w float64) {
+					if math.Abs(g-w) > tol {
+						t.Errorf("seed %d point %v pass %d: %s = %.15g, want %.15g", tc.seed, out, pass, name, g, w)
+					}
+				}
+				close("PredictedARR", got.PredictedARR, want.PredictedARR)
+				close("PowerShadowPrice", got.PowerShadowPrice, want.PowerShadowPrice)
+				close("ComputePower", got.ComputePower, want.ComputePower)
+				close("CRACPower", got.CRACPower, want.CRACPower)
+				close("TotalPower", got.TotalPower, want.TotalPower)
+				for j := range want.NodePower {
+					if math.Abs(got.NodePower[j]-want.NodePower[j]) > tol {
+						t.Errorf("seed %d point %v pass %d: NodePower[%d] = %.15g, want %.15g",
+							tc.seed, out, pass, j, got.NodePower[j], want.NodePower[j])
+					}
+					if math.Abs(got.NodeCorePower[j]-want.NodeCorePower[j]) > tol {
+						t.Errorf("seed %d point %v pass %d: NodeCorePower[%d] = %.15g, want %.15g",
+							tc.seed, out, pass, j, got.NodeCorePower[j], want.NodeCorePower[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func repeated(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestThreeStageParallelismInvariant verifies the documented determinism
+// guarantee end to end: the full three-stage assignment returns identical
+// results for every worker-pool size.
+func TestThreeStageParallelismInvariant(t *testing.T) {
+	sc := smallScenario(t, 4)
+	var ref *assign.ThreeStageResult
+	for i, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		opts := assign.DefaultOptions()
+		opts.Search.Parallelism = par
+		res, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", par, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.RewardRate() != ref.RewardRate() {
+			t.Errorf("Parallelism=%d: reward %.15g != reference %.15g", par, res.RewardRate(), ref.RewardRate())
+		}
+		if res.Stage1.PredictedARR != ref.Stage1.PredictedARR {
+			t.Errorf("Parallelism=%d: Stage1 ARR %.15g != reference %.15g", par, res.Stage1.PredictedARR, ref.Stage1.PredictedARR)
+		}
+		if res.SearchEvals != ref.SearchEvals {
+			t.Errorf("Parallelism=%d: SearchEvals %d != reference %d", par, res.SearchEvals, ref.SearchEvals)
+		}
+		for i := range ref.Stage1.CracOut {
+			if res.Stage1.CracOut[i] != ref.Stage1.CracOut[i] {
+				t.Errorf("Parallelism=%d: CracOut = %v, want %v", par, res.Stage1.CracOut, ref.Stage1.CracOut)
+				break
+			}
+		}
+		for k := range ref.PStates {
+			if res.PStates[k] != ref.PStates[k] {
+				t.Errorf("Parallelism=%d: PStates differ at core %d", par, k)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package assign
+
+import (
+	"fmt"
+
+	"thermaldc/internal/linprog"
+	"thermaldc/internal/model"
+	"thermaldc/internal/pwl"
+	"thermaldc/internal/thermal"
+)
+
+// Stage1Solver solves the Stage-1 LP (Equation 9) for many CRAC
+// outlet-temperature candidates against one (data center, ψ) pair. It
+// precomputes everything that does not depend on the outlets — the scaled
+// per-node ARR segment variables, the thermal power-sensitivity rows, and
+// the LP skeleton — so each Solve only patches the power row's
+// coefficients and every row's right-hand side before re-running the
+// simplex on preallocated tableau buffers. Temperature searches evaluate
+// hundreds of candidates per trial; the incremental path removes the
+// dominant rebuild-and-allocate cost from that loop.
+//
+// Solve produces results identical to Stage1Fixed: the patched problem has
+// the same variables, rows, coefficients, and right-hand sides computed
+// with the same floating-point operation order, so the simplex visits the
+// same vertices (this matters — alternate optima with equal objectives
+// would still change Stage-2/Stage-3 downstream).
+//
+// A Stage1Solver is NOT safe for concurrent use: it owns one LP skeleton
+// and one simplex workspace. Parallel searches give each worker its own
+// solver via Clone.
+type Stage1Solver struct {
+	dc   *model.DataCenter
+	tm   *thermal.Model
+	arrs []*pwl.Func
+
+	p        *linprog.Problem
+	segNode  []int // segNode[k]: compute node of segment variable k
+	nodeSegs [][]int
+	redline  []float64 // dc.Redline(), invariant
+	basePow  []float64 // basePow[j] = dc.NodeType(j).BasePower, invariant
+
+	// ws holds the simplex tableau buffers reused across Solves.
+	ws linprog.Workspace
+	// Scratch buffers for the per-candidate patch step.
+	base     []float64
+	lin      []thermal.LinearCRACPower
+	nodeCoef []float64
+}
+
+// NewStage1Solver precomputes the Stage-1 LP skeleton for the given data
+// center, thermal model, and per-type ARR envelopes (from nodeARRs at one
+// ψ). Construction cannot fail; infeasible outlet candidates surface as
+// Solve errors, exactly as with Stage1Fixed.
+func NewStage1Solver(dc *model.DataCenter, tm *thermal.Model, arrs []*pwl.Func) *Stage1Solver {
+	ncn := dc.NCN()
+	s := &Stage1Solver{
+		dc:       dc,
+		tm:       tm,
+		arrs:     arrs,
+		p:        linprog.NewProblem(linprog.Maximize),
+		nodeSegs: make([][]int, ncn),
+		redline:  dc.Redline(),
+		basePow:  make([]float64, ncn),
+		nodeCoef: make([]float64, ncn),
+	}
+	for j := 0; j < ncn; j++ {
+		s.basePow[j] = dc.NodeType(j).BasePower
+	}
+
+	// Segment variables per node, in the exact order Stage1Fixed adds them.
+	// Names are left empty: they only appear in error messages and cost a
+	// fmt.Sprintf each, which the skeleton pays zero times per candidate.
+	for j := 0; j < ncn; j++ {
+		nt := dc.NodeType(j)
+		scaled := arrs[dc.Nodes[j].Type].Scale(float64(nt.NumCores))
+		for _, seg := range scaled.Segments() {
+			id := s.p.AddVar("", 0, seg.Length, seg.Slope)
+			s.segNode = append(s.segNode, j)
+			s.nodeSegs[j] = append(s.nodeSegs[j], id)
+		}
+	}
+
+	// Power row first (its dual is the power shadow price, read as Dual(0)).
+	// Coefficients and rhs are placeholders patched on every Solve.
+	powerTerms := make([]linprog.Term, len(s.segNode))
+	for k := range powerTerms {
+		powerTerms[k] = linprog.Term{Var: k, Coef: 1}
+	}
+	s.p.AddRow(linprog.LE, 0, powerTerms...)
+
+	// Thermal rows: the coefficients G[t][j] do not depend on the outlets,
+	// so they are final; only each row's rhs is patched per candidate. The
+	// sparsity pattern (gj == 0 terms skipped) matches Stage1Fixed.
+	g := tm.PowerSensitivity()
+	var terms []linprog.Term
+	for t := 0; t < dc.NumThermal(); t++ {
+		terms = terms[:0]
+		for j := 0; j < ncn; j++ {
+			gj := g.At(t, j)
+			if gj == 0 {
+				continue
+			}
+			for _, id := range s.nodeSegs[j] {
+				terms = append(terms, linprog.Term{Var: id, Coef: gj})
+			}
+		}
+		s.p.AddRow(linprog.LE, 0, terms...)
+	}
+	return s
+}
+
+// Clone returns an independent solver over the same precomputed scenario,
+// for use by another search worker. Clones share only immutable inputs
+// (data center, thermal model, ARR envelopes).
+func (s *Stage1Solver) Clone() *Stage1Solver {
+	return NewStage1Solver(s.dc, s.tm, s.arrs)
+}
+
+// Solve patches the skeleton for cracOut and runs the simplex, returning
+// the same result (and errors) Stage1Fixed would for the same inputs.
+func (s *Stage1Solver) Solve(cracOut []float64) (*Stage1Result, error) {
+	dc, tm := s.dc, s.tm
+	ncn := dc.NCN()
+
+	// Power row (paper constraint 4, linearized CRAC power):
+	// Σ_j (B_j + x_j) + Σ_i [Const_i + Σ_j Coef_i[j]·(B_j + x_j)] ≤ Pconst.
+	// The accumulation order matches Stage1Fixed exactly so the patched
+	// coefficients are bit-identical to a fresh build.
+	s.base = tm.InletBaseInto(cracOut, s.base)
+	s.lin = tm.LinearizeCRACPowerInto(cracOut, s.base, s.lin)
+	baseConst := 0.0
+	nodeCoef := s.nodeCoef
+	for j := 0; j < ncn; j++ {
+		nodeCoef[j] = 1
+		baseConst += s.basePow[j]
+	}
+	for _, l := range s.lin {
+		baseConst += l.Const
+		for j, c := range l.Coef {
+			nodeCoef[j] += c
+			baseConst += c * s.basePow[j]
+		}
+	}
+	powerTerms := s.p.RowTerms(0)
+	for k, node := range s.segNode {
+		powerTerms[k].Coef = nodeCoef[node]
+	}
+	s.p.SetRHS(0, dc.Pconst-baseConst)
+
+	// Thermal rows (paper constraint 5): coefficients are invariant; only
+	// rhs_t = redline_t − base_t(cracOut) − Σ_j G[t][j]·B_j changes.
+	g := tm.PowerSensitivity()
+	for t := 0; t < dc.NumThermal(); t++ {
+		rhs := s.redline[t] - s.base[t]
+		grow := g.Row(t)
+		for j := 0; j < ncn; j++ {
+			rhs -= grow[j] * s.basePow[j]
+		}
+		if rhs < 0 {
+			// Base power alone violates this redline: infeasible outlets.
+			return &Stage1Result{CracOut: append([]float64(nil), cracOut...), Feasible: false},
+				fmt.Errorf("assign: redline %d violated by base power alone at outlets %v", t, cracOut)
+		}
+		s.p.SetRHS(1+t, rhs)
+	}
+
+	sol, err := s.p.SolveWith(&s.ws)
+	if err != nil {
+		return &Stage1Result{CracOut: append([]float64(nil), cracOut...), Feasible: false}, err
+	}
+
+	res := &Stage1Result{
+		CracOut:          append([]float64(nil), cracOut...),
+		NodeCorePower:    make([]float64, ncn),
+		NodePower:        make([]float64, ncn),
+		PredictedARR:     sol.Objective,
+		PowerShadowPrice: sol.Dual(0), // the power row is added first
+	}
+	for k, node := range s.segNode {
+		res.NodeCorePower[node] += sol.Value(k)
+	}
+	for j := 0; j < ncn; j++ {
+		res.NodePower[j] = dc.NodeType(j).BasePower + res.NodeCorePower[j]
+		res.ComputePower += res.NodePower[j]
+	}
+	for _, cp := range tm.CRACPowers(cracOut, res.NodePower) {
+		res.CRACPower += cp
+	}
+	res.TotalPower = res.ComputePower + res.CRACPower
+	tin := tm.InletTemps(cracOut, res.NodePower)
+	res.Feasible = res.TotalPower <= dc.Pconst+powerTolerance &&
+		tm.RedlineSlack(tin) >= -powerTolerance
+	return res, nil
+}

@@ -245,6 +245,7 @@ func runFig6Trial(cfg Fig6Config, group Fig6Group, seed int64) (Fig6Trial, error
 	}
 	tr := Fig6Trial{Seed: seed, BaselineReward: bl.RewardRate}
 	best := 0.0
+	tsResults := make([]*assign.ThreeStageResult, 0, len(cfg.Psis))
 	for _, psi := range cfg.Psis {
 		opts := cfg.Options
 		opts.Psi = psi
@@ -252,6 +253,7 @@ func runFig6Trial(cfg Fig6Config, group Fig6Group, seed int64) (Fig6Trial, error
 		if err != nil {
 			return Fig6Trial{}, fmt.Errorf("three-stage ψ=%g: %w", psi, err)
 		}
+		tsResults = append(tsResults, ts)
 		r := ts.RewardRate()
 		tr.RewardByPsi = append(tr.RewardByPsi, r)
 		tr.ImprovementByPsi = append(tr.ImprovementByPsi, 100*(r-bl.RewardRate)/bl.RewardRate)
@@ -263,19 +265,15 @@ func runFig6Trial(cfg Fig6Config, group Fig6Group, seed int64) (Fig6Trial, error
 
 	if cfg.SimHorizon > 0 {
 		// Simulate the baseline and the best-ψ three-stage assignment on
-		// one shared task stream.
+		// one shared task stream, reusing the per-ψ result already solved
+		// above instead of re-running the whole search.
 		bestIdx := 0
 		for p := range tr.RewardByPsi {
 			if tr.RewardByPsi[p] > tr.RewardByPsi[bestIdx] {
 				bestIdx = p
 			}
 		}
-		opts := cfg.Options
-		opts.Psi = cfg.Psis[bestIdx]
-		ts, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
-		if err != nil {
-			return Fig6Trial{}, err
-		}
+		ts := tsResults[bestIdx]
 		tasks := workload.GenerateTasks(sc.DC, cfg.SimHorizon, stats.NewRand(seed+800000))
 		var policy sched.Policy = sched.SoftRatioPolicy{}
 		if cfg.SimPaperPolicy {

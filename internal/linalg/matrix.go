@@ -63,19 +63,29 @@ func (m *Matrix) Clone() *Matrix {
 
 // MulVec returns m·x.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	return m.MulVecInto(x, nil)
+}
+
+// MulVecInto computes m·x into dst, reusing dst's storage when it has
+// sufficient capacity (a nil dst allocates). It returns the result slice.
+func (m *Matrix) MulVecInto(x, dst []float64) []float64 {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
 	}
-	y := make([]float64, m.Rows)
+	if cap(dst) >= m.Rows {
+		dst = dst[:m.Rows]
+	} else {
+		dst = make([]float64, m.Rows)
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Row(r)
 		s := 0.0
 		for c, v := range row {
 			s += v * x[c]
 		}
-		y[r] = s
+		dst[r] = s
 	}
-	return y
+	return dst
 }
 
 // Mul returns the matrix product m·b.

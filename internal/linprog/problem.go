@@ -147,6 +147,20 @@ func (p *Problem) AddRow(op Op, rhs float64, terms ...Term) {
 	p.rows = append(p.rows, row{terms: cloneTerms(terms), op: op, rhs: rhs})
 }
 
+// SetRHS replaces the right-hand side of row r, keeping its operator and
+// terms. Together with RowTerms it lets a caller reuse one LP skeleton
+// across many solves that only perturb coefficients and right-hand sides.
+func (p *Problem) SetRHS(r int, rhs float64) {
+	p.rows[r].rhs = rhs
+}
+
+// RowTerms returns the internal term slice of row r so callers can patch
+// Coef values in place between solves. The sparsity pattern is fixed:
+// callers must not modify Var fields, reorder, or grow the slice.
+func (p *Problem) RowTerms(r int) []Term {
+	return p.rows[r].terms
+}
+
 // AddRangeRow adds the two-sided constraint lo ≤ Σ terms ≤ hi.
 func (p *Problem) AddRangeRow(lo, hi float64, terms ...Term) {
 	if lo > hi {

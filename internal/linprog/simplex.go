@@ -45,12 +45,63 @@ type tableauState struct {
 	degen   int // consecutive degenerate pivots, triggers Bland's rule
 }
 
+// Workspace holds the reusable buffers of repeated Solve calls. Solving
+// through a Workspace avoids reallocating the dense tableau every time,
+// which matters when one problem skeleton is solved hundreds of times with
+// patched coefficients (the CRAC outlet-temperature search). The zero
+// value is ready to use; a Workspace is NOT safe for concurrent use — give
+// each goroutine its own.
+type Workspace struct {
+	t       [][]float64
+	lo, hi  []float64
+	status  []varStatus
+	basis   []int
+	flipped []bool
+	xB      []float64
+	rhs     []float64
+	cost    []float64
+	d       []float64
+}
+
+// stash saves the (possibly grown) buffers of a finished solve back into
+// the workspace for the next call.
+func (ws *Workspace) stash(st *tableauState) {
+	ws.t = st.t
+	ws.lo, ws.hi = st.lo, st.hi
+	ws.status = st.status
+	ws.basis = st.basis
+	ws.flipped = st.flipped
+	ws.xB = st.xB
+	ws.cost = st.cost
+	ws.d = st.d
+}
+
+// f64buf returns a length-n float64 slice backed by buf when capacity
+// allows, without clearing the contents.
+func f64buf(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
 // Solve optimizes the problem and returns the solution. A non-Optimal
 // outcome is reported both in Solution.Status and as an error wrapping
 // ErrNotOptimal, so callers may either branch on the status or simply
 // propagate the error.
 func (p *Problem) Solve() (*Solution, error) {
-	st := p.newState()
+	return p.SolveWith(nil)
+}
+
+// SolveWith is Solve reusing the buffers of ws (nil behaves like Solve).
+// The returned Solution does not alias workspace memory, so it stays valid
+// across subsequent SolveWith calls.
+func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	st := p.newState(ws)
+	defer ws.stash(st)
 
 	// Phase 1: minimize the sum of artificial variables.
 	if st.nArt > 0 {
@@ -72,8 +123,8 @@ func (p *Problem) Solve() (*Solution, error) {
 }
 
 // newState builds the initial tableau, slacks, artificials and starting
-// basis for the problem.
-func (p *Problem) newState() *tableauState {
+// basis for the problem, drawing buffers from ws.
+func (p *Problem) newState(ws *Workspace) *tableauState {
 	m := len(p.rows)
 	nStruct := len(p.cost)
 
@@ -84,8 +135,8 @@ func (p *Problem) newState() *tableauState {
 
 	// Column layout: [structural | one slack per row | artificials as needed].
 	nCols := nStruct + m // artificials appended later
-	st.lo = append(st.lo, p.lo...)
-	st.hi = append(st.hi, p.hi...)
+	st.lo = append(ws.lo[:0], p.lo...)
+	st.hi = append(ws.hi[:0], p.hi...)
 	for _, r := range p.rows {
 		slo, shi := slackBounds(r)
 		st.lo = append(st.lo, slo)
@@ -93,16 +144,29 @@ func (p *Problem) newState() *tableauState {
 	}
 
 	// Initial nonbasic statuses and values for structural + slack columns.
-	st.status = make([]varStatus, nCols)
+	if cap(ws.status) >= nCols {
+		st.status = ws.status[:nCols]
+	} else {
+		st.status = make([]varStatus, nCols)
+	}
 	for j := 0; j < nCols; j++ {
 		st.status[j] = initialStatus(st.lo[j], st.hi[j])
 	}
 
-	// Dense rows.
-	st.t = make([][]float64, m)
-	rhs := make([]float64, m)
+	// Dense rows, zeroed before the term fill when reused.
+	if cap(ws.t) >= m {
+		st.t = ws.t[:m]
+	} else {
+		st.t = make([][]float64, m, m+8)
+		copy(st.t, ws.t)
+	}
+	rhs := f64buf(ws.rhs, m)
+	ws.rhs = rhs
 	for i, r := range p.rows {
-		rowv := make([]float64, nCols)
+		rowv := f64buf(st.t[i], nCols)
+		for j := range rowv {
+			rowv[j] = 0
+		}
 		for _, tm := range r.terms {
 			rowv[tm.Var] += tm.Coef
 		}
@@ -112,9 +176,22 @@ func (p *Problem) newState() *tableauState {
 	}
 
 	// Residuals at the initial nonbasic point decide the starting basis.
-	st.basis = make([]int, m)
-	st.flipped = make([]bool, m)
-	st.xB = make([]float64, m)
+	if cap(ws.basis) >= m {
+		st.basis = ws.basis[:m]
+	} else {
+		st.basis = make([]int, m)
+	}
+	if cap(ws.flipped) >= m {
+		st.flipped = ws.flipped[:m]
+		for i := range st.flipped {
+			st.flipped[i] = false
+		}
+	} else {
+		st.flipped = make([]bool, m)
+	}
+	st.xB = f64buf(ws.xB, m)
+	st.cost = ws.cost
+	st.d = ws.d
 	for i := 0; i < m; i++ {
 		res := rhs[i]
 		for j := 0; j < nCols; j++ {
@@ -217,7 +294,10 @@ func clamp(x, lo, hi float64) float64 {
 }
 
 func (st *tableauState) setPhase1Costs() {
-	st.cost = make([]float64, st.n)
+	st.cost = f64buf(st.cost, st.n)
+	for j := range st.cost {
+		st.cost[j] = 0
+	}
 	for j := st.n - st.nArt; j < st.n; j++ {
 		st.cost[j] = 1
 	}
@@ -225,7 +305,10 @@ func (st *tableauState) setPhase1Costs() {
 }
 
 func (st *tableauState) setPhase2Costs(p *Problem) {
-	st.cost = make([]float64, st.n)
+	st.cost = f64buf(st.cost, st.n)
+	for j := range st.cost {
+		st.cost[j] = 0
+	}
 	sign := 1.0
 	if p.sense == Maximize {
 		sign = -1 // internally always minimize
@@ -487,18 +570,21 @@ func (st *tableauState) pivot(r, enter int, entVal float64) {
 		if f == 0 {
 			continue
 		}
-		ri := st.t[i]
-		for j := range ri {
-			ri[j] -= f * row[j]
+		// Reslicing to the pivot row's length lets the compiler elide the
+		// bounds checks in the hottest loop of the solver.
+		ri := st.t[i][:len(row)]
+		for j, rv := range row {
+			ri[j] -= f * rv
 		}
 		ri[enter] = 0 // exact zero to stop drift
 	}
 	f := st.d[enter]
 	if f != 0 {
-		for j := range st.d {
-			st.d[j] -= f * row[j]
+		d := st.d[:len(row)]
+		for j, rv := range row {
+			d[j] -= f * rv
 		}
-		st.d[enter] = 0
+		d[enter] = 0
 	}
 	st.basis[r] = enter
 	st.status[enter] = basic

@@ -6,18 +6,51 @@
 // coarse-to-fine to avoid the exponential blowup in the number of CRAC
 // units — exactly what this package implements, plus an exhaustive grid
 // and a coordinate-descent variant for ablations.
+//
+// Searches enumerate each lattice (or refinement window) into a candidate
+// slice and batch-evaluate it over a bounded worker pool
+// (Config.Parallelism). Results are deterministic regardless of worker
+// count: every candidate is evaluated independently and the reduction
+// breaks objective ties toward the lexicographically smallest vector,
+// which is exactly the point the historical serial scan (lexicographic
+// enumeration, strict improvement) would have kept. A memoization layer
+// keyed on the quantized outlet vector guarantees coarse-to-fine
+// refinement rounds never re-evaluate a lattice point.
 package tempsearch
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Objective evaluates one outlet-temperature vector and reports its value
 // and whether the configuration is feasible. Higher values are better
 // (callers maximizing reward pass their objective directly; power
-// minimizers pass the negated power).
+// minimizers pass the negated power). An Objective must be deterministic:
+// the same vector must always produce the same (value, feasible) pair.
 type Objective func(cracOut []float64) (value float64, feasible bool)
+
+// Factory creates one Objective per search worker. Searches call it once
+// per worker; Objectives returned by distinct calls may be invoked
+// concurrently, so any mutable evaluation state (e.g. an incremental LP
+// solver) must be owned by the returned closure, not shared.
+type Factory func() Objective
+
+// Shared adapts a single Objective into a Factory handing the same
+// Objective to every worker. Use it only when eval is safe for concurrent
+// use (pure functions of the candidate vector and read-only captures).
+func Shared(eval Objective) Factory {
+	return func() Objective { return eval }
+}
+
+// ErrNoFeasible reports that no evaluated lattice point was feasible.
+// Searches wrap it with context; callers distinguish an infeasible search
+// window from configuration errors via errors.Is(err, ErrNoFeasible).
+var ErrNoFeasible = errors.New("no feasible point")
 
 // Config bounds and discretizes the search.
 type Config struct {
@@ -27,10 +60,15 @@ type Config struct {
 	CoarseStep float64
 	// FineStep is the final granularity in °C (paper: 1 °C).
 	FineStep float64
+	// Parallelism bounds the candidate-evaluation worker pool: 0 uses
+	// GOMAXPROCS, 1 evaluates serially. Results are identical for every
+	// setting.
+	Parallelism int
 }
 
 // DefaultConfig returns the search window used by the experiments:
-// outlets in [5, 25] °C, coarse 5 °C pass refined down to 1 °C.
+// outlets in [5, 25] °C, coarse 5 °C pass refined down to 1 °C, with the
+// worker pool sized to the machine.
 func DefaultConfig() Config {
 	return Config{Lo: 5, Hi: 25, CoarseStep: 5, FineStep: 1}
 }
@@ -46,7 +84,17 @@ func (c Config) Validate() error {
 	if c.FineStep > c.CoarseStep {
 		return fmt.Errorf("tempsearch: FineStep %g > CoarseStep %g", c.FineStep, c.CoarseStep)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("tempsearch: Parallelism must be >= 0, got %d", c.Parallelism)
+	}
 	return nil
+}
+
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result is the outcome of a search.
@@ -55,51 +103,33 @@ type Result struct {
 	Out []float64
 	// Value is the objective at Out.
 	Value float64
-	// Evals counts objective evaluations.
+	// Evals counts objective evaluations (memoized hits are not
+	// re-evaluated and therefore not re-counted).
 	Evals int
 }
 
 // Grid exhaustively evaluates the lattice with the given step and returns
 // the best feasible point. It is exponential in the number of CRACs and
 // exists as the ground truth for ablations on small instances.
-func Grid(ncrac int, cfg Config, step float64, eval Objective) (Result, error) {
+func Grid(ncrac int, cfg Config, step float64, newEval Factory) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	levels := latticeLevels(cfg.Lo, cfg.Hi, step)
-	best := Result{Value: math.Inf(-1)}
-	out := make([]float64, ncrac)
-	var walk func(i int)
-	walk = func(i int) {
-		if i == ncrac {
-			v, ok := eval(out)
-			best.Evals++
-			if ok && v > best.Value {
-				best.Value = v
-				best.Out = append(best.Out[:0], out...)
-			}
-			return
-		}
-		for _, t := range levels {
-			out[i] = t
-			walk(i + 1)
-		}
-	}
-	walk(0)
-	if best.Out == nil {
-		return best, fmt.Errorf("tempsearch: no feasible outlet assignment on the grid")
-	}
-	return best, nil
+	s := newSearcher(ncrac, cfg, newEval)
+	return s.grid(step)
 }
 
 // CoarseToFine implements the paper's multi-step search: a coarse lattice
 // pass over the full window, then repeated refinement around the incumbent
-// with the step halved until FineStep is reached.
-func CoarseToFine(ncrac int, cfg Config, eval Objective) (Result, error) {
+// with the step halved until FineStep is reached. Lattice points shared
+// between rounds are evaluated once (memoized), and Evals counts every
+// actual evaluation including those of refinement rounds.
+func CoarseToFine(ncrac int, cfg Config, newEval Factory) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	res, err := Grid(ncrac, cfg, cfg.CoarseStep, eval)
+	s := newSearcher(ncrac, cfg, newEval)
+	res, err := s.grid(cfg.CoarseStep)
 	if err != nil {
 		return res, err
 	}
@@ -112,63 +142,32 @@ func CoarseToFine(ncrac int, cfg Config, eval Objective) (Result, error) {
 		// Refine ±next around the incumbent on the finer lattice (3 levels
 		// per CRAC per round keeps the eval count linear in the number of
 		// rounds instead of exponential in the refinement ratio).
-		sub := Config{
-			Lo:         cfg.Lo,
-			Hi:         cfg.Hi,
-			CoarseStep: next,
-			FineStep:   next,
+		cands := s.window(res.Out, next, next)
+		idx, v, ok := s.batch(cands)
+		res.Evals = s.evals // exact accounting even when the window fails
+		if ok && v >= res.Value {
+			res.Out = append(res.Out[:0], cands[idx]...)
+			res.Value = v
 		}
-		improved, err := gridAround(ncrac, sub, res.Out, next, next, eval)
-		if err == nil {
-			improved.Evals += res.Evals
-			if improved.Value >= res.Value {
-				res = improved
-			} else {
-				res.Evals = improved.Evals
-			}
-		}
+		// !ok cannot happen with a deterministic objective — the incumbent
+		// is itself a window point and memoized feasible — so an infeasible
+		// window simply keeps the incumbent instead of discarding the
+		// search (the historical code dropped both the error and the
+		// refinement eval count here).
 		step = next
 	}
 	return res, nil
 }
 
-// gridAround evaluates the lattice of the given step within ±radius of
-// center, clamped to [cfg.Lo, cfg.Hi].
-func gridAround(ncrac int, cfg Config, center []float64, radius, step float64, eval Objective) (Result, error) {
-	best := Result{Value: math.Inf(-1)}
-	out := make([]float64, ncrac)
-	var walk func(i int)
-	walk = func(i int) {
-		if i == ncrac {
-			v, ok := eval(out)
-			best.Evals++
-			if ok && v > best.Value {
-				best.Value = v
-				best.Out = append(best.Out[:0], out...)
-			}
-			return
-		}
-		lo := math.Max(cfg.Lo, center[i]-radius)
-		hi := math.Min(cfg.Hi, center[i]+radius)
-		for _, t := range latticeLevels(lo, hi, step) {
-			out[i] = t
-			walk(i + 1)
-		}
-	}
-	walk(0)
-	if best.Out == nil {
-		return best, fmt.Errorf("tempsearch: no feasible point in refinement window")
-	}
-	return best, nil
-}
-
 // CoordinateDescent optimizes one CRAC outlet at a time on the FineStep
 // lattice, sweeping until no coordinate improves. It is the cheapest
-// strategy and the paper-scale default ablation point.
-func CoordinateDescent(ncrac int, cfg Config, start []float64, eval Objective) (Result, error) {
+// strategy and the paper-scale default ablation point. The sweep order is
+// inherently sequential, so it runs on a single worker.
+func CoordinateDescent(ncrac int, cfg Config, start []float64, newEval Factory) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	eval := newEval()
 	out := make([]float64, ncrac)
 	if start != nil {
 		copy(out, start)
@@ -209,9 +208,176 @@ func CoordinateDescent(ncrac int, cfg Config, start []float64, eval Objective) (
 		}
 	}
 	if res.Out == nil {
-		return res, fmt.Errorf("tempsearch: coordinate descent found no feasible point")
+		return res, fmt.Errorf("tempsearch: coordinate descent found no feasible point: %w", ErrNoFeasible)
 	}
 	return res, nil
+}
+
+// memoEntry caches one evaluated lattice point.
+type memoEntry struct {
+	value    float64
+	feasible bool
+}
+
+// searcher owns the evaluation machinery of one search call: the memo
+// table, the eval counter, and one Objective per worker.
+type searcher struct {
+	ncrac   int
+	cfg     Config
+	factory Factory
+	objs    []Objective
+	memo    map[string]memoEntry
+	evals   int
+	keyBuf  []byte
+}
+
+func newSearcher(ncrac int, cfg Config, newEval Factory) *searcher {
+	return &searcher{
+		ncrac:   ncrac,
+		cfg:     cfg,
+		factory: newEval,
+		memo:    make(map[string]memoEntry),
+	}
+}
+
+// key quantizes an outlet vector to 1e-6 °C and encodes it as a memo key;
+// every lattice this package generates is far coarser than the quantum.
+func (s *searcher) key(out []float64) string {
+	b := s.keyBuf[:0]
+	for _, t := range out {
+		q := uint64(int64(math.Round(t * 1e6)))
+		b = append(b, byte(q), byte(q>>8), byte(q>>16), byte(q>>24),
+			byte(q>>32), byte(q>>40), byte(q>>48), byte(q>>56))
+	}
+	s.keyBuf = b
+	return string(b)
+}
+
+// obj returns the w-th worker Objective, creating workers lazily.
+func (s *searcher) obj(w int) Objective {
+	for len(s.objs) <= w {
+		s.objs = append(s.objs, s.factory())
+	}
+	return s.objs[w]
+}
+
+// batch evaluates every candidate (memoized points are looked up, fresh
+// points fan out over the worker pool) and reduces to the best feasible
+// index. Ties on the objective keep the earliest candidate, which is the
+// lexicographically smallest vector because candidates are enumerated in
+// lexicographic order — so the outcome is independent of worker count.
+func (s *searcher) batch(cands [][]float64) (bestIdx int, bestVal float64, found bool) {
+	results := make([]memoEntry, len(cands))
+	var fresh []int
+	for i, c := range cands {
+		if e, ok := s.memo[s.key(c)]; ok {
+			results[i] = e
+		} else {
+			fresh = append(fresh, i)
+		}
+	}
+	s.evals += len(fresh)
+
+	workers := s.cfg.workers()
+	if workers > len(fresh) {
+		workers = len(fresh)
+	}
+	if workers <= 1 {
+		eval := s.obj(0)
+		for _, i := range fresh {
+			v, ok := eval(cands[i])
+			results[i] = memoEntry{value: v, feasible: ok}
+		}
+	} else {
+		for w := 0; w < workers; w++ {
+			s.obj(w) // materialize outside the goroutines
+		}
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(eval Objective) {
+				defer wg.Done()
+				for {
+					n := int(atomic.AddInt64(&next, 1)) - 1
+					if n >= len(fresh) {
+						return
+					}
+					i := fresh[n]
+					v, ok := eval(cands[i])
+					results[i] = memoEntry{value: v, feasible: ok}
+				}
+			}(s.objs[w])
+		}
+		wg.Wait()
+	}
+	for _, i := range fresh {
+		s.memo[s.key(cands[i])] = results[i]
+	}
+
+	bestIdx, bestVal = -1, math.Inf(-1)
+	for i, r := range results {
+		if r.feasible && r.value > bestVal {
+			bestIdx, bestVal = i, r.value
+		}
+	}
+	return bestIdx, bestVal, bestIdx >= 0
+}
+
+// grid batch-evaluates the full lattice with the given step.
+func (s *searcher) grid(step float64) (Result, error) {
+	levels := latticeLevels(s.cfg.Lo, s.cfg.Hi, step)
+	perDim := make([][]float64, s.ncrac)
+	for i := range perDim {
+		perDim[i] = levels
+	}
+	cands := enumerate(perDim)
+	idx, v, ok := s.batch(cands)
+	if !ok {
+		return Result{Evals: s.evals},
+			fmt.Errorf("tempsearch: no feasible outlet assignment on the grid: %w", ErrNoFeasible)
+	}
+	return Result{
+		Out:   append([]float64(nil), cands[idx]...),
+		Value: v,
+		Evals: s.evals,
+	}, nil
+}
+
+// window enumerates the lattice of the given step within ±radius of
+// center, clamped to [cfg.Lo, cfg.Hi].
+func (s *searcher) window(center []float64, radius, step float64) [][]float64 {
+	perDim := make([][]float64, s.ncrac)
+	for i := range perDim {
+		lo := math.Max(s.cfg.Lo, center[i]-radius)
+		hi := math.Min(s.cfg.Hi, center[i]+radius)
+		perDim[i] = latticeLevels(lo, hi, step)
+	}
+	return enumerate(perDim)
+}
+
+// enumerate returns the cartesian product of the per-dimension levels in
+// lexicographic order.
+func enumerate(perDim [][]float64) [][]float64 {
+	total := 1
+	for _, levels := range perDim {
+		total *= len(levels)
+	}
+	cands := make([][]float64, 0, total)
+	out := make([]float64, len(perDim))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(perDim) {
+			cands = append(cands, append([]float64(nil), out...))
+			return
+		}
+		for _, t := range perDim[i] {
+			out[i] = t
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return cands
 }
 
 // latticeLevels returns lo, lo+step, ..., hi (hi always included).

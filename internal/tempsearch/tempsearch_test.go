@@ -1,7 +1,10 @@
 package tempsearch
 
 import (
+	"errors"
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -26,6 +29,7 @@ func TestConfigValidate(t *testing.T) {
 		{Lo: 10, Hi: 5, CoarseStep: 1, FineStep: 1},
 		{Lo: 0, Hi: 5, CoarseStep: 0, FineStep: 1},
 		{Lo: 0, Hi: 5, CoarseStep: 1, FineStep: 2},
+		{Lo: 0, Hi: 5, CoarseStep: 1, FineStep: 1, Parallelism: -1},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -36,7 +40,7 @@ func TestConfigValidate(t *testing.T) {
 
 func TestGridFindsLatticeOptimum(t *testing.T) {
 	cfg := Config{Lo: 0, Hi: 10, CoarseStep: 1, FineStep: 1}
-	res, err := Grid(2, cfg, 1, quadratic([]float64{3, 7}))
+	res, err := Grid(2, cfg, 1, Shared(quadratic([]float64{3, 7})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,20 +57,39 @@ func TestGridFindsLatticeOptimum(t *testing.T) {
 
 func TestGridInfeasible(t *testing.T) {
 	cfg := Config{Lo: 0, Hi: 2, CoarseStep: 1, FineStep: 1}
-	_, err := Grid(1, cfg, 1, func([]float64) (float64, bool) { return 0, false })
+	_, err := Grid(1, cfg, 1, Shared(func([]float64) (float64, bool) { return 0, false }))
 	if err == nil {
 		t.Fatal("expected error when nothing is feasible")
+	}
+	if !errors.Is(err, ErrNoFeasible) {
+		t.Errorf("error %v does not wrap ErrNoFeasible", err)
+	}
+}
+
+func TestCoarseToFineInfeasibleSentinel(t *testing.T) {
+	cfg := Config{Lo: 0, Hi: 2, CoarseStep: 1, FineStep: 1}
+	res, err := CoarseToFine(1, cfg, Shared(func([]float64) (float64, bool) { return 0, false }))
+	if !errors.Is(err, ErrNoFeasible) {
+		t.Fatalf("err = %v, want ErrNoFeasible", err)
+	}
+	if res.Evals != 3 {
+		t.Errorf("Evals = %d, want 3 (all lattice points tried before giving up)", res.Evals)
+	}
+	// Config errors must NOT look like infeasibility.
+	_, err = CoarseToFine(1, Config{Lo: 5, Hi: 0, CoarseStep: 1, FineStep: 1}, Shared(quadratic([]float64{1})))
+	if err == nil || errors.Is(err, ErrNoFeasible) {
+		t.Errorf("config error %v must not wrap ErrNoFeasible", err)
 	}
 }
 
 func TestCoarseToFineMatchesGridOnSmooth(t *testing.T) {
 	cfg := Config{Lo: 0, Hi: 20, CoarseStep: 4, FineStep: 1}
 	peak := []float64{13, 6}
-	ctf, err := CoarseToFine(2, cfg, quadratic(peak))
+	ctf, err := CoarseToFine(2, cfg, Shared(quadratic(peak)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	grid, err := Grid(2, cfg, 1, quadratic(peak))
+	grid, err := Grid(2, cfg, 1, Shared(quadratic(peak)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +104,7 @@ func TestCoarseToFineMatchesGridOnSmooth(t *testing.T) {
 func TestCoarseToFineRespectsBounds(t *testing.T) {
 	cfg := Config{Lo: 5, Hi: 25, CoarseStep: 5, FineStep: 1}
 	// Peak outside the window: search must clamp to the boundary.
-	res, err := CoarseToFine(3, cfg, quadratic([]float64{-10, 30, 15}))
+	res, err := CoarseToFine(3, cfg, Shared(quadratic([]float64{-10, 30, 15})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,10 +116,109 @@ func TestCoarseToFineRespectsBounds(t *testing.T) {
 	}
 }
 
+func TestMemoizationSkipsRevisits(t *testing.T) {
+	// Count raw objective invocations: the memo must make CoarseToFine's
+	// reported Evals equal the number of distinct lattice points actually
+	// evaluated, with refinement rounds never re-solving visited points.
+	var mu sync.Mutex
+	calls := 0
+	counted := Shared(func(out []float64) (float64, bool) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		v, ok := quadratic([]float64{13, 6})(out)
+		return v, ok
+	})
+	cfg := Config{Lo: 0, Hi: 20, CoarseStep: 4, FineStep: 1}
+	res, err := CoarseToFine(2, cfg, counted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Evals {
+		t.Errorf("objective called %d times but Evals = %d — accounting must be exact", calls, res.Evals)
+	}
+	// The incumbent sits in every refinement window, so at least one point
+	// per round is a guaranteed memo hit: total evals must be strictly less
+	// than the sum of window sizes.
+	serialUpper := 6*6 + 3*(3*3) // coarse 6×6 lattice + 3 halving rounds of 3×3
+	if res.Evals >= serialUpper {
+		t.Errorf("Evals = %d, want < %d (memoization must skip revisited points)", res.Evals, serialUpper)
+	}
+}
+
+func TestParallelismDeterminism(t *testing.T) {
+	// A flat plateau forces objective ties: every Parallelism setting must
+	// resolve them identically (lexicographically smallest vector).
+	plateau := func(out []float64) (float64, bool) {
+		s := out[0] + out[1] + out[2]
+		if s > 30 {
+			return 0, false
+		}
+		return math.Min(s, 24), true // ties for every point with sum in [24, 30]
+	}
+	var ref Result
+	for i, par := range []int{1, 2, 4, runtime.GOMAXPROCS(0), 0} {
+		cfg := Config{Lo: 0, Hi: 20, CoarseStep: 4, FineStep: 1, Parallelism: par}
+		res, err := CoarseToFine(3, cfg, Shared(plateau))
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", par, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.Value != ref.Value || res.Evals != ref.Evals {
+			t.Errorf("Parallelism=%d: (value %g, evals %d) != reference (%g, %d)",
+				par, res.Value, res.Evals, ref.Value, ref.Evals)
+		}
+		for j := range ref.Out {
+			if res.Out[j] != ref.Out[j] {
+				t.Errorf("Parallelism=%d: Out = %v, want %v", par, res.Out, ref.Out)
+				break
+			}
+		}
+	}
+}
+
+func TestFactoryOnePerWorker(t *testing.T) {
+	// Each worker must get its own Objective from the Factory; no Objective
+	// may be shared between concurrently running workers.
+	var mu sync.Mutex
+	made := 0
+	factory := func() Objective {
+		mu.Lock()
+		made++
+		mu.Unlock()
+		inUse := false
+		return func(out []float64) (float64, bool) {
+			mu.Lock()
+			if inUse {
+				mu.Unlock()
+				t.Error("objective invoked concurrently from two workers")
+				return 0, false
+			}
+			inUse = true
+			mu.Unlock()
+			v, ok := quadratic([]float64{3, 7})(out)
+			mu.Lock()
+			inUse = false
+			mu.Unlock()
+			return v, ok
+		}
+	}
+	cfg := Config{Lo: 0, Hi: 10, CoarseStep: 1, FineStep: 1, Parallelism: 4}
+	if _, err := Grid(2, cfg, 1, factory); err != nil {
+		t.Fatal(err)
+	}
+	if made == 0 || made > 4 {
+		t.Errorf("factory called %d times, want 1..4", made)
+	}
+}
+
 func TestCoordinateDescentSeparableExact(t *testing.T) {
 	// Separable objectives are solved exactly by coordinate descent.
 	cfg := Config{Lo: 0, Hi: 10, CoarseStep: 1, FineStep: 1}
-	res, err := CoordinateDescent(3, cfg, nil, quadratic([]float64{2, 9, 4}))
+	res, err := CoordinateDescent(3, cfg, nil, Shared(quadratic([]float64{2, 9, 4})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +233,7 @@ func TestCoordinateDescentSeparableExact(t *testing.T) {
 func TestCoordinateDescentWithStart(t *testing.T) {
 	cfg := Config{Lo: 0, Hi: 10, CoarseStep: 1, FineStep: 1}
 	start := []float64{0, 0}
-	res, err := CoordinateDescent(2, cfg, start, quadratic([]float64{8, 8}))
+	res, err := CoordinateDescent(2, cfg, start, Shared(quadratic([]float64{8, 8})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,6 +245,14 @@ func TestCoordinateDescentWithStart(t *testing.T) {
 	}
 }
 
+func TestCoordinateDescentInfeasibleSentinel(t *testing.T) {
+	cfg := Config{Lo: 0, Hi: 2, CoarseStep: 1, FineStep: 1}
+	_, err := CoordinateDescent(1, cfg, nil, Shared(func([]float64) (float64, bool) { return 0, false }))
+	if !errors.Is(err, ErrNoFeasible) {
+		t.Errorf("err = %v, want ErrNoFeasible", err)
+	}
+}
+
 func TestPartialFeasibility(t *testing.T) {
 	// Only points with sum ≤ 10 are feasible; the best feasible point on
 	// the lattice maximizing x+y is any with sum exactly 10.
@@ -131,7 +261,7 @@ func TestPartialFeasibility(t *testing.T) {
 		return s, s <= 10
 	}
 	cfg := Config{Lo: 0, Hi: 10, CoarseStep: 2, FineStep: 1}
-	res, err := CoarseToFine(2, cfg, obj)
+	res, err := CoarseToFine(2, cfg, Shared(obj))
 	if err != nil {
 		t.Fatal(err)
 	}

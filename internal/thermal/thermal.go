@@ -42,6 +42,10 @@ type Model struct {
 	// Tin = tinFromCRAC·TcracOut + g·PCN.
 	tinFromCRAC *linalg.Matrix
 	g           *linalg.Matrix
+
+	// flows caches dc.Flows() — invariant after construction and needed on
+	// every CRAC-power evaluation in the temperature-search hot path.
+	flows []float64
 }
 
 // New builds the thermal model for dc. It returns an error when the
@@ -104,6 +108,7 @@ func New(dc *model.DataCenter) (*Model, error) {
 		outFromPower: outFromPower,
 		tinFromCRAC:  a.Mul(outFromCRAC),
 		g:            a.Mul(outFromPower),
+		flows:        flows,
 	}, nil
 }
 
@@ -118,8 +123,15 @@ func (m *Model) PowerSensitivity() *linalg.Matrix { return m.g }
 // InletBase returns the inlet temperatures with zero node power:
 // tinFromCRAC·cracOut.
 func (m *Model) InletBase(cracOut []float64) []float64 {
+	return m.InletBaseInto(cracOut, nil)
+}
+
+// InletBaseInto is InletBase writing into dst (reused when capacity
+// allows). It lets temperature-search hot loops evaluate thousands of
+// candidate outlet vectors without allocating.
+func (m *Model) InletBaseInto(cracOut, dst []float64) []float64 {
 	m.checkCRACLen(cracOut)
-	return m.tinFromCRAC.MulVec(cracOut)
+	return m.tinFromCRAC.MulVecInto(cracOut, dst)
 }
 
 // InletTemps returns all inlet temperatures (thermal-index order) for the
@@ -167,7 +179,7 @@ func (m *Model) RedlineSlack(tin []float64) float64 {
 // temperatures and node powers, applying the exact max(0,·) rule.
 func (m *Model) CRACPowers(cracOut, pcn []float64) []float64 {
 	tin := m.InletTemps(cracOut, pcn)
-	flows := m.dc.Flows()
+	flows := m.flows
 	out := make([]float64, m.dc.NCRAC())
 	for i := range out {
 		out[i] = power.CRACPower(flows[i], tin[i], cracOut[i])
@@ -203,18 +215,37 @@ type LinearCRACPower struct {
 // outlet temperatures, used to keep the paper's constraint 4 linear inside
 // the Stage-1 and Equation-21 LPs.
 func (m *Model) LinearizeCRACPower(cracOut []float64) []LinearCRACPower {
+	return m.LinearizeCRACPowerInto(cracOut, m.InletBase(cracOut), nil)
+}
+
+// LinearizeCRACPowerInto is LinearizeCRACPower taking the caller's
+// precomputed InletBase(cracOut) vector and reusing buf (including each
+// entry's Coef slice) when it has the right shape. Incremental Stage-1
+// solvers call this once per search candidate, so the reuse removes a
+// NCRAC×NCN allocation from the hot path.
+func (m *Model) LinearizeCRACPowerInto(cracOut, inletBase []float64, buf []LinearCRACPower) []LinearCRACPower {
 	m.checkCRACLen(cracOut)
-	base := m.InletBase(cracOut)
-	flows := m.dc.Flows()
-	out := make([]LinearCRACPower, m.dc.NCRAC())
+	ncrac, ncn := m.dc.NCRAC(), m.dc.NCN()
+	flows := m.flows
+	out := buf
+	if cap(out) >= ncrac {
+		out = out[:ncrac]
+	} else {
+		out = make([]LinearCRACPower, ncrac)
+	}
 	for i := range out {
 		k := power.RhoCp * flows[i] / power.CoP(cracOut[i])
-		coef := make([]float64, m.dc.NCN())
+		coef := out[i].Coef
+		if cap(coef) >= ncn {
+			coef = coef[:ncn]
+		} else {
+			coef = make([]float64, ncn)
+		}
 		for j := range coef {
 			coef[j] = k * m.g.At(i, j)
 		}
 		out[i] = LinearCRACPower{
-			Const: k * (base[i] - cracOut[i]),
+			Const: k * (inletBase[i] - cracOut[i]),
 			Coef:  coef,
 		}
 	}

@@ -74,7 +74,9 @@ type (
 	Scenario = scenario.Scenario
 	// WorkloadConfig tunes the §VI generators.
 	WorkloadConfig = workload.GenConfig
-	// SearchConfig bounds the CRAC outlet-temperature search.
+	// SearchConfig bounds the CRAC outlet-temperature search. Its
+	// Parallelism field sizes the candidate-evaluation worker pool
+	// (0 = GOMAXPROCS); results are bit-identical for every setting.
 	SearchConfig = tempsearch.Config
 )
 
@@ -127,7 +129,11 @@ func DefaultAssignOptions() AssignOptions {
 
 // ThreeStage runs the paper's first-step assignment (temperature search +
 // Stage 1 relaxed power LP + Stage 2 P-state rounding + Stage 3
-// execution-rate LP) on a built scenario.
+// execution-rate LP) on a built scenario. The temperature search evaluates
+// Stage-1 candidates through incremental per-worker solvers (one LP
+// skeleton and simplex tableau, patched per candidate); set
+// opts.Search.Parallelism to bound the worker pool. The result does not
+// depend on the parallelism setting.
 func ThreeStage(sc *Scenario, opts AssignOptions) (*ThreeStageResult, error) {
 	return assign.ThreeStage(sc.DC, sc.Thermal, opts)
 }
