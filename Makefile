@@ -17,7 +17,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/sched/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/sched/ ./internal/controller/ ./internal/faults/
 
 # Pre-merge gate (see README): formatting, vet, build, full race suite.
 ci:

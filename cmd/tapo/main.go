@@ -12,6 +12,8 @@
 //	tapo sweep    -kind {powercap|psi|vprop|static} [-values a,b,c] [...]
 //	tapo ablation [-trials N] [-nodes N] [-cracs N]
 //	tapo simulate [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
+//	tapo degraded [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
+//	              [-epoch SEC] [-faults nodes:cracs,...]
 //
 // Full paper scale is `-trials 25 -nodes 150 -cracs 3`; the defaults are
 // reduced so every command finishes interactively.
@@ -78,6 +80,8 @@ func main() {
 		err = runPolicies(args)
 	case "dynamic":
 		err = runDynamic(args)
+	case "degraded":
+		err = runDegraded(args)
 	case "thermal":
 		err = runThermal(args)
 	case "compare":
@@ -112,6 +116,7 @@ commands:
   minpower  §VIII extension: minimize power under a reward-rate floor
   policies  second-step scheduling-policy ablation
   dynamic   epoch-reassignment extension under arrival-rate drift
+  degraded  fault injection: open-loop vs re-optimizing epoch controller
   thermal   thermal map + P-state histogram after the assignment
   compare   naive ondemand clamp vs Eq. 21 vs three-stage
   burst     MMPP arrival-burstiness sweep over both scheduler policies
@@ -368,6 +373,58 @@ func runDynamic(args []string) error {
 	cfg.NNodes, cfg.NCracs = *nodes, *cracs
 	cfg.Horizon, cfg.Epoch, cfg.Amplitude, cfg.Period = *horizon, *epoch, *amp, *period
 	res, err := experiments.DynamicReassignment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+// parseLevels parses a "-faults" spec like "2:1,4:2" into severity levels
+// (failed nodes : degraded CRACs per level).
+func parseLevels(s string) ([]experiments.DegradedLevel, error) {
+	var out []experiments.DegradedLevel
+	for _, part := range strings.Split(s, ",") {
+		var lvl experiments.DegradedLevel
+		nums := strings.Split(strings.TrimSpace(part), ":")
+		if len(nums) != 2 {
+			return nil, fmt.Errorf("bad fault level %q (want nodes:cracs)", part)
+		}
+		var err error
+		if lvl.NodeFailures, err = strconv.Atoi(nums[0]); err != nil {
+			return nil, fmt.Errorf("bad fault level %q: %w", part, err)
+		}
+		if lvl.CracDegradations, err = strconv.Atoi(nums[1]); err != nil {
+			return nil, fmt.Errorf("bad fault level %q: %w", part, err)
+		}
+		if lvl.NodeFailures < 0 || lvl.CracDegradations < 0 {
+			return nil, fmt.Errorf("bad fault level %q: counts must be non-negative", part)
+		}
+		out = append(out, lvl)
+	}
+	return out, nil
+}
+
+func runDegraded(args []string) error {
+	fs := flag.NewFlagSet("degraded", flag.ExitOnError)
+	trials, nodes, cracs, seed := scaleFlags(fs)
+	horizon := fs.Float64("horizon", 60, "arrival horizon in seconds")
+	epoch := fs.Float64("epoch", 15, "re-optimization epoch in seconds")
+	faultsFlag := fs.String("faults", "0:0,2:0,2:1,4:1,6:2", "severity levels as failedNodes:degradedCracs, comma-separated")
+	searchPar := searchParFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	levels, err := parseLevels(*faultsFlag)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultDegradedConfig(*seed)
+	cfg.Trials, cfg.NNodes, cfg.NCracs = *trials, *nodes, *cracs
+	cfg.Horizon, cfg.Epoch = *horizon, *epoch
+	cfg.Levels = levels
+	cfg.Options.Search.Parallelism = *searchPar
+	res, err := experiments.DegradedSweep(cfg)
 	if err != nil {
 		return err
 	}

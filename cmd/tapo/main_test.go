@@ -88,6 +88,28 @@ func TestRunThermalTiny(t *testing.T) {
 	}
 }
 
+func TestRunDegradedTiny(t *testing.T) {
+	if err := runDegraded([]string{"-trials", "1", "-nodes", "10", "-cracs", "2",
+		"-horizon", "20", "-epoch", "10", "-faults", "0:0,2:1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	levels, err := parseLevels("0:0, 2:1,4:2")
+	if err != nil || len(levels) != 3 {
+		t.Fatalf("parseLevels = %v, %v", levels, err)
+	}
+	if levels[1].NodeFailures != 2 || levels[1].CracDegradations != 1 {
+		t.Fatalf("level 1 = %+v", levels[1])
+	}
+	for _, bad := range []string{"", "2", "2:x", "x:1", "-1:0", "2:-1", "2:1:3"} {
+		if _, err := parseLevels(bad); err == nil {
+			t.Errorf("parseLevels(%q) accepted", bad)
+		}
+	}
+}
+
 func TestParseValues(t *testing.T) {
 	vs, err := parseValues("1, 2.5,3")
 	if err != nil || len(vs) != 3 || vs[1] != 2.5 {

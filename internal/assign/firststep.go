@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"thermaldc/internal/model"
+	"thermaldc/internal/pwl"
 	"thermaldc/internal/tempsearch"
 	"thermaldc/internal/thermal"
 )
@@ -78,20 +79,53 @@ func (r *ThreeStageResult) RewardRate() float64 { return r.Stage3.RewardRate }
 // once per candidate. Results are identical to solving each candidate with
 // Stage1Fixed serially.
 func ThreeStage(dc *model.DataCenter, tm *thermal.Model, opts Options) (*ThreeStageResult, error) {
+	s, err := NewThreeStageSolver(dc, tm, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve()
+}
+
+// ThreeStageSolver is the warm-start form of ThreeStage: the ARR envelopes
+// and the incremental Stage-1 LP are built once, and Solve can be called
+// repeatedly. Because the Stage-1 LP reads dc.Pconst at each solve, a
+// caller that only changes the power cap (the epoch controller reacting to
+// a PowerCap fault) mutates dc.Pconst in place and re-Solves without
+// rebuilding anything; structural changes (CRAC flows, node failures,
+// redlines) need a fresh solver on a freshly degraded model.
+type ThreeStageSolver struct {
+	dc   *model.DataCenter
+	opts Options
+	arrs []*pwl.Func
+	base *Stage1Solver
+}
+
+// NewThreeStageSolver prepares a reusable first-step solver.
+func NewThreeStageSolver(dc *model.DataCenter, tm *thermal.Model, opts Options) (*ThreeStageSolver, error) {
 	arrs, err := nodeARRs(dc, opts.Psi)
 	if err != nil {
 		return nil, err
 	}
-	base := NewStage1Solver(dc, tm, arrs)
+	return &ThreeStageSolver{
+		dc:   dc,
+		opts: opts,
+		arrs: arrs,
+		base: NewStage1Solver(dc, tm, arrs),
+	}, nil
+}
+
+// Solve runs the full three-stage assignment against the current model
+// state. Repeat calls reuse the LP skeleton and simplex tableau.
+func (s *ThreeStageSolver) Solve() (*ThreeStageResult, error) {
 	handed := false
 	factory := func() tempsearch.Objective {
 		// The first worker gets the base solver; later workers get clones.
 		// Searches call the factory from a single goroutine, and all workers
 		// finish before the search returns, so reusing base afterwards for
 		// the final solve is safe.
-		solver := base
+		solver := s.base
 		if handed {
-			solver = base.Clone()
+			solver = s.base.Clone()
 		}
 		handed = true
 		return func(cracOut []float64) (float64, bool) {
@@ -102,16 +136,16 @@ func ThreeStage(dc *model.DataCenter, tm *thermal.Model, opts Options) (*ThreeSt
 			return res.PredictedARR, true
 		}
 	}
-	best, err := runSearch(dc.NCRAC(), opts, factory)
+	best, err := runSearch(s.dc.NCRAC(), s.opts, factory)
 	if err != nil {
 		return nil, fmt.Errorf("assign: temperature search: %w", err)
 	}
-	s1, err := base.Solve(best.Out)
+	s1, err := s.base.Solve(best.Out)
 	if err != nil {
 		return nil, err
 	}
-	pstates := Stage2(dc, arrs, s1)
-	s3, err := Stage3(dc, pstates)
+	pstates := Stage2(s.dc, s.arrs, s1)
+	s3, err := Stage3(s.dc, pstates)
 	if err != nil {
 		return nil, err
 	}

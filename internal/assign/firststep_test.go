@@ -1,0 +1,65 @@
+package assign_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"thermaldc/internal/assign"
+)
+
+// TestThreeStageSolverMatchesThreeStage checks the warm solver is a
+// faithful refactor: repeat Solve calls reproduce the one-shot ThreeStage
+// result exactly, and a Pconst-only change (the epoch controller's
+// power-cap fast path) matches a fresh solve on the capped model.
+func TestThreeStageSolverMatchesThreeStage(t *testing.T) {
+	sc := smallScenario(t, 21)
+	opts := assign.DefaultOptions()
+
+	want, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := assign.NewThreeStageSolver(sc.DC, sc.Thermal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 2; rep++ {
+		got, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RewardRate() != want.RewardRate() {
+			t.Fatalf("rep %d: warm reward rate %g != one-shot %g", rep, got.RewardRate(), want.RewardRate())
+		}
+		if !reflect.DeepEqual(got.PStates, want.PStates) {
+			t.Fatalf("rep %d: warm P-states differ from one-shot", rep)
+		}
+		if !reflect.DeepEqual(got.Stage1.CracOut, want.Stage1.CracOut) {
+			t.Fatalf("rep %d: warm outlet temperatures differ", rep)
+		}
+	}
+
+	// Power-cap fast path: mutate Pconst in place, re-Solve warm, compare
+	// to a cold solve on the same capped model.
+	orig := sc.DC.Pconst
+	sc.DC.Pconst = 0.8 * orig
+	defer func() { sc.DC.Pconst = orig }()
+	warm, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.RewardRate()-cold.RewardRate()) > 1e-9 {
+		t.Fatalf("capped warm reward rate %g != cold %g", warm.RewardRate(), cold.RewardRate())
+	}
+	if !reflect.DeepEqual(warm.PStates, cold.PStates) {
+		t.Fatal("capped warm P-states differ from cold solve")
+	}
+	if warm.RewardRate() > want.RewardRate()+1e-9 {
+		t.Fatal("tightening the cap increased the reward rate")
+	}
+}

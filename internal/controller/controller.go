@@ -1,0 +1,418 @@
+// Package controller closes the loop around the paper's two-step scheme.
+// The paper solves the first step once and runs open-loop; this package
+// re-runs the three-stage assignment whenever a fault (see
+// internal/faults) changes the plant — lost cooling capacity, dead nodes,
+// a tighter power cap, or biased sensors — so the data center keeps
+// honoring its power constraint and inlet redlines while collecting as
+// much reward as the degraded hardware allows.
+//
+// Epoch boundaries are the union of a fixed epoch grid and the fault
+// instants, so the controller reacts at the moment the plant changes
+// rather than up to one epoch late. Between boundaries the plant is
+// constant, which is what makes the safety argument airtight: every plan
+// is verified (assign.Verify) against the planner's degraded model at the
+// instant it takes effect, sensor bias only ever tightens the planner's
+// redlines, and Stage 2 rounds powers down — so the truth-model telemetry
+// can never exceed the cap or a redline while a verified plan is in force.
+//
+// The open-loop mode runs the paper's original scheme against the same
+// fault schedule (the plan from the healthy plant stays frozen while
+// hooks degrade the plant mid-run) and is the baseline the degraded
+// -operation experiment compares against.
+package controller
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/faults"
+	"thermaldc/internal/model"
+	"thermaldc/internal/sched"
+	"thermaldc/internal/sim"
+	"thermaldc/internal/thermal"
+	"thermaldc/internal/workload"
+)
+
+// Mode selects how the controller responds to faults.
+type Mode int
+
+const (
+	// Reoptimize re-runs the first step at every epoch boundary where the
+	// plant changed (the closed loop).
+	Reoptimize Mode = iota
+	// OpenLoop freezes the healthy plan and lets the faults land mid-run
+	// (the paper's original scheme, as a baseline).
+	OpenLoop
+)
+
+func (m Mode) String() string {
+	if m == OpenLoop {
+		return "open-loop"
+	}
+	return "re-optimizing"
+}
+
+// Config tunes a controller run.
+type Config struct {
+	// Horizon is the simulated window (s).
+	Horizon float64
+	// Epoch is the re-optimization grid spacing (s); fault instants are
+	// added as extra boundaries.
+	Epoch float64
+	// Mode selects closed- or open-loop operation.
+	Mode Mode
+	// Assign configures the three-stage first step at each re-solve.
+	Assign assign.Options
+	// Tol is the verification tolerance (default 1e-6).
+	Tol float64
+}
+
+// DefaultConfig returns a closed-loop configuration.
+func DefaultConfig(horizon, epoch float64) Config {
+	return Config{Horizon: horizon, Epoch: epoch, Mode: Reoptimize, Assign: assign.DefaultOptions(), Tol: 1e-6}
+}
+
+// EpochReport is the telemetry of one inter-boundary interval.
+type EpochReport struct {
+	// Start and End bound the interval (s).
+	Start, End float64
+	// Resolved marks intervals that began with a first-step re-solve;
+	// Fallback marks the re-solve failing and the all-off safe plan
+	// taking over.
+	Resolved, Fallback bool
+	// Violations counts assign.Verify findings against the plan in force,
+	// checked on the planner's degraded model (0 for every shipped
+	// schedule).
+	Violations int
+	// Reward, Completed, Dropped and Lost are the interval's scheduling
+	// outcomes.
+	Reward                   float64
+	Completed, Dropped, Lost int
+	// MaxPower, MaxPowerExcess and MaxInletExcess are the truth-model
+	// plant maxima over the interval (see sim.Result).
+	MaxPower, MaxPowerExcess, MaxInletExcess float64
+	// Plan is the assignment in force.
+	Plan *assign.ThreeStageResult
+}
+
+// Result aggregates a controller run.
+type Result struct {
+	Mode    Mode
+	Horizon float64
+	// TotalReward counts only tasks that survived (placed, not lost);
+	// RewardRate = TotalReward / Horizon.
+	TotalReward, RewardRate  float64
+	Completed, Dropped, Lost int
+	// Resolves and Fallbacks count first-step re-solves and safe-plan
+	// activations.
+	Resolves, Fallbacks int
+	// Violations sums planner-view Verify findings across all plans.
+	Violations int
+	// MaxPower, MaxPowerExcess and MaxInletExcess fold the per-epoch
+	// truth-model maxima: Excess ≤ 0 means the cap/redlines held for the
+	// whole run.
+	MaxPower, MaxPowerExcess, MaxInletExcess float64
+	// Epochs holds the per-interval telemetry.
+	Epochs []EpochReport
+}
+
+// Run drives the data center through the fault schedule. The base model is
+// never mutated; every epoch plans against a fresh faults.Degrade
+// projection. Tasks must be sorted by arrival time.
+func Run(base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task, cfg Config) (*Result, error) {
+	if cfg.Horizon <= 0 || cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("controller: horizon and epoch must be positive")
+	}
+	if err := schedule.Validate(base.NCRAC(), base.NCN()); err != nil {
+		return nil, err
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-6
+	}
+
+	// Task-loss rule: a task is destroyed iff its host node dies before it
+	// completes. The schedule is known (deterministic simulation), so the
+	// timeline is computed clairvoyantly up front.
+	failTimes := faults.NodeFailTimes(schedule, base.NCN())
+	nodeOf := make([]int, base.NumCores())
+	for j := range base.Nodes {
+		lo, hi := base.CoreRange(j)
+		for k := lo; k < hi; k++ {
+			nodeOf[k] = j
+		}
+	}
+	lost := func(core int, start, completion float64) bool {
+		return completion > failTimes[nodeOf[core]]
+	}
+
+	if cfg.Mode == OpenLoop {
+		return runOpenLoop(base, schedule, tasks, cfg, lost)
+	}
+	return runClosedLoop(base, schedule, tasks, cfg, lost)
+}
+
+// runClosedLoop re-plans at every boundary where the plant changed.
+func runClosedLoop(base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task, cfg Config, lost func(int, float64, float64) bool) (*Result, error) {
+	bounds := boundaries(schedule, cfg.Horizon, cfg.Epoch)
+	st := faults.NewState(base.NCRAC(), base.NCN())
+	res := newResult(cfg)
+	p := &truthPlant{}
+
+	var (
+		solver    *assign.ThreeStageSolver
+		plannerDC *model.DataCenter
+		plannerTM *thermal.Model
+		plan      *assign.ThreeStageResult
+		s         *sched.Scheduler
+	)
+	freeAt := make([]float64, base.NumCores())
+	evIdx := 0
+	taskIdx := 0
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		a, b := bounds[bi], bounds[bi+1]
+
+		// Fold every event at or before this boundary into the state.
+		structural, changed := false, false
+		for evIdx < len(schedule.Events) && schedule.Events[evIdx].Time <= a {
+			if st.Apply(schedule.Events[evIdx]) {
+				structural = true
+			}
+			changed = true
+			evIdx++
+		}
+
+		rep := EpochReport{Start: a, End: b}
+		if solver == nil || structural {
+			// Structure changed: project the degraded model and rebuild the
+			// thermal model and LP skeleton.
+			var err error
+			plannerDC, err = st.Degrade(base, faults.Planner)
+			if err != nil {
+				return nil, err
+			}
+			plannerTM, err = thermal.New(plannerDC)
+			if err != nil {
+				return nil, err
+			}
+			solver, err = assign.NewThreeStageSolver(plannerDC, plannerTM, cfg.Assign)
+			if err != nil {
+				return nil, err
+			}
+			changed = true
+		} else if changed {
+			// Power-cap-only change: the Stage-1 LP reads Pconst per solve,
+			// so mutating it in place reuses the warm solver.
+			plannerDC.Pconst = base.Pconst * st.CapFactor
+		}
+		if changed || plan == nil {
+			next, err := solver.Solve()
+			if err == nil && next.Stage1.Feasible {
+				plan = next
+			} else {
+				// Infeasible plant: fall back to the all-off safe plan (the
+				// shipped fault generators never push the plant this far).
+				var prevOut []float64
+				if plan != nil {
+					prevOut = plan.Stage1.CracOut
+				}
+				plan = fallbackPlan(plannerDC, prevOut)
+				rep.Fallback = true
+				res.Fallbacks++
+			}
+			rep.Resolved = true
+			res.Resolves++
+			rep.Violations = len(assign.Verify(plannerDC, plannerTM, plan, cfg.Tol))
+			res.Violations += rep.Violations
+
+			// A new plan means new desired rates, so the scheduler is
+			// rebuilt with its ATC clock started at the boundary; core busy
+			// state (freeAt) carries across, so occupancy is continuous.
+			// Without a plan change the old scheduler keeps running — a
+			// fault-free closed-loop run is then identical to a single
+			// uninterrupted simulation.
+			s, err = sched.New(plannerDC, plan.PStates, plan.Stage3.TC)
+			if err != nil {
+				return nil, err
+			}
+			s.SetStartTime(a)
+		}
+		if err := p.update(base, st, plan); err != nil {
+			return nil, err
+		}
+		lo := taskIdx
+		for taskIdx < len(tasks) && tasks[taskIdx].Arrival < b {
+			taskIdx++
+		}
+		out, err := sim.RunOpts(plannerDC, plan.PStates, plan.Stage3.TC, tasks[lo:taskIdx], b, sim.Options{
+			Start:     a,
+			Scheduler: s,
+			FreeAt:    freeAt,
+			Plant:     p,
+			Lost:      lost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Plan = plan
+		accumulate(res, &rep, out)
+	}
+	finish(res)
+	return res, nil
+}
+
+// runOpenLoop freezes the healthy plan and injects the faults as
+// simulation hooks that mutate the physical plant mid-run.
+func runOpenLoop(base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task, cfg Config, lost func(int, float64, float64) bool) (*Result, error) {
+	tm, err := thermal.New(base)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := assign.ThreeStage(base, tm, cfg.Assign)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(cfg)
+	res.Resolves = 1
+	res.Violations = len(assign.Verify(base, tm, plan, cfg.Tol))
+
+	st := faults.NewState(base.NCRAC(), base.NCN())
+	p := &truthPlant{}
+	if err := p.update(base, st, plan); err != nil {
+		return nil, err
+	}
+	var hookErr error
+	var hooks []sim.Hook
+	for _, e := range schedule.Events {
+		if e.Time >= cfg.Horizon {
+			continue
+		}
+		e := e
+		hooks = append(hooks, sim.Hook{Time: e.Time, Fire: func(now float64) {
+			st.Apply(e)
+			if err := p.update(base, st, plan); err != nil && hookErr == nil {
+				hookErr = err
+			}
+		}})
+	}
+	out, err := sim.RunOpts(base, plan.PStates, plan.Stage3.TC, tasks, cfg.Horizon, sim.Options{
+		Hooks: hooks,
+		Plant: p,
+		Lost:  lost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hookErr != nil {
+		return nil, hookErr
+	}
+	rep := EpochReport{Start: 0, End: cfg.Horizon, Resolved: true, Violations: res.Violations, Plan: plan}
+	accumulate(res, &rep, out)
+	finish(res)
+	return res, nil
+}
+
+// boundaries merges the epoch grid with the fault instants inside the
+// horizon into a sorted, deduplicated boundary list starting at 0 and
+// ending at the horizon.
+func boundaries(schedule faults.Schedule, horizon, epoch float64) []float64 {
+	b := []float64{0}
+	for i := 1; ; i++ {
+		t := float64(i) * epoch
+		if t >= horizon {
+			break
+		}
+		b = append(b, t)
+	}
+	for _, e := range schedule.Events {
+		if e.Time > 0 && e.Time < horizon {
+			b = append(b, e.Time)
+		}
+	}
+	b = append(b, horizon)
+	sort.Float64s(b)
+	out := b[:1]
+	for _, t := range b[1:] {
+		if t > out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// fallbackPlan is the last-resort safe plan: every core off, desired rates
+// zero, outlets kept from the previous plan (or the model's redline for a
+// first-epoch failure). With no compute power the power constraint has
+// maximum headroom; this is best-effort, not verified.
+func fallbackPlan(dc *model.DataCenter, prevOut []float64) *assign.ThreeStageResult {
+	pstates := make([]int, dc.NumCores())
+	for j := range dc.Nodes {
+		nt := dc.NodeType(j)
+		lo, hi := dc.CoreRange(j)
+		for k := lo; k < hi; k++ {
+			pstates[k] = nt.OffState()
+		}
+	}
+	out := append([]float64(nil), prevOut...)
+	if len(out) != dc.NCRAC() {
+		out = make([]float64, dc.NCRAC())
+		for i := range out {
+			out[i] = dc.RedlineCRAC
+		}
+	}
+	tc := make([][]float64, dc.T())
+	for i := range tc {
+		tc[i] = make([]float64, dc.NumCores())
+	}
+	npow := make([]float64, dc.NCN())
+	for j := range dc.Nodes {
+		npow[j] = dc.NodeType(j).BasePower
+	}
+	return &assign.ThreeStageResult{
+		Stage1: &assign.Stage1Result{
+			CracOut:       out,
+			NodeCorePower: make([]float64, dc.NCN()),
+			NodePower:     npow,
+		},
+		PStates: pstates,
+		Stage3:  &assign.Stage3Result{TC: tc, CoreUtilization: make([]float64, dc.NumCores())},
+	}
+}
+
+func newResult(cfg Config) *Result {
+	return &Result{
+		Mode:           cfg.Mode,
+		Horizon:        cfg.Horizon,
+		MaxPowerExcess: math.Inf(-1),
+		MaxInletExcess: math.Inf(-1),
+	}
+}
+
+// accumulate folds one interval's sim result into the epoch report and the
+// run totals.
+func accumulate(res *Result, rep *EpochReport, out *sim.Result) {
+	rep.Reward = out.TotalReward
+	rep.Completed, rep.Dropped, rep.Lost = out.Completed, out.Dropped, out.Lost
+	rep.MaxPower, rep.MaxPowerExcess, rep.MaxInletExcess = out.MaxPower, out.MaxPowerExcess, out.MaxInletExcess
+	res.TotalReward += out.TotalReward
+	res.Completed += out.Completed
+	res.Dropped += out.Dropped
+	res.Lost += out.Lost
+	if out.MaxPower > res.MaxPower {
+		res.MaxPower = out.MaxPower
+	}
+	if out.MaxPowerExcess > res.MaxPowerExcess {
+		res.MaxPowerExcess = out.MaxPowerExcess
+	}
+	if out.MaxInletExcess > res.MaxInletExcess {
+		res.MaxInletExcess = out.MaxInletExcess
+	}
+	res.Epochs = append(res.Epochs, *rep)
+}
+
+func finish(res *Result) {
+	if res.Horizon > 0 {
+		res.RewardRate = res.TotalReward / res.Horizon
+	}
+}

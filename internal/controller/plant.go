@@ -1,0 +1,67 @@
+package controller
+
+import (
+	"math"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/faults"
+	"thermaldc/internal/model"
+	"thermaldc/internal/sim"
+	"thermaldc/internal/thermal"
+)
+
+// truthPlant is the physical data center as the simulator's telemetry sees
+// it: the truth-view degraded model (real redlines, real flows) evaluated
+// at the plan currently in force. The paper's power model is
+// utilization-independent, so the plant is piecewise-constant between
+// updates and sampling at update instants captures the exact maxima.
+type truthPlant struct {
+	tm      *thermal.Model
+	redline []float64
+	cap     float64
+	cracOut []float64
+	pcn     []float64
+}
+
+// update re-projects the plant after a state or plan change. Dead nodes
+// draw nothing — their plan P-states are irrelevant to the physics — so
+// their node power is zeroed regardless of what the (possibly stale,
+// open-loop) plan assigns them.
+func (p *truthPlant) update(base *model.DataCenter, st *faults.State, plan *assign.ThreeStageResult) error {
+	truth, err := st.Degrade(base, faults.Truth)
+	if err != nil {
+		return err
+	}
+	tm, err := thermal.New(truth)
+	if err != nil {
+		return err
+	}
+	pcn := assign.NodePowersFromPStates(truth, plan.PStates)
+	for j, failed := range st.NodeFailed {
+		if failed {
+			pcn[j] = 0
+		}
+	}
+	p.tm = tm
+	p.redline = truth.Redline()
+	p.cap = truth.Pconst
+	p.cracOut = plan.Stage1.CracOut
+	p.pcn = pcn
+	return nil
+}
+
+// Sample implements sim.Plant against the current truth model.
+func (p *truthPlant) Sample(t float64) sim.PlantSample {
+	tin := p.tm.InletTemps(p.cracOut, p.pcn)
+	worst := math.Inf(-1)
+	for i := range tin {
+		if d := tin[i] - p.redline[i]; d > worst {
+			worst = d
+		}
+	}
+	return sim.PlantSample{
+		Power:       p.tm.TotalPower(p.cracOut, p.pcn),
+		PowerCap:    p.cap,
+		InletExcess: worst,
+	}
+}

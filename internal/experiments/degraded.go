@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/controller"
+	"thermaldc/internal/faults"
+	"thermaldc/internal/scenario"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/workload"
+)
+
+// DegradedLevel is one severity point of the degraded-operation sweep.
+type DegradedLevel struct {
+	// NodeFailures and CracDegradations count the faults injected at this
+	// level (degradations draw flow factors from the generator's default
+	// [0.5, 0.85] band).
+	NodeFailures, CracDegradations int
+}
+
+// DegradedConfig controls the degraded-operation experiment: the same
+// fault schedules hit an open-loop run (the paper's frozen plan) and a
+// re-optimizing run (internal/controller), and the sweep reports reward
+// rate and constraint telemetry per severity level.
+type DegradedConfig struct {
+	// NCracs/NNodes/StaticShare/Vprop/Seed: scenario knobs.
+	NCracs, NNodes int
+	StaticShare    float64
+	Vprop          float64
+	Seed           int64
+	// Horizon is the simulated window (s); Epoch the re-optimization grid.
+	Horizon, Epoch float64
+	// Trials averages each level over several (scenario, schedule, stream)
+	// draws.
+	Trials int
+	// Levels is the severity axis.
+	Levels []DegradedLevel
+	// Options for the first-step assignment at each (re)solve.
+	Options assign.Options
+}
+
+// DefaultDegradedConfig returns a reduced-scale sweep: severity grows from
+// a healthy run to 30% of the fleet dead with both CRACs degraded.
+func DefaultDegradedConfig(seed int64) DegradedConfig {
+	return DegradedConfig{
+		NCracs:      2,
+		NNodes:      20,
+		StaticShare: 0.3,
+		Vprop:       0.1,
+		Seed:        seed,
+		Horizon:     60,
+		Epoch:       15,
+		Trials:      3,
+		Levels: []DegradedLevel{
+			{0, 0}, {2, 0}, {2, 1}, {4, 1}, {6, 2},
+		},
+		Options: assign.DefaultOptions(),
+	}
+}
+
+// DegradedRow aggregates one severity level over the trials.
+type DegradedRow struct {
+	Level DegradedLevel
+	// OpenReward and ClosedReward are mean reward rates (reward/s).
+	OpenReward, ClosedReward float64
+	// OpenLost and ClosedLost are mean lost-task counts.
+	OpenLost, ClosedLost float64
+	// GainPct = 100·(Closed − Open)/Open.
+	GainPct float64
+	// *PowerExcess / *InletExcess are the worst constraint excursions seen
+	// across the trials (kW above the cap / °C above a redline; ≤ 0 means
+	// the constraint held everywhere).
+	OpenPowerExcess, OpenInletExcess     float64
+	ClosedPowerExcess, ClosedInletExcess float64
+	// Resolves and Fallbacks total the closed loop's re-solves and
+	// safe-plan activations across the trials.
+	Resolves, Fallbacks int
+}
+
+// DegradedResult is the full sweep.
+type DegradedResult struct {
+	Config DegradedConfig
+	Rows   []DegradedRow
+}
+
+// DegradedSweep runs the experiment.
+func DegradedSweep(cfg DegradedConfig) (*DegradedResult, error) {
+	if cfg.Horizon <= 0 || cfg.Epoch <= 0 || cfg.Trials <= 0 || len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("experiments: degraded sweep needs positive horizon, epoch, trials and at least one level")
+	}
+	res := &DegradedResult{Config: cfg}
+	for _, lvl := range cfg.Levels {
+		row := DegradedRow{
+			Level:             lvl,
+			OpenPowerExcess:   math.Inf(-1),
+			OpenInletExcess:   math.Inf(-1),
+			ClosedPowerExcess: math.Inf(-1),
+			ClosedInletExcess: math.Inf(-1),
+		}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, cfg.Seed+int64(trial))
+			scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes
+			sc, err := scenario.Build(scCfg)
+			if err != nil {
+				return nil, err
+			}
+			gen := faults.DefaultGenConfig(cfg.Seed+int64(trial)*101+3, cfg.Horizon, cfg.NCracs, cfg.NNodes)
+			gen.NodeFailures = lvl.NodeFailures
+			gen.CracDegradations = lvl.CracDegradations
+			// The severity axis is lost capacity only: no power steps or
+			// sensor offsets, so rows differ in exactly one variable.
+			gen.PowerSteps = 0
+			gen.SensorOffsets = 0
+			schedule, err := faults.Generate(gen)
+			if err != nil {
+				return nil, err
+			}
+			tasks := workload.GenerateTasks(sc.DC, cfg.Horizon, stats.NewRand(cfg.Seed+int64(trial)*7+13))
+
+			run := controller.Config{Horizon: cfg.Horizon, Epoch: cfg.Epoch, Mode: controller.Reoptimize, Assign: cfg.Options}
+			closed, err := controller.Run(sc.DC, schedule, tasks, run)
+			if err != nil {
+				return nil, err
+			}
+			run.Mode = controller.OpenLoop
+			open, err := controller.Run(sc.DC, schedule, tasks, run)
+			if err != nil {
+				return nil, err
+			}
+
+			row.ClosedReward += closed.RewardRate
+			row.OpenReward += open.RewardRate
+			row.ClosedLost += float64(closed.Lost)
+			row.OpenLost += float64(open.Lost)
+			row.Resolves += closed.Resolves
+			row.Fallbacks += closed.Fallbacks
+			row.ClosedPowerExcess = math.Max(row.ClosedPowerExcess, closed.MaxPowerExcess)
+			row.ClosedInletExcess = math.Max(row.ClosedInletExcess, closed.MaxInletExcess)
+			row.OpenPowerExcess = math.Max(row.OpenPowerExcess, open.MaxPowerExcess)
+			row.OpenInletExcess = math.Max(row.OpenInletExcess, open.MaxInletExcess)
+		}
+		n := float64(cfg.Trials)
+		row.ClosedReward /= n
+		row.OpenReward /= n
+		row.ClosedLost /= n
+		row.OpenLost /= n
+		if row.OpenReward > 0 {
+			row.GainPct = 100 * (row.ClosedReward - row.OpenReward) / row.OpenReward
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep as a table.
+func (r *DegradedResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degraded operation: open-loop vs re-optimizing (%d nodes, %d CRACs, %d trials, horizon %.0f s, epoch %.0f s)\n",
+		r.Config.NNodes, r.Config.NCracs, r.Config.Trials, r.Config.Horizon, r.Config.Epoch)
+	fmt.Fprintf(&b, "excess columns: worst kW above the power cap / worst °C above a redline (<= 0 means the constraint held)\n\n")
+	fmt.Fprintf(&b, "%6s %6s | %11s %9s %7s %7s | %11s %9s %7s %7s | %8s\n",
+		"nodes", "cracs",
+		"open rew/s", "open lost", "pow+kW", "inl+°C",
+		"cl rew/s", "cl lost", "pow+kW", "inl+°C", "gain%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %6d | %11.1f %9.1f %7.2f %7.2f | %11.1f %9.1f %7.2f %7.2f | %+8.1f\n",
+			row.Level.NodeFailures, row.Level.CracDegradations,
+			row.OpenReward, row.OpenLost, row.OpenPowerExcess, row.OpenInletExcess,
+			row.ClosedReward, row.ClosedLost, row.ClosedPowerExcess, row.ClosedInletExcess,
+			row.GainPct)
+	}
+	return b.String()
+}

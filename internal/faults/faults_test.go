@@ -1,0 +1,212 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"thermaldc/internal/scenario"
+	"thermaldc/internal/thermal"
+)
+
+func testScenario(t *testing.T, seed int64) *scenario.Scenario {
+	t.Helper()
+	cfg := scenario.Default(0.3, 0.1, seed)
+	cfg.NCracs = 2
+	cfg.NNodes = 8
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(7, 100, 3, 20)
+	cfg.CracOutages = 1
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config generated different schedules:\n%v\n%v", a, b)
+	}
+	if len(a.Events) != cfg.CracDegradations+1+cfg.NodeFailures+cfg.PowerSteps+cfg.SensorOffsets {
+		t.Fatalf("got %d events", len(a.Events))
+	}
+	if err := a.Validate(3, 20); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Generate(DefaultGenConfig(8, 100, 3, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+}
+
+func TestGenerateCapsOutages(t *testing.T) {
+	cfg := DefaultGenConfig(1, 50, 2, 4)
+	cfg.CracOutages = 5 // capped at NCrac-1 = 1
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outages := 0
+	for _, e := range s.Events {
+		if e.Kind == CRACOutage {
+			outages++
+		}
+	}
+	if outages != 1 {
+		t.Fatalf("got %d outages, want 1 (one CRAC must stay healthy)", outages)
+	}
+}
+
+func TestStateApplyMonotone(t *testing.T) {
+	st := NewState(2, 4)
+	if !st.Apply(Event{Kind: CRACDegrade, Unit: 1, Magnitude: 0.7}) {
+		t.Fatal("first degradation should be structural")
+	}
+	if st.Apply(Event{Kind: CRACDegrade, Unit: 1, Magnitude: 0.8}) {
+		t.Fatal("weaker degradation must not loosen the state")
+	}
+	if st.CracFlowFactor[1] != 0.7 {
+		t.Fatalf("flow factor %g", st.CracFlowFactor[1])
+	}
+	st.Apply(Event{Kind: CRACOutage, Unit: 1})
+	if st.CracFlowFactor[1] != OutageFlowFactor {
+		t.Fatalf("outage flow factor %g", st.CracFlowFactor[1])
+	}
+	if st.Apply(Event{Kind: PowerCap, Magnitude: 0.8}) {
+		t.Fatal("power-cap step must not be structural (Pconst is read per solve)")
+	}
+	st.Apply(Event{Kind: PowerCap, Magnitude: 0.9})
+	if st.CapFactor != 0.8 {
+		t.Fatalf("cap factor %g", st.CapFactor)
+	}
+	st.Apply(Event{Kind: NodeFail, Unit: 2})
+	st.Apply(Event{Kind: SensorOffset, Magnitude: 1.5})
+	st.Apply(Event{Kind: SensorOffset, Magnitude: 0.5})
+	if st.SensorBias != 1.5 {
+		t.Fatalf("sensor bias %g", st.SensorBias)
+	}
+	if st.FailedNodes() != 1 || st.DegradedCRACs() != 1 {
+		t.Fatalf("counts: %d failed, %d degraded", st.FailedNodes(), st.DegradedCRACs())
+	}
+}
+
+func TestDegradeProducesValidModel(t *testing.T) {
+	sc := testScenario(t, 3)
+	st := NewState(sc.DC.NCRAC(), sc.DC.NCN())
+	st.Apply(Event{Kind: CRACDegrade, Unit: 0, Magnitude: 0.6})
+	st.Apply(Event{Kind: NodeFail, Unit: 2})
+	st.Apply(Event{Kind: NodeFail, Unit: 5})
+	st.Apply(Event{Kind: PowerCap, Magnitude: 0.8})
+	st.Apply(Event{Kind: SensorOffset, Magnitude: 1})
+
+	baseFlow := sc.DC.CRACs[0].Flow
+	basePconst := sc.DC.Pconst
+	baseTypes := len(sc.DC.NodeTypes)
+
+	dc, err := st.Degrade(sc.DC, Planner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The base model must be untouched.
+	if sc.DC.CRACs[0].Flow != baseFlow || sc.DC.Pconst != basePconst || len(sc.DC.NodeTypes) != baseTypes {
+		t.Fatal("Degrade mutated the base model")
+	}
+	if err := dc.Validate(); err != nil {
+		t.Fatalf("degraded model invalid: %v", err)
+	}
+	if got := dc.CRACs[0].Flow; math.Abs(got-0.6*baseFlow) > 1e-12 {
+		t.Fatalf("CRAC flow %g, want %g", got, 0.6*baseFlow)
+	}
+	if got := dc.Pconst; math.Abs(got-0.8*basePconst) > 1e-9 {
+		t.Fatalf("Pconst %g, want %g", got, 0.8*basePconst)
+	}
+	if dc.RedlineNode != sc.DC.RedlineNode-1 || dc.RedlineCRAC != sc.DC.RedlineCRAC-1 {
+		t.Fatal("planner view did not tighten redlines by the sensor bias")
+	}
+	// Core indexing is preserved.
+	if dc.NumCores() != sc.DC.NumCores() {
+		t.Fatalf("core count changed: %d vs %d", dc.NumCores(), sc.DC.NumCores())
+	}
+	for _, j := range []int{2, 5} {
+		typ := dc.Nodes[j].Type
+		if typ < baseTypes {
+			t.Fatalf("failed node %d still maps to a healthy type", j)
+		}
+		if dc.NodeTypes[typ].BasePower != 0 {
+			t.Fatalf("failed node %d draws base power", j)
+		}
+		for i := range dc.TaskTypes {
+			for _, v := range dc.ECS[i][typ] {
+				if v != 0 {
+					t.Fatalf("failed node type has non-zero ECS")
+				}
+			}
+		}
+	}
+	// The degraded model supports a thermal rebuild.
+	if _, err := thermal.New(dc); err != nil {
+		t.Fatalf("thermal model on degraded DC: %v", err)
+	}
+
+	// Truth view keeps real redlines.
+	truth, err := st.Degrade(sc.DC, Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.RedlineNode != sc.DC.RedlineNode || truth.RedlineCRAC != sc.DC.RedlineCRAC {
+		t.Fatal("truth view tightened redlines")
+	}
+}
+
+func TestDegradeSharesECSWhenNoFailures(t *testing.T) {
+	sc := testScenario(t, 4)
+	st := NewState(sc.DC.NCRAC(), sc.DC.NCN())
+	st.Apply(Event{Kind: PowerCap, Magnitude: 0.9})
+	dc, err := st.Degrade(sc.DC, Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dc.ECS[0] != &sc.DC.ECS[0] {
+		t.Fatal("ECS copied without any node failure")
+	}
+}
+
+func TestNodeFailTimes(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{Time: 5, Kind: NodeFail, Unit: 1},
+		{Time: 9, Kind: NodeFail, Unit: 1}, // duplicate keeps the earliest
+		{Time: 3, Kind: CRACOutage, Unit: 0},
+	}}
+	ft := NodeFailTimes(s, 3)
+	if ft[1] != 5 || !math.IsInf(ft[0], 1) || !math.IsInf(ft[2], 1) {
+		t.Fatalf("fail times %v", ft)
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	bad := []Event{
+		{Time: -1, Kind: NodeFail, Unit: 0},
+		{Time: 1, Kind: CRACDegrade, Unit: 5, Magnitude: 0.5},
+		{Time: 1, Kind: CRACDegrade, Unit: 0, Magnitude: 1.2},
+		{Time: 1, Kind: PowerCap, Magnitude: 0},
+		{Time: 1, Kind: SensorOffset, Magnitude: -0.5},
+		{Time: 1, Kind: NodeFail, Unit: 99},
+	}
+	for _, e := range bad {
+		s := Schedule{Events: []Event{e}}
+		if err := s.Validate(2, 4); err == nil {
+			t.Errorf("event %v accepted", e)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"fmt"
+
+	"thermaldc/internal/stats"
+)
+
+// GenConfig parameterizes the seeded fault-schedule generator. The
+// defaults are sized so a mid-capacity data center (Pconst at the
+// Equation-18 midpoint) always retains a safe operating point: at least
+// one CRAC keeps full flow, degradations stay above half flow, and the
+// power cap never drops below 60% of Pconst. Harsher schedules are legal —
+// the controller falls back to the all-off safe plan when re-optimization
+// goes infeasible — but the shipped defaults are the ones the invariant
+// tests promise zero violations for.
+type GenConfig struct {
+	// Seed drives every draw; equal configs generate equal schedules.
+	Seed int64
+	// Horizon bounds event times to (0, Horizon).
+	Horizon float64
+	// NCrac and NNodes are the data-center dimensions.
+	NCrac, NNodes int
+	// CracDegradations draws that many CRACDegrade events with flow
+	// factors in [DegradeLo, DegradeHi].
+	CracDegradations int
+	// CracOutages draws that many CRACOutage events on distinct CRACs,
+	// capped at NCrac−1 so one unit always keeps full flow.
+	CracOutages int
+	// NodeFailures draws that many NodeFail events on distinct nodes.
+	NodeFailures int
+	// PowerSteps draws that many PowerCap events with factors in
+	// [CapLo, CapHi].
+	PowerSteps int
+	// SensorOffsets draws that many SensorOffset events with biases in
+	// [BiasLo, BiasHi] °C.
+	SensorOffsets int
+	// DegradeLo/DegradeHi bound CRACDegrade flow factors (defaults 0.5/0.85).
+	DegradeLo, DegradeHi float64
+	// CapLo/CapHi bound PowerCap factors (defaults 0.6/0.9).
+	CapLo, CapHi float64
+	// BiasLo/BiasHi bound sensor biases in °C (defaults 0.5/2).
+	BiasLo, BiasHi float64
+}
+
+// DefaultGenConfig returns a moderate schedule for the given dimensions:
+// one CRAC degradation, node failures for ~10% of the fleet, one power-cap
+// step, and one sensor offset, spread over the horizon.
+func DefaultGenConfig(seed int64, horizon float64, ncrac, nnodes int) GenConfig {
+	return GenConfig{
+		Seed:             seed,
+		Horizon:          horizon,
+		NCrac:            ncrac,
+		NNodes:           nnodes,
+		CracDegradations: 1,
+		NodeFailures:     (nnodes + 9) / 10,
+		PowerSteps:       1,
+		SensorOffsets:    1,
+	}
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.DegradeLo == 0 {
+		c.DegradeLo = 0.5
+	}
+	if c.DegradeHi == 0 {
+		c.DegradeHi = 0.85
+	}
+	if c.CapLo == 0 {
+		c.CapLo = 0.6
+	}
+	if c.CapHi == 0 {
+		c.CapHi = 0.9
+	}
+	if c.BiasLo == 0 {
+		c.BiasLo = 0.5
+	}
+	if c.BiasHi == 0 {
+		c.BiasHi = 2
+	}
+	return c
+}
+
+// Generate draws a deterministic fault schedule from the config. The same
+// config always yields the same schedule, byte for byte, which is what
+// makes degraded-operation experiments and the invariant tests replayable.
+func Generate(cfg GenConfig) (Schedule, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Horizon <= 0 {
+		return Schedule{}, fmt.Errorf("faults: generator horizon must be positive")
+	}
+	if cfg.NCrac <= 0 || cfg.NNodes <= 0 {
+		return Schedule{}, fmt.Errorf("faults: generator needs positive data-center dimensions")
+	}
+	if cfg.DegradeLo <= 0 || cfg.DegradeHi >= 1 || cfg.DegradeLo > cfg.DegradeHi ||
+		cfg.CapLo <= 0 || cfg.CapHi > 1 || cfg.CapLo > cfg.CapHi ||
+		cfg.BiasLo < 0 || cfg.BiasLo > cfg.BiasHi {
+		return Schedule{}, fmt.Errorf("faults: generator magnitude bounds are inconsistent")
+	}
+	rng := stats.NewRand(cfg.Seed)
+	var s Schedule
+
+	// Event times avoid t = 0 (the initial plan already sees a healthy
+	// plant) and cluster nothing: plain uniform draws over the horizon.
+	when := func() float64 { return stats.Uniform(rng, 1e-3*cfg.Horizon, cfg.Horizon) }
+
+	for i := 0; i < cfg.CracDegradations; i++ {
+		s.Events = append(s.Events, Event{
+			Time:      when(),
+			Kind:      CRACDegrade,
+			Unit:      rng.Intn(cfg.NCrac),
+			Magnitude: stats.Uniform(rng, cfg.DegradeLo, cfg.DegradeHi),
+		})
+	}
+	outages := cfg.CracOutages
+	if max := cfg.NCrac - 1; outages > max {
+		outages = max
+	}
+	for _, unit := range samples(rng.Perm(cfg.NCrac), outages) {
+		s.Events = append(s.Events, Event{Time: when(), Kind: CRACOutage, Unit: unit})
+	}
+	failures := cfg.NodeFailures
+	if failures > cfg.NNodes {
+		failures = cfg.NNodes
+	}
+	for _, unit := range samples(rng.Perm(cfg.NNodes), failures) {
+		s.Events = append(s.Events, Event{Time: when(), Kind: NodeFail, Unit: unit})
+	}
+	for i := 0; i < cfg.PowerSteps; i++ {
+		s.Events = append(s.Events, Event{
+			Time:      when(),
+			Kind:      PowerCap,
+			Magnitude: stats.Uniform(rng, cfg.CapLo, cfg.CapHi),
+		})
+	}
+	for i := 0; i < cfg.SensorOffsets; i++ {
+		s.Events = append(s.Events, Event{
+			Time:      when(),
+			Kind:      SensorOffset,
+			Magnitude: stats.Uniform(rng, cfg.BiasLo, cfg.BiasHi),
+		})
+	}
+	s.Sort()
+	if err := s.Validate(cfg.NCrac, cfg.NNodes); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// samples returns the first n entries of a permutation.
+func samples(perm []int, n int) []int {
+	if n > len(perm) {
+		n = len(perm)
+	}
+	return perm[:n]
+}

@@ -37,6 +37,9 @@ func Energy(dc *model.DataCenter, pstates []int, res *Result, idleFraction float
 	if idleFraction < 0 || idleFraction > 1 {
 		return nil, fmt.Errorf("sim: idle fraction %g outside [0, 1]", idleFraction)
 	}
+	if res.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: result has non-positive horizon %g", res.Horizon)
+	}
 	rep := &EnergyReport{}
 	for j := range dc.Nodes {
 		rep.BaseKJ += dc.NodeType(j).BasePower * res.Horizon

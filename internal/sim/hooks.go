@@ -1,0 +1,49 @@
+package sim
+
+// Hook is a timestamped callback wired into the simulation clock. The
+// simulator fires each hook exactly once, in time order, when simulated
+// time first reaches Hook.Time — either because a task arrives at or after
+// it, or at the end of the run for hooks inside the window that no arrival
+// reached. The fault-injection layer uses hooks to mutate the physical
+// plant (CRAC flows, node health, power caps) at its scheduled instants
+// while the task loop is running.
+type Hook struct {
+	// Time is the firing timestamp in seconds.
+	Time float64
+	// Fire receives the firing timestamp.
+	Fire func(now float64)
+}
+
+// PlantSample is one observation of the physical data center.
+type PlantSample struct {
+	// Power is the total facility power draw in kW (compute + CRAC).
+	Power float64
+	// PowerCap is the power constraint in force at the sample time (kW).
+	PowerCap float64
+	// InletExcess is the worst inlet-temperature violation in °C:
+	// max over thermal units of (Tin − redline). Negative means every
+	// inlet is below its redline by at least that margin.
+	InletExcess float64
+}
+
+// Plant exposes the physical state of the data center to the simulator so
+// a run can report constraint telemetry alongside scheduling statistics.
+// The paper's power model is utilization-independent, so the plant state
+// is piecewise-constant between hook firings; the simulator samples it at
+// the window start and after every hook, which captures the exact maxima.
+type Plant interface {
+	Sample(t float64) PlantSample
+}
+
+// observe folds a plant sample into the running telemetry maxima.
+func (r *Result) observe(s PlantSample) {
+	if s.Power > r.MaxPower {
+		r.MaxPower = s.Power
+	}
+	if excess := s.Power - s.PowerCap; excess > r.MaxPowerExcess {
+		r.MaxPowerExcess = excess
+	}
+	if s.InletExcess > r.MaxInletExcess {
+		r.MaxInletExcess = s.InletExcess
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"thermaldc/internal/assign"
 	"thermaldc/internal/scenario"
+	"thermaldc/internal/sched"
 	"thermaldc/internal/sim"
 	"thermaldc/internal/stats"
 	"thermaldc/internal/workload"
@@ -31,6 +32,165 @@ func TestRunRejectsBadHorizon(t *testing.T) {
 	sc, res := buildAssigned(t, 1)
 	if _, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, nil, 0); err == nil {
 		t.Fatal("horizon 0 accepted")
+	}
+	// A zero-length window (Start == horizon) would make every rate field
+	// 0/0 = NaN; it must be rejected the same way.
+	if _, err := sim.RunOpts(sc.DC, res.PStates, res.Stage3.TC, nil, 5, sim.Options{Start: 5}); err == nil {
+		t.Fatal("zero-length window accepted")
+	}
+	if _, err := sim.RunOpts(sc.DC, res.PStates, res.Stage3.TC, nil, 5, sim.Options{Start: 6}); err == nil {
+		t.Fatal("negative-length window accepted")
+	}
+	// And no surviving code path may emit NaN rates on a legal run.
+	out, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{out.RewardRate, out.WindowRewardRate, out.BusyFraction} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("rate field is %g", v)
+		}
+	}
+}
+
+// fakePlant reports a fixed power ramp so telemetry folding is checkable.
+type fakePlant struct {
+	power func(t float64) float64
+}
+
+func (p fakePlant) Sample(t float64) sim.PlantSample {
+	return sim.PlantSample{Power: p.power(t), PowerCap: 100, InletExcess: p.power(t) - 120}
+}
+
+func TestRunHooksFireInOrderWithTelemetry(t *testing.T) {
+	sc, res := buildAssigned(t, 6)
+	const horizon = 20.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(13))
+	level := 90.0
+	var fired []float64
+	hooks := []sim.Hook{
+		{Time: 5, Fire: func(now float64) { fired = append(fired, now); level = 110 }},
+		{Time: 12, Fire: func(now float64) { fired = append(fired, now); level = 95 }},
+		// A hook after the last arrival still fires via the end-of-run flush.
+		{Time: horizon, Fire: func(now float64) { fired = append(fired, now) }},
+	}
+	out, err := sim.RunOpts(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon, sim.Options{
+		Hooks: hooks,
+		Plant: fakePlant{power: func(t float64) float64 { return level }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || fired[0] != 5 || fired[1] != 12 || fired[2] != horizon {
+		t.Fatalf("hooks fired at %v", fired)
+	}
+	// The plant peaked at 110 kW (after the first hook), 10 kW above the cap.
+	if out.MaxPower != 110 {
+		t.Errorf("MaxPower %g, want 110", out.MaxPower)
+	}
+	if math.Abs(out.MaxPowerExcess-10) > 1e-12 {
+		t.Errorf("MaxPowerExcess %g, want 10", out.MaxPowerExcess)
+	}
+	if math.Abs(out.MaxInletExcess-(-10)) > 1e-12 {
+		t.Errorf("MaxInletExcess %g, want -10", out.MaxInletExcess)
+	}
+	// Unsorted hooks are rejected.
+	bad := []sim.Hook{{Time: 9}, {Time: 3}}
+	if _, err := sim.RunOpts(sc.DC, res.PStates, res.Stage3.TC, nil, horizon, sim.Options{Hooks: bad}); err == nil {
+		t.Fatal("unsorted hooks accepted")
+	}
+}
+
+func TestRunLostTasksEarnNoReward(t *testing.T) {
+	sc, res := buildAssigned(t, 7)
+	const horizon = 20.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(17))
+	base, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every task completing after t = 10 is lost.
+	var lostRecords int
+	out, err := sim.RunOpts(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon, sim.Options{
+		Lost: func(core int, start, completion float64) bool { return completion > 10 },
+		Recorder: func(r sim.TaskRecord) {
+			if r.Lost {
+				lostRecords++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Lost == 0 {
+		t.Fatal("no tasks lost under a rule that voids half the horizon")
+	}
+	if lostRecords != out.Lost {
+		t.Errorf("%d lost records for %d lost tasks", lostRecords, out.Lost)
+	}
+	if out.Completed+out.Lost != base.Completed {
+		t.Errorf("completed %d + lost %d != baseline completed %d (losses must not change placement)",
+			out.Completed, out.Lost, base.Completed)
+	}
+	if out.TotalReward >= base.TotalReward {
+		t.Errorf("lost tasks still earned reward: %g >= %g", out.TotalReward, base.TotalReward)
+	}
+}
+
+func TestRunCarriedStateMatchesSingleRun(t *testing.T) {
+	// Splitting one run into [0, split) and [split, horizon) with the
+	// scheduler and free-time state carried across must reproduce the
+	// single-run totals exactly: epoch slicing is bookkeeping, not physics.
+	sc, res := buildAssigned(t, 8)
+	const horizon, split = 30.0, 13.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(23))
+	whole, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, tasks, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := sched.New(sc.DC, res.PStates, res.Stage3.TC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeAt := make([]float64, sc.DC.NumCores())
+	var first, second []workload.Task
+	for _, task := range tasks {
+		if task.Arrival < split {
+			first = append(first, task)
+		} else {
+			second = append(second, task)
+		}
+	}
+	a, err := sim.RunOpts(sc.DC, res.PStates, res.Stage3.TC, first, split, sim.Options{
+		Scheduler: s, FreeAt: freeAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.RunOpts(sc.DC, res.PStates, res.Stage3.TC, second, horizon, sim.Options{
+		Start: split, Scheduler: s, FreeAt: freeAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.TotalReward + b.TotalReward; math.Abs(got-whole.TotalReward) > 1e-9 {
+		t.Errorf("split reward %g != whole %g", got, whole.TotalReward)
+	}
+	if a.Completed+b.Completed != whole.Completed || a.Dropped+b.Dropped != whole.Dropped {
+		t.Errorf("split counts (%d+%d completed, %d+%d dropped) != whole (%d, %d)",
+			a.Completed, b.Completed, a.Dropped, b.Dropped, whole.Completed, whole.Dropped)
+	}
+	if a.Horizon != split || b.Horizon != horizon-split {
+		t.Errorf("window lengths %g, %g", a.Horizon, b.Horizon)
+	}
+}
+
+func TestRunRejectsBadTaskType(t *testing.T) {
+	sc, res := buildAssigned(t, 9)
+	bad := []workload.Task{{ID: 1, Type: sc.DC.T(), Arrival: 1, Deadline: 5}}
+	if _, err := sim.Run(sc.DC, res.PStates, res.Stage3.TC, bad, 10); err == nil {
+		t.Fatal("out-of-range task type accepted")
 	}
 }
 

@@ -1,0 +1,74 @@
+package workload_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"thermaldc/internal/workload"
+)
+
+// FuzzLoadTasks feeds arbitrary byte streams to the task-stream parser.
+// The contract under fuzzing: malformed input returns an error — never a
+// panic — and accepted input yields a stream whose invariants (sorted
+// arrivals, deadlines at or after arrivals, non-negative types) hold and
+// which survives a save/load round trip.
+func FuzzLoadTasks(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"ID":0,"Type":1,"Arrival":0.5,"Deadline":2}]`))
+	f.Add([]byte(`[{"ID":1,"Type":0,"Arrival":3,"Deadline":3}, {"ID":0,"Type":2,"Arrival":1,"Deadline":9}]`))
+	f.Add([]byte(`[{"Arrival":-1}]`))
+	f.Add([]byte(`[{"Deadline":-5,"Arrival":0}]`))
+	f.Add([]byte(`[{"Type":-3}]`))
+	f.Add([]byte(`[{"Arrival":1e308,"Deadline":1e309}]`))
+	f.Add([]byte(`[][]`))
+	f.Add([]byte(`[]garbage`))
+	f.Add([]byte(`{"not":"an array"}`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(`[{"ID":9007199254740993,"Type":0,"Arrival":0,"Deadline":0}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tasks, err := workload.LoadTasks(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !sort.SliceIsSorted(tasks, func(a, b int) bool { return tasks[a].Arrival < tasks[b].Arrival }) {
+			t.Fatal("accepted stream not sorted by arrival")
+		}
+		for i, task := range tasks {
+			if task.Arrival < 0 || task.Deadline < task.Arrival || task.Type < 0 {
+				t.Fatalf("accepted task %d violates invariants: %+v", i, task)
+			}
+		}
+		// Round trip: what we accepted must save and re-load to the same
+		// stream.
+		var buf bytes.Buffer
+		if err := workload.SaveTasks(&buf, tasks); err != nil {
+			t.Fatalf("saving accepted stream: %v", err)
+		}
+		again, err := workload.LoadTasks(&buf)
+		if err != nil {
+			t.Fatalf("re-loading saved stream: %v", err)
+		}
+		if len(again) != len(tasks) {
+			t.Fatalf("round trip changed length: %d -> %d", len(tasks), len(again))
+		}
+		for i := range tasks {
+			if again[i] != tasks[i] {
+				t.Fatalf("round trip changed task %d: %+v -> %+v", i, tasks[i], again[i])
+			}
+		}
+	})
+}
+
+func TestLoadTasksRejectsTrailingData(t *testing.T) {
+	if _, err := workload.LoadTasks(bytes.NewReader([]byte(`[] []`))); err == nil {
+		t.Error("trailing array accepted")
+	}
+	if _, err := workload.LoadTasks(bytes.NewReader([]byte(`[]x`))); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	// A trailing newline (what SaveTasks writes) is fine.
+	if _, err := workload.LoadTasks(bytes.NewReader([]byte("[]\n"))); err != nil {
+		t.Errorf("trailing newline rejected: %v", err)
+	}
+}

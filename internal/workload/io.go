@@ -15,11 +15,17 @@ func SaveTasks(w io.Writer, tasks []Task) error {
 }
 
 // LoadTasks reads a task stream written by SaveTasks, re-sorts it by
-// arrival (defensively) and validates basic invariants.
+// arrival (defensively) and validates basic invariants. Malformed input —
+// bad JSON, trailing data after the array, or out-of-range fields — is an
+// error, never a panic or a silently truncated stream.
 func LoadTasks(r io.Reader) ([]Task, error) {
 	var tasks []Task
-	if err := json.NewDecoder(r).Decode(&tasks); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tasks); err != nil {
 		return nil, fmt.Errorf("workload: decoding tasks: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("workload: trailing data after task array")
 	}
 	for i, t := range tasks {
 		if t.Arrival < 0 {
