@@ -19,13 +19,15 @@ test-short:
 race:
 	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/sched/ ./internal/controller/ ./internal/faults/
 
-# Pre-merge gate (see README): formatting, vet, build, full race suite.
+# Pre-merge gate (see README): formatting, vet, build, full race suite,
+# and a short fuzz smoke on the workload parser.
 ci:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -fuzz FuzzLoadTasks -fuzztime 10s ./internal/workload
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -262,7 +262,10 @@ func BenchmarkThreeStagePaperScale(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			pstates := assign.Stage2(sc.DC, arrs, s1)
+			pstates, err := assign.Stage2(sc.DC, arrs, s1)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if _, err := assign.Stage3(sc.DC, pstates); err != nil {
 				b.Fatal(err)
 			}

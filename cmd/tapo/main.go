@@ -13,7 +13,7 @@
 //	tapo ablation [-trials N] [-nodes N] [-cracs N]
 //	tapo simulate [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
 //	tapo degraded [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
-//	              [-epoch SEC] [-faults nodes:cracs,...]
+//	              [-epoch SEC] [-faults nodes:cracs,...] [-solve-timeout DUR]
 //
 // Full paper scale is `-trials 25 -nodes 150 -cracs 3`; the defaults are
 // reduced so every command finishes interactively.
@@ -411,6 +411,7 @@ func runDegraded(args []string) error {
 	horizon := fs.Float64("horizon", 60, "arrival horizon in seconds")
 	epoch := fs.Float64("epoch", 15, "re-optimization epoch in seconds")
 	faultsFlag := fs.String("faults", "0:0,2:0,2:1,4:1,6:2", "severity levels as failedNodes:degradedCracs, comma-separated")
+	solveTimeout := fs.Duration("solve-timeout", 0, "per-epoch solve deadline (e.g. 200ms); 0 disables; expired budgets engage the degradation ladder")
 	searchPar := searchParFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -423,6 +424,7 @@ func runDegraded(args []string) error {
 	cfg.Trials, cfg.NNodes, cfg.NCracs = *trials, *nodes, *cracs
 	cfg.Horizon, cfg.Epoch = *horizon, *epoch
 	cfg.Levels = levels
+	cfg.SolveTimeout = *solveTimeout
 	cfg.Options.Search.Parallelism = *searchPar
 	res, err := experiments.DegradedSweep(cfg)
 	if err != nil {

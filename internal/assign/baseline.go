@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -258,7 +259,7 @@ func Baseline(dc *model.DataCenter, tm *thermal.Model, opts Options) (*BaselineR
 		}
 		return res.RewardRateLP, true
 	}
-	best, err := runSearch(dc.NCRAC(), opts, tempsearch.Shared(eval))
+	best, err := runSearch(context.Background(), dc.NCRAC(), opts, tempsearch.Shared(eval))
 	if err != nil {
 		return nil, fmt.Errorf("assign: baseline temperature search: %w", err)
 	}

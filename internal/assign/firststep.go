@@ -1,10 +1,12 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 
 	"thermaldc/internal/model"
 	"thermaldc/internal/pwl"
+	"thermaldc/internal/solvererr"
 	"thermaldc/internal/tempsearch"
 	"thermaldc/internal/thermal"
 )
@@ -117,6 +119,16 @@ func NewThreeStageSolver(dc *model.DataCenter, tm *thermal.Model, opts Options) 
 // Solve runs the full three-stage assignment against the current model
 // state. Repeat calls reuse the LP skeleton and simplex tableau.
 func (s *ThreeStageSolver) Solve() (*ThreeStageResult, error) {
+	return s.SolveContext(context.Background())
+}
+
+// SolveContext is Solve under a context: the temperature search workers,
+// the Stage-1 simplex, and the Stage-3 LP all poll ctx, so an expired
+// epoch deadline cuts the whole pipeline short with a Timeout-classified
+// error instead of finishing a stale solve. Failures of every stage are
+// wrapped in a solvererr.SolveError naming the stage and kind; an
+// uncancelled context yields results bit-identical to Solve.
+func (s *ThreeStageSolver) SolveContext(ctx context.Context) (*ThreeStageResult, error) {
 	handed := false
 	factory := func() tempsearch.Objective {
 		// The first worker gets the base solver; later workers get clones.
@@ -129,25 +141,28 @@ func (s *ThreeStageSolver) Solve() (*ThreeStageResult, error) {
 		}
 		handed = true
 		return func(cracOut []float64) (float64, bool) {
-			res, err := solver.Solve(cracOut)
+			res, err := solver.SolveContext(ctx, cracOut)
 			if err != nil || !res.Feasible {
 				return 0, false
 			}
 			return res.PredictedARR, true
 		}
 	}
-	best, err := runSearch(s.dc.NCRAC(), s.opts, factory)
+	best, err := runSearch(ctx, s.dc.NCRAC(), s.opts, factory)
 	if err != nil {
-		return nil, fmt.Errorf("assign: temperature search: %w", err)
+		return nil, solvererr.Wrap("search", fmt.Errorf("assign: temperature search: %w", err))
 	}
-	s1, err := s.base.Solve(best.Out)
+	s1, err := s.base.SolveContext(ctx, best.Out)
 	if err != nil {
-		return nil, err
+		return nil, solvererr.Wrap("stage1", err)
 	}
-	pstates := Stage2(s.dc, s.arrs, s1)
-	s3, err := Stage3(s.dc, pstates)
+	pstates, err := Stage2(s.dc, s.arrs, s1)
 	if err != nil {
-		return nil, err
+		return nil, solvererr.Wrap("stage2", err)
+	}
+	s3, err := Stage3Context(ctx, s.dc, pstates)
+	if err != nil {
+		return nil, solvererr.Wrap("stage3", err)
 	}
 	return &ThreeStageResult{
 		Stage1:      s1,
@@ -158,13 +173,13 @@ func (s *ThreeStageSolver) Solve() (*ThreeStageResult, error) {
 }
 
 // runSearch dispatches on the strategy.
-func runSearch(ncrac int, opts Options, newEval tempsearch.Factory) (tempsearch.Result, error) {
+func runSearch(ctx context.Context, ncrac int, opts Options, newEval tempsearch.Factory) (tempsearch.Result, error) {
 	switch opts.Strategy {
 	case FullGrid:
-		return tempsearch.Grid(ncrac, opts.Search, opts.Search.FineStep, newEval)
+		return tempsearch.GridContext(ctx, ncrac, opts.Search, opts.Search.FineStep, newEval)
 	case CoordDescent:
-		return tempsearch.CoordinateDescent(ncrac, opts.Search, nil, newEval)
+		return tempsearch.CoordinateDescentContext(ctx, ncrac, opts.Search, nil, newEval)
 	default:
-		return tempsearch.CoarseToFine(ncrac, opts.Search, newEval)
+		return tempsearch.CoarseToFineContext(ctx, ncrac, opts.Search, newEval)
 	}
 }

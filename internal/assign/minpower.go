@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 
 	"thermaldc/internal/linprog"
@@ -178,7 +179,7 @@ func MinPowerForReward(dc *model.DataCenter, tm *thermal.Model, rewardFloor floa
 		}
 		return -res.TotalPower, true
 	}
-	best, err := runSearch(dc.NCRAC(), opts, tempsearch.Shared(eval))
+	best, err := runSearch(context.Background(), dc.NCRAC(), opts, tempsearch.Shared(eval))
 	if err != nil {
 		return nil, fmt.Errorf("assign: no outlet assignment can reach reward %g within the redlines: %w", rewardFloor, err)
 	}
@@ -191,7 +192,10 @@ func MinPowerForReward(dc *model.DataCenter, tm *thermal.Model, rewardFloor floa
 	if err != nil {
 		return nil, err
 	}
-	pstates := Stage2(dc, arrs, s1)
+	pstates, err := Stage2(dc, arrs, s1)
+	if err != nil {
+		return nil, err
+	}
 	s3, err := Stage3(dc, pstates)
 	if err != nil {
 		return nil, err

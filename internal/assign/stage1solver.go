@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 
 	"thermaldc/internal/linprog"
@@ -119,6 +120,14 @@ func (s *Stage1Solver) Clone() *Stage1Solver {
 // Solve patches the skeleton for cracOut and runs the simplex, returning
 // the same result (and errors) Stage1Fixed would for the same inputs.
 func (s *Stage1Solver) Solve(cracOut []float64) (*Stage1Result, error) {
+	return s.SolveContext(context.Background(), cracOut)
+}
+
+// SolveContext is Solve under a context: the simplex polls ctx between
+// pivot batches, so an expired deadline surfaces as a Canceled status
+// error instead of a runaway solve. An uncancelled context produces
+// results bit-identical to Solve.
+func (s *Stage1Solver) SolveContext(ctx context.Context, cracOut []float64) (*Stage1Result, error) {
 	dc, tm := s.dc, s.tm
 	ncn := dc.NCN()
 
@@ -164,7 +173,7 @@ func (s *Stage1Solver) Solve(cracOut []float64) (*Stage1Result, error) {
 		s.p.SetRHS(1+t, rhs)
 	}
 
-	sol, err := s.p.SolveWith(&s.ws)
+	sol, err := s.p.SolveWithContext(ctx, &s.ws)
 	if err != nil {
 		return &Stage1Result{CracOut: append([]float64(nil), cracOut...), Feasible: false}, err
 	}

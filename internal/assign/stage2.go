@@ -2,6 +2,7 @@ package assign
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"thermaldc/internal/model"
@@ -15,13 +16,20 @@ import (
 // the residual power, and the rest at b_l — mirroring the paper's 2-core
 // example where (P-state 1, P-state 3) beats an equal split once P-states
 // are integers.
-func DisaggregateNodePower(envelope *pwl.Func, nCores int, total float64) []float64 {
+//
+// A non-positive nCores or a non-finite total is a model invariant
+// violation and returns an error (historically a panic; the controller's
+// solve pipeline must degrade, not die).
+func DisaggregateNodePower(envelope *pwl.Func, nCores int, total float64) ([]float64, error) {
 	if nCores <= 0 {
-		panic(fmt.Sprintf("assign: nCores must be positive, got %d", nCores))
+		return nil, fmt.Errorf("assign: nCores must be positive, got %d", nCores)
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, fmt.Errorf("assign: node core-power budget is non-finite: %g", total)
 	}
 	out := make([]float64, nCores)
 	if total <= 0 {
-		return out
+		return out, nil
 	}
 	perCore := total / float64(nCores)
 	xs := envelope.X
@@ -30,7 +38,7 @@ func DisaggregateNodePower(envelope *pwl.Func, nCores int, total float64) []floa
 		for i := range out {
 			out[i] = xs[len(xs)-1]
 		}
-		return out
+		return out, nil
 	}
 	// Locate the segment [b_l, b_{l+1}] containing perCore.
 	l := sort.SearchFloat64s(xs, perCore)
@@ -58,7 +66,7 @@ func DisaggregateNodePower(envelope *pwl.Func, nCores int, total float64) []floa
 		residual = bh
 	}
 	out[m] = residual
-	return out
+	return out, nil
 }
 
 // Stage2Node converts per-core power targets into integer P-states for one
@@ -72,9 +80,11 @@ func DisaggregateNodePower(envelope *pwl.Func, nCores int, total float64) []floa
 //     (fastest) P-state.
 //
 // The returned slice maps each core to a P-state index (OffState = off).
-func Stage2Node(nt *model.NodeType, targets []float64, nodeBudget float64) []int {
+// A target count that does not match the node's core count is a model
+// invariant violation and returns an error rather than panicking.
+func Stage2Node(nt *model.NodeType, targets []float64, nodeBudget float64) ([]int, error) {
 	if len(targets) != nt.NumCores {
-		panic(fmt.Sprintf("assign: node has %d cores, got %d targets", nt.NumCores, len(targets)))
+		return nil, fmt.Errorf("assign: node has %d cores, got %d targets", nt.NumCores, len(targets))
 	}
 	powers := nt.CorePowers() // decreasing, last = 0 (off)
 	off := nt.OffState()
@@ -114,23 +124,29 @@ func Stage2Node(nt *model.NodeType, targets []float64, nodeBudget float64) []int
 		}
 		ps[best]++
 	}
-	return ps
+	return ps, nil
 }
 
 // Stage2 converts the Stage-1 node power assignment into per-core integer
 // P-states for the whole data center, returning a flat slice indexed by
 // global core index.
-func Stage2(dc *model.DataCenter, arrs []*pwl.Func, s1 *Stage1Result) []int {
+func Stage2(dc *model.DataCenter, arrs []*pwl.Func, s1 *Stage1Result) ([]int, error) {
 	out := make([]int, dc.NumCores())
 	for j := range dc.Nodes {
 		nt := dc.NodeType(j)
 		env := arrs[dc.Nodes[j].Type]
-		targets := DisaggregateNodePower(env, nt.NumCores, s1.NodeCorePower[j])
-		ps := Stage2Node(nt, targets, s1.NodePower[j])
+		targets, err := DisaggregateNodePower(env, nt.NumCores, s1.NodeCorePower[j])
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", j, err)
+		}
+		ps, err := Stage2Node(nt, targets, s1.NodePower[j])
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", j, err)
+		}
 		lo, _ := dc.CoreRange(j)
 		copy(out[lo:], ps)
 	}
-	return out
+	return out, nil
 }
 
 // NodePowersFromPStates computes each node's power (Equation 1) for a flat

@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,6 +33,11 @@ type Stage3Result struct {
 //     such pairs are simply not created).
 //  3. Per task: Σ_k TC(i,k) ≤ λ_i.
 func Stage3(dc *model.DataCenter, pstates []int) (*Stage3Result, error) {
+	return Stage3Context(context.Background(), dc, pstates)
+}
+
+// Stage3Context is Stage3 under a context-governed simplex solve.
+func Stage3Context(ctx context.Context, dc *model.DataCenter, pstates []int) (*Stage3Result, error) {
 	if len(pstates) != dc.NumCores() {
 		return nil, fmt.Errorf("assign: got %d P-states for %d cores", len(pstates), dc.NumCores())
 	}
@@ -102,7 +108,7 @@ func Stage3(dc *model.DataCenter, pstates []int) (*Stage3Result, error) {
 		}
 	}
 
-	sol, err := p.Solve()
+	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("assign: Stage-3 LP: %w", err)
 	}

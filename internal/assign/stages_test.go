@@ -10,7 +10,10 @@ import (
 func TestDisaggregateNodePowerSumsAndBounds(t *testing.T) {
 	env := pwl.MustNew([]float64{0, 0.05, 0.1, 0.15}, []float64{0, 0.5, 0.9, 1.2})
 	for _, total := range []float64{0, 0.04, 0.1, 0.2, 0.33, 0.45, 0.6} {
-		targets := DisaggregateNodePower(env, 4, total)
+		targets, err := DisaggregateNodePower(env, 4, total)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(targets) != 4 {
 			t.Fatalf("got %d targets", len(targets))
 		}
@@ -34,7 +37,10 @@ func TestDisaggregatePreservesEnvelopeValue(t *testing.T) {
 	env := pwl.MustNew([]float64{0, 0.1, 0.15}, []float64{0, 0.9, 1.2}) // Figure-5 envelope
 	const n = 8
 	for _, total := range []float64{0.2, 0.5, 0.8, 1.0, 1.2} {
-		targets := DisaggregateNodePower(env, n, total)
+		targets, err := DisaggregateNodePower(env, n, total)
+		if err != nil {
+			t.Fatal(err)
+		}
 		sum := 0.0
 		for _, p := range targets {
 			sum += env.Eval(p)
@@ -50,20 +56,30 @@ func TestDisaggregatePaperTwoCoreExample(t *testing.T) {
 	// The paper's example: 2 cores, 0.1 W total on the Figure-5 envelope
 	// → one core at 0.1 W (P-state 1) and one at 0 W (off), reward 0.45·2.
 	env := pwl.MustNew([]float64{0, 0.1, 0.15}, []float64{0, 0.9, 1.2})
-	targets := DisaggregateNodePower(env, 2, 0.1)
+	targets, err := DisaggregateNodePower(env, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hi, lo := math.Max(targets[0], targets[1]), math.Min(targets[0], targets[1])
 	if math.Abs(hi-0.1) > 1e-9 || math.Abs(lo-0) > 1e-9 {
 		t.Fatalf("targets = %v, want {0.1, 0}", targets)
 	}
 }
 
-func TestDisaggregatePanicsOnZeroCores(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	DisaggregateNodePower(pwl.MustNew([]float64{0, 1}, []float64{0, 1}), 0, 0.5)
+func TestDisaggregateBadInputsReturnError(t *testing.T) {
+	env := pwl.MustNew([]float64{0, 1}, []float64{0, 1})
+	if _, err := DisaggregateNodePower(env, 0, 0.5); err == nil {
+		t.Fatal("expected error for zero cores")
+	}
+	if _, err := DisaggregateNodePower(env, -3, 0.5); err == nil {
+		t.Fatal("expected error for negative cores")
+	}
+	if _, err := DisaggregateNodePower(env, 2, math.NaN()); err == nil {
+		t.Fatal("expected error for NaN total")
+	}
+	if _, err := DisaggregateNodePower(env, 2, math.Inf(1)); err == nil {
+		t.Fatal("expected error for +Inf total")
+	}
 }
 
 func TestStage2NodeRoundsUpThenTrims(t *testing.T) {
@@ -71,14 +87,20 @@ func TestStage2NodeRoundsUpThenTrims(t *testing.T) {
 	nt := &dc.NodeTypes[0] // 2 cores, powers 0.15/0.1/0.05/off, base 0.1
 	// Targets exactly at P-state powers map to those P-states when the
 	// budget allows.
-	ps := Stage2Node(nt, []float64{0.1, 0}, 0.1+0.1)
+	ps, err := Stage2Node(nt, []float64{0.1, 0}, 0.1+0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ps[0] != 1 || ps[1] != 3 {
 		t.Errorf("P-states = %v, want [1 3]", ps)
 	}
 	// A target between P-states rounds up (more power), then step 2 trims
 	// back within the budget: target 0.07 rounds to P-state 1 (0.1 W), but
 	// budget base+0.07 forces it down to P-state 2 (0.05 W).
-	ps = Stage2Node(nt, []float64{0.07, 0}, 0.1+0.07)
+	ps, err = Stage2Node(nt, []float64{0.07, 0}, 0.1+0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ps[0] != 2 || ps[1] != 3 {
 		t.Errorf("P-states = %v, want [2 3]", ps)
 	}
@@ -92,7 +114,10 @@ func TestStage2NodeBudgetAlwaysRespected(t *testing.T) {
 		for _, targets := range [][]float64{
 			{0.15, 0.15}, {0.12, 0.03}, {0.05, 0.05}, {0, 0},
 		} {
-			ps := Stage2Node(nt, targets, budget)
+			ps, err := Stage2Node(nt, targets, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
 			total := nt.BasePower
 			for _, k := range ps {
 				total += powers[k]
@@ -107,7 +132,10 @@ func TestStage2NodeBudgetAlwaysRespected(t *testing.T) {
 func TestStage2NodeAllOffWhenBudgetIsBase(t *testing.T) {
 	dc := figureExampleDC(100)
 	nt := &dc.NodeTypes[0]
-	ps := Stage2Node(nt, []float64{0.15, 0.15}, nt.BasePower)
+	ps, err := Stage2Node(nt, []float64{0.15, 0.15}, nt.BasePower)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, k := range ps {
 		if k != nt.OffState() {
 			t.Fatalf("P-states = %v, want all off", ps)
@@ -115,14 +143,11 @@ func TestStage2NodeAllOffWhenBudgetIsBase(t *testing.T) {
 	}
 }
 
-func TestStage2NodePanicsOnWrongTargets(t *testing.T) {
+func TestStage2NodeWrongTargetsReturnError(t *testing.T) {
 	dc := figureExampleDC(100)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Stage2Node(&dc.NodeTypes[0], []float64{0.1}, 1)
+	if _, err := Stage2Node(&dc.NodeTypes[0], []float64{0.1}, 1); err == nil {
+		t.Fatal("expected error for mismatched target count")
+	}
 }
 
 func TestNodePowersFromPStates(t *testing.T) {

@@ -22,15 +22,19 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"thermaldc/internal/assign"
 	"thermaldc/internal/faults"
 	"thermaldc/internal/model"
 	"thermaldc/internal/sched"
 	"thermaldc/internal/sim"
+	"thermaldc/internal/solvererr"
+	"thermaldc/internal/tempsearch"
 	"thermaldc/internal/thermal"
 	"thermaldc/internal/workload"
 )
@@ -67,11 +71,72 @@ type Config struct {
 	Assign assign.Options
 	// Tol is the verification tolerance (default 1e-6).
 	Tol float64
+	// SolveTimeout bounds the wall time of one epoch's whole trip down the
+	// degradation ladder (warm, cold, and retry rungs share the budget).
+	// Zero means no deadline.
+	SolveTimeout time.Duration
+	// SolveRetries is how many extra cold rebuild-and-solve attempts the
+	// retry rung makes before the ladder falls to the previous plan.
+	SolveRetries int
+	// RetryBackoff is the pause before the first retry attempt; it doubles
+	// per attempt and is cut short by the SolveTimeout deadline.
+	RetryBackoff time.Duration
 }
 
-// DefaultConfig returns a closed-loop configuration.
+// DefaultConfig returns a closed-loop configuration: no solve deadline
+// (each epoch solve runs to completion, as in the paper) and one cold
+// retry should a solve ever fail.
 func DefaultConfig(horizon, epoch float64) Config {
-	return Config{Horizon: horizon, Epoch: epoch, Mode: Reoptimize, Assign: assign.DefaultOptions(), Tol: 1e-6}
+	return Config{
+		Horizon:      horizon,
+		Epoch:        epoch,
+		Mode:         Reoptimize,
+		Assign:       assign.DefaultOptions(),
+		Tol:          1e-6,
+		SolveRetries: 1,
+		RetryBackoff: 25 * time.Millisecond,
+	}
+}
+
+// Rung identifies the degradation-ladder step that produced an epoch's
+// plan. Rungs are ordered best-first; anything at RungPrevPlan or below
+// means every solve attempt failed.
+type Rung int
+
+const (
+	// RungWarm: the warm incremental solver succeeded (the normal path).
+	RungWarm Rung = iota
+	// RungCold: the warm solve failed; a freshly built solver — new LP
+	// skeleton, new tableau — succeeded.
+	RungCold
+	// RungRetry: a backed-off cold retry succeeded within the time budget.
+	RungRetry
+	// RungPrevPlan: all solves failed; the previous successfully solved
+	// plan still verifies against the current planner model and stays in
+	// force.
+	RungPrevPlan
+	// RungAllOff: last resort — every core off, zero desired rates.
+	RungAllOff
+
+	// NumRungs sizes per-rung tallies.
+	NumRungs = int(RungAllOff) + 1
+)
+
+func (r Rung) String() string {
+	switch r {
+	case RungWarm:
+		return "warm"
+	case RungCold:
+		return "cold"
+	case RungRetry:
+		return "retry"
+	case RungPrevPlan:
+		return "prev-plan"
+	case RungAllOff:
+		return "all-off"
+	default:
+		return fmt.Sprintf("Rung(%d)", int(r))
+	}
 }
 
 // EpochReport is the telemetry of one inter-boundary interval.
@@ -95,6 +160,16 @@ type EpochReport struct {
 	MaxPower, MaxPowerExcess, MaxInletExcess float64
 	// Plan is the assignment in force.
 	Plan *assign.ThreeStageResult
+	// Rung is the degradation-ladder step that produced the plan (only
+	// meaningful when Resolved).
+	Rung Rung
+	// Retries counts backed-off retry attempts spent on this solve.
+	Retries int
+	// SolveWall is the wall time of the whole ladder trip.
+	SolveWall time.Duration
+	// ErrKind classifies the last solve failure (Unknown when the warm
+	// solve succeeded outright).
+	ErrKind solvererr.Kind
 }
 
 // Result aggregates a controller run.
@@ -106,8 +181,12 @@ type Result struct {
 	TotalReward, RewardRate  float64
 	Completed, Dropped, Lost int
 	// Resolves and Fallbacks count first-step re-solves and safe-plan
-	// activations.
+	// activations (rungs at RungPrevPlan or below).
 	Resolves, Fallbacks int
+	// RungCounts tallies epochs by the ladder rung that produced their
+	// plan; Retries totals backed-off retry attempts across the run.
+	RungCounts [NumRungs]int
+	Retries    int
 	// Violations sums planner-view Verify findings across all plans.
 	Violations int
 	// MaxPower, MaxPowerExcess and MaxInletExcess fold the per-epoch
@@ -122,6 +201,14 @@ type Result struct {
 // never mutated; every epoch plans against a fresh faults.Degrade
 // projection. Tasks must be sorted by arrival time.
 func Run(base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), base, schedule, tasks, cfg)
+}
+
+// RunContext is Run under a context: canceling ctx stops the run between
+// epochs and cuts short any in-flight solve. Independently,
+// cfg.SolveTimeout derives a per-epoch deadline from ctx for each trip
+// down the degradation ladder.
+func RunContext(ctx context.Context, base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task, cfg Config) (*Result, error) {
 	if cfg.Horizon <= 0 || cfg.Epoch <= 0 {
 		return nil, fmt.Errorf("controller: horizon and epoch must be positive")
 	}
@@ -148,13 +235,13 @@ func Run(base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task
 	}
 
 	if cfg.Mode == OpenLoop {
-		return runOpenLoop(base, schedule, tasks, cfg, lost)
+		return runOpenLoop(ctx, base, schedule, tasks, cfg, lost)
 	}
-	return runClosedLoop(base, schedule, tasks, cfg, lost)
+	return runClosedLoop(ctx, base, schedule, tasks, cfg, lost)
 }
 
 // runClosedLoop re-plans at every boundary where the plant changed.
-func runClosedLoop(base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task, cfg Config, lost func(int, float64, float64) bool) (*Result, error) {
+func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task, cfg Config, lost func(int, float64, float64) bool) (*Result, error) {
 	bounds := boundaries(schedule, cfg.Horizon, cfg.Epoch)
 	st := faults.NewState(base.NCRAC(), base.NCN())
 	res := newResult(cfg)
@@ -165,12 +252,16 @@ func runClosedLoop(base *model.DataCenter, schedule faults.Schedule, tasks []wor
 		plannerDC *model.DataCenter
 		plannerTM *thermal.Model
 		plan      *assign.ThreeStageResult
+		lastGood  *assign.ThreeStageResult
 		s         *sched.Scheduler
 	)
 	freeAt := make([]float64, base.NumCores())
 	evIdx := 0
 	taskIdx := 0
 	for bi := 0; bi+1 < len(bounds); bi++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("controller: run canceled at t=%g: %w", bounds[bi], cerr)
+		}
 		a, b := bounds[bi], bounds[bi+1]
 
 		// Fold every event at or before this boundary into the state.
@@ -207,19 +298,30 @@ func runClosedLoop(base *model.DataCenter, schedule faults.Schedule, tasks []wor
 			plannerDC.Pconst = base.Pconst * st.CapFactor
 		}
 		if changed || plan == nil {
-			next, err := solver.Solve()
-			if err == nil && next.Stage1.Feasible {
-				plan = next
-			} else {
-				// Infeasible plant: fall back to the all-off safe plan (the
-				// shipped fault generators never push the plant this far).
-				var prevOut []float64
-				if plan != nil {
-					prevOut = plan.Stage1.CracOut
-				}
-				plan = fallbackPlan(plannerDC, prevOut)
+			var prevOut []float64
+			if plan != nil {
+				prevOut = plan.Stage1.CracOut
+			}
+			rebuild := func() (*assign.ThreeStageSolver, error) {
+				return assign.NewThreeStageSolver(plannerDC, plannerTM, cfg.Assign)
+			}
+			lad := runLadder(ctx, cfg, solver, rebuild, plannerDC, plannerTM, lastGood, prevOut)
+			plan = lad.plan
+			if lad.solver != nil {
+				solver = lad.solver
+			}
+			rep.Rung = lad.rung
+			rep.Retries = lad.retries
+			rep.SolveWall = lad.wall
+			rep.ErrKind = solvererr.Classify(lad.lastErr)
+			res.RungCounts[lad.rung]++
+			res.Retries += lad.retries
+			if lad.rung >= RungPrevPlan {
+				// Every solve attempt failed: the safe rungs took over.
 				rep.Fallback = true
 				res.Fallbacks++
+			} else {
+				lastGood = plan
 			}
 			rep.Resolved = true
 			res.Resolves++
@@ -232,6 +334,7 @@ func runClosedLoop(base *model.DataCenter, schedule faults.Schedule, tasks []wor
 			// Without a plan change the old scheduler keeps running — a
 			// fault-free closed-loop run is then identical to a single
 			// uninterrupted simulation.
+			var err error
 			s, err = sched.New(plannerDC, plan.PStates, plan.Stage3.TC)
 			if err != nil {
 				return nil, err
@@ -262,14 +365,158 @@ func runClosedLoop(base *model.DataCenter, schedule faults.Schedule, tasks []wor
 	return res, nil
 }
 
+// ladderOutcome is the result of one trip down the degradation ladder.
+type ladderOutcome struct {
+	plan    *assign.ThreeStageResult
+	rung    Rung
+	retries int
+	wall    time.Duration
+	lastErr error
+	// solver is non-nil when a cold rebuild replaced the warm solver; the
+	// caller adopts it so later epochs do not reuse a poisoned skeleton.
+	solver *assign.ThreeStageSolver
+}
+
+// runLadder walks the degradation ladder for one epoch boundary:
+//
+//	warm incremental solve → cold solve on a fresh skeleton →
+//	backed-off cold retries within the time budget →
+//	previous verified plan (re-verified on the current model) → all off.
+//
+// Infeasibility and deadline expiry short-circuit the solve rungs: an
+// infeasible model fails identically however often it is re-solved, and
+// an expired budget leaves no time to retry in. Every solve attempt is
+// guarded against panics, so a model-invariant violation degrades the
+// epoch instead of killing the run.
+func runLadder(parent context.Context, cfg Config, solver *assign.ThreeStageSolver, rebuild func() (*assign.ThreeStageSolver, error), plannerDC *model.DataCenter, plannerTM *thermal.Model, lastGood *assign.ThreeStageResult, prevOut []float64) ladderOutcome {
+	start := time.Now()
+	ctx := parent
+	if cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, cfg.SolveTimeout)
+		defer cancel()
+	}
+	out := ladderOutcome{}
+	done := func(plan *assign.ThreeStageResult, rung Rung) ladderOutcome {
+		out.plan, out.rung, out.wall = plan, rung, time.Since(start)
+		return out
+	}
+	// solvable reports whether another solve attempt could change the
+	// outcome: not after the budget expired, and not for an infeasible
+	// model (deterministic — a rebuild solves the same LP).
+	solvable := func() bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		switch solvererr.Classify(out.lastErr) {
+		case solvererr.Infeasible, solvererr.Timeout:
+			return false
+		}
+		return true
+	}
+
+	if plan, err := guardedSolve(ctx, solver); err == nil {
+		return done(plan, RungWarm)
+	} else {
+		out.lastErr = err
+	}
+
+	if solvable() {
+		if fresh, err := rebuild(); err != nil {
+			out.lastErr = err
+		} else {
+			out.solver = fresh
+			if plan, err := guardedSolve(ctx, fresh); err == nil {
+				return done(plan, RungCold)
+			} else {
+				out.lastErr = err
+			}
+		}
+	}
+
+	backoff := cfg.RetryBackoff
+	for i := 0; i < cfg.SolveRetries && solvable(); i++ {
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+			backoff *= 2
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		out.retries++
+		fresh, err := rebuild()
+		if err != nil {
+			out.lastErr = err
+			continue
+		}
+		out.solver = fresh
+		if plan, err := guardedSolve(ctx, fresh); err == nil {
+			return done(plan, RungRetry)
+		} else {
+			out.lastErr = err
+		}
+	}
+
+	if lastGood != nil && planVerifies(plannerDC, plannerTM, lastGood, cfg.Tol) {
+		return done(lastGood, RungPrevPlan)
+	}
+	return done(fallbackPlan(plannerDC, plannerTM, cfg.Assign.Search, prevOut), RungAllOff)
+}
+
+// guardedSolve runs one solve attempt with panic recovery and converts a
+// Stage-1 infeasible outcome into a classified error, so the ladder only
+// ever sees (verified-feasible plan, nil) or (nil, classified error).
+func guardedSolve(ctx context.Context, solver *assign.ThreeStageSolver) (plan *assign.ThreeStageResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan = nil
+			err = solvererr.New("controller", solvererr.Panic, fmt.Errorf("recovered solve panic: %v", r))
+		}
+	}()
+	plan, err = solver.SolveContext(ctx)
+	if err != nil {
+		return nil, solvererr.Wrap("controller", err)
+	}
+	if !plan.Stage1.Feasible {
+		return nil, solvererr.New("stage1", solvererr.Infeasible,
+			fmt.Errorf("controller: stage-1 solution infeasible at outlets %v", plan.Stage1.CracOut))
+	}
+	return plan, nil
+}
+
+// planVerifies reports whether a previous plan still passes assign.Verify
+// against the current planner model; a dimension mismatch (the model
+// restructured since the plan was made) or a Verify panic counts as not
+// verifying.
+func planVerifies(dc *model.DataCenter, tm *thermal.Model, plan *assign.ThreeStageResult, tol float64) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	if len(plan.PStates) != dc.NumCores() || len(plan.Stage1.CracOut) != dc.NCRAC() {
+		return false
+	}
+	return len(assign.Verify(dc, tm, plan, tol)) == 0
+}
+
 // runOpenLoop freezes the healthy plan and injects the faults as
 // simulation hooks that mutate the physical plant mid-run.
-func runOpenLoop(base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task, cfg Config, lost func(int, float64, float64) bool) (*Result, error) {
+func runOpenLoop(ctx context.Context, base *model.DataCenter, schedule faults.Schedule, tasks []workload.Task, cfg Config, lost func(int, float64, float64) bool) (*Result, error) {
 	tm, err := thermal.New(base)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := assign.ThreeStage(base, tm, cfg.Assign)
+	solver, err := assign.NewThreeStageSolver(base, tm, cfg.Assign)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := solver.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -341,11 +588,17 @@ func boundaries(schedule faults.Schedule, horizon, epoch float64) []float64 {
 	return out
 }
 
-// fallbackPlan is the last-resort safe plan: every core off, desired rates
-// zero, outlets kept from the previous plan (or the model's redline for a
-// first-epoch failure). With no compute power the power constraint has
-// maximum headroom; this is best-effort, not verified.
-func fallbackPlan(dc *model.DataCenter, prevOut []float64) *assign.ThreeStageResult {
+// fallbackPlan is the last-resort safe plan: every core off, desired
+// rates zero. The CRAC outlets still matter — after a cooling fault,
+// outlets carried from a healthy plan (or pinned at the CRAC redline)
+// can overheat the inlets even with the fleet off — so the candidates
+// (previous plan's outlets, uniform redline, then a uniform scan of the
+// search lattice from hottest to coldest) are checked against the
+// planner's thermal model under base power only, and the first one that
+// keeps the inlets under redline and the total power under the cap wins.
+// If nothing is fully feasible the least-violating candidate ships:
+// best-effort, like the all-off rung it serves.
+func fallbackPlan(dc *model.DataCenter, tm *thermal.Model, search tempsearch.Config, prevOut []float64) *assign.ThreeStageResult {
 	pstates := make([]int, dc.NumCores())
 	for j := range dc.Nodes {
 		nt := dc.NodeType(j)
@@ -354,26 +607,57 @@ func fallbackPlan(dc *model.DataCenter, prevOut []float64) *assign.ThreeStageRes
 			pstates[k] = nt.OffState()
 		}
 	}
-	out := append([]float64(nil), prevOut...)
-	if len(out) != dc.NCRAC() {
-		out = make([]float64, dc.NCRAC())
-		for i := range out {
-			out[i] = dc.RedlineCRAC
-		}
-	}
-	tc := make([][]float64, dc.T())
-	for i := range tc {
-		tc[i] = make([]float64, dc.NumCores())
-	}
 	npow := make([]float64, dc.NCN())
 	for j := range dc.Nodes {
 		npow[j] = dc.NodeType(j).BasePower
 	}
+
+	var best []float64
+	bestViol := math.Inf(1)
+	// consider reports whether out is fully safe for the all-off load and
+	// tracks the least-violating candidate for the nothing-fits case. The
+	// violation mixes kW and °C, which is fine for a last-resort ranking.
+	consider := func(out []float64) bool {
+		viol := math.Max(tm.TotalPower(out, npow)-dc.Pconst, -tm.RedlineSlack(tm.InletTemps(out, npow)))
+		if viol < bestViol {
+			bestViol = viol
+			best = append([]float64(nil), out...)
+		}
+		return viol <= 0
+	}
+	safe := false
+	if len(prevOut) == dc.NCRAC() {
+		safe = consider(prevOut)
+	}
+	if !safe {
+		uniform := make([]float64, dc.NCRAC())
+		setAll := func(t float64) []float64 {
+			for i := range uniform {
+				uniform[i] = t
+			}
+			return uniform
+		}
+		safe = consider(setAll(dc.RedlineCRAC))
+		step := search.FineStep
+		if step <= 0 {
+			step = 1
+		}
+		// Hottest first: less CRAC power for the same (tiny) heat load.
+		for t := search.Hi; t >= search.Lo-1e-9 && !safe; t -= step {
+			safe = consider(setAll(t))
+		}
+	}
+
+	tc := make([][]float64, dc.T())
+	for i := range tc {
+		tc[i] = make([]float64, dc.NumCores())
+	}
 	return &assign.ThreeStageResult{
 		Stage1: &assign.Stage1Result{
-			CracOut:       out,
+			CracOut:       best,
 			NodeCorePower: make([]float64, dc.NCN()),
 			NodePower:     npow,
+			Feasible:      safe,
 		},
 		PStates: pstates,
 		Stage3:  &assign.Stage3Result{TC: tc, CoreUtilization: make([]float64, dc.NumCores())},

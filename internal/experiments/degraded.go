@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"thermaldc/internal/assign"
 	"thermaldc/internal/controller"
@@ -40,6 +41,10 @@ type DegradedConfig struct {
 	Levels []DegradedLevel
 	// Options for the first-step assignment at each (re)solve.
 	Options assign.Options
+	// SolveTimeout bounds each closed-loop epoch re-solve; when the budget
+	// runs out the controller's degradation ladder takes over. Zero means
+	// no deadline.
+	SolveTimeout time.Duration
 }
 
 // DefaultDegradedConfig returns a reduced-scale sweep: severity grows from
@@ -76,8 +81,12 @@ type DegradedRow struct {
 	OpenPowerExcess, OpenInletExcess     float64
 	ClosedPowerExcess, ClosedInletExcess float64
 	// Resolves and Fallbacks total the closed loop's re-solves and
-	// safe-plan activations across the trials.
+	// safe-plan activations across the trials; Retries totals backed-off
+	// solve retries and RungCounts tallies epochs per degradation-ladder
+	// rung (warm, cold, retry, prev-plan, all-off).
 	Resolves, Fallbacks int
+	Retries             int
+	RungCounts          [controller.NumRungs]int
 }
 
 // DegradedResult is the full sweep.
@@ -120,7 +129,9 @@ func DegradedSweep(cfg DegradedConfig) (*DegradedResult, error) {
 			}
 			tasks := workload.GenerateTasks(sc.DC, cfg.Horizon, stats.NewRand(cfg.Seed+int64(trial)*7+13))
 
-			run := controller.Config{Horizon: cfg.Horizon, Epoch: cfg.Epoch, Mode: controller.Reoptimize, Assign: cfg.Options}
+			run := controller.DefaultConfig(cfg.Horizon, cfg.Epoch)
+			run.Assign = cfg.Options
+			run.SolveTimeout = cfg.SolveTimeout
 			closed, err := controller.Run(sc.DC, schedule, tasks, run)
 			if err != nil {
 				return nil, err
@@ -137,6 +148,10 @@ func DegradedSweep(cfg DegradedConfig) (*DegradedResult, error) {
 			row.OpenLost += float64(open.Lost)
 			row.Resolves += closed.Resolves
 			row.Fallbacks += closed.Fallbacks
+			row.Retries += closed.Retries
+			for i, c := range closed.RungCounts {
+				row.RungCounts[i] += c
+			}
 			row.ClosedPowerExcess = math.Max(row.ClosedPowerExcess, closed.MaxPowerExcess)
 			row.ClosedInletExcess = math.Max(row.ClosedInletExcess, closed.MaxInletExcess)
 			row.OpenPowerExcess = math.Max(row.OpenPowerExcess, open.MaxPowerExcess)
@@ -160,17 +175,19 @@ func (r *DegradedResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Degraded operation: open-loop vs re-optimizing (%d nodes, %d CRACs, %d trials, horizon %.0f s, epoch %.0f s)\n",
 		r.Config.NNodes, r.Config.NCracs, r.Config.Trials, r.Config.Horizon, r.Config.Epoch)
-	fmt.Fprintf(&b, "excess columns: worst kW above the power cap / worst °C above a redline (<= 0 means the constraint held)\n\n")
-	fmt.Fprintf(&b, "%6s %6s | %11s %9s %7s %7s | %11s %9s %7s %7s | %8s\n",
+	fmt.Fprintf(&b, "excess columns: worst kW above the power cap / worst °C above a redline (<= 0 means the constraint held)\n")
+	fmt.Fprintf(&b, "ladder column: closed-loop epochs per degradation rung warm/cold/retry/prev/off (see controller.Rung)\n\n")
+	fmt.Fprintf(&b, "%6s %6s | %11s %9s %7s %7s | %11s %9s %7s %7s | %8s | %-15s %7s\n",
 		"nodes", "cracs",
 		"open rew/s", "open lost", "pow+kW", "inl+°C",
-		"cl rew/s", "cl lost", "pow+kW", "inl+°C", "gain%")
+		"cl rew/s", "cl lost", "pow+kW", "inl+°C", "gain%", "ladder w/c/r/p/o", "retries")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%6d %6d | %11.1f %9.1f %7.2f %7.2f | %11.1f %9.1f %7.2f %7.2f | %+8.1f\n",
+		rc := row.RungCounts
+		fmt.Fprintf(&b, "%6d %6d | %11.1f %9.1f %7.2f %7.2f | %11.1f %9.1f %7.2f %7.2f | %+8.1f | %3d/%d/%d/%d/%d %10d\n",
 			row.Level.NodeFailures, row.Level.CracDegradations,
 			row.OpenReward, row.OpenLost, row.OpenPowerExcess, row.OpenInletExcess,
 			row.ClosedReward, row.ClosedLost, row.ClosedPowerExcess, row.ClosedInletExcess,
-			row.GainPct)
+			row.GainPct, rc[0], rc[1], rc[2], rc[3], rc[4], row.Retries)
 	}
 	return b.String()
 }

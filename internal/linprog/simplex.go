@@ -1,6 +1,7 @@
 package linprog
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -12,7 +13,11 @@ const (
 	tolReduced   = 1e-9 // reduced-cost optimality tolerance
 	tolPivot     = 1e-9 // smallest acceptable pivot magnitude
 	tolFeas      = 1e-7 // bound/feasibility tolerance
+	tolVerify    = 1e-6 // relative residual tolerance for solution verification
 	refreshEvery = 256  // recompute the reduced-cost row every this many pivots
+	// ctxCheckEvery bounds how many pivots run between cooperative
+	// cancellation checks; each check is one atomic load inside ctx.Err.
+	ctxCheckEvery = 64
 )
 
 type varStatus int8
@@ -43,6 +48,16 @@ type tableauState struct {
 	maxIter int
 	bland   bool
 	degen   int // consecutive degenerate pivots, triggers Bland's rule
+
+	// forceBland pins Bland's rule on from the first pivot (the
+	// anti-cycling restart); maxDegenRun records the longest run of
+	// consecutive degenerate pivots, the stall evidence that classifies an
+	// exhausted iteration budget as cycling.
+	forceBland  bool
+	maxDegenRun int
+	// ctx, when non-nil, is polled every ctxCheckEvery pivots for
+	// cooperative cancellation.
+	ctx context.Context
 }
 
 // Workspace holds the reusable buffers of repeated Solve calls. Solving
@@ -90,17 +105,90 @@ func f64buf(buf []float64, n int) []float64 {
 // ErrNotOptimal, so callers may either branch on the status or simply
 // propagate the error.
 func (p *Problem) Solve() (*Solution, error) {
-	return p.SolveWith(nil)
+	return p.SolveWithContext(nil, nil)
+}
+
+// SolveContext is Solve under cooperative cancellation: the context is
+// polled every few dozen pivots and a done context aborts the solve with
+// status Canceled (the error unwraps to ctx.Err()).
+func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
+	return p.SolveWithContext(ctx, nil)
 }
 
 // SolveWith is Solve reusing the buffers of ws (nil behaves like Solve).
 // The returned Solution does not alias workspace memory, so it stays valid
 // across subsequent SolveWith calls.
 func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
+	return p.SolveWithContext(nil, ws)
+}
+
+// SolveWithContext is the full-control entry point: ctx (may be nil) is
+// polled for cancellation, ws (may be nil) donates tableau buffers.
+//
+// Beyond the plain simplex run it layers three self-healing guards:
+//
+//  1. A problem marked malformed at insertion time (NaN/Inf data) is
+//     re-validated and rejected with status Malformed before any pivoting.
+//  2. An exhausted iteration budget triggers one full restart under
+//     Bland's anti-cycling rule; if the restart also exhausts the budget
+//     while stalling on degenerate pivots, the error wraps ErrCycling.
+//  3. Every Optimal basis is verified against the original problem data
+//     (finite values, bounds, primal residuals). A failed verification
+//     triggers one deterministic retry on a row-equilibrated copy with a
+//     tiny feasibility-preserving RHS relaxation; if that solution fails
+//     verification too, the error wraps ErrNumerical.
+//
+// The guards only engage on failure, so healthy solves return bit-identical
+// results to the unguarded simplex.
+func (p *Problem) SolveWithContext(ctx context.Context, ws *Workspace) (*Solution, error) {
 	if ws == nil {
 		ws = &Workspace{}
 	}
+	if p.defect != nil {
+		// Insertion noted a defect, but SetRHS/SetCost may have overwritten
+		// the bad value since; only reject if the problem is still sick.
+		if err := p.validate(); err != nil {
+			return &Solution{Status: Malformed},
+				&StatusError{Status: Malformed, cause: fmt.Errorf("%w: %v", ErrMalformed, err)}
+		}
+		p.defect = nil
+	}
+
+	sol, stalled, err := p.solveOnce(ctx, ws, false)
+	if err != nil && sol.Status == IterLimit {
+		// The budget ran out; re-run from scratch with Bland's rule pinned
+		// on, which cannot cycle (it may still be slower than the budget).
+		rsol, rstalled, rerr := p.solveOnce(ctx, ws, true)
+		if rerr == nil {
+			rsol.Restarted = true
+		} else if rsol.Status == IterLimit && (stalled || rstalled) {
+			rerr = &StatusError{Status: IterLimit, cause: ErrCycling}
+		}
+		sol, err = rsol, rerr
+	}
+	if err != nil {
+		return sol, err
+	}
+	if verr := p.verifySolution(sol); verr != nil {
+		return p.rescaledRetry(ctx, ws, sol, verr)
+	}
+	return sol, nil
+}
+
+// solveOnce runs both simplex phases once. stalled reports whether the run
+// showed cycling-like behavior (a long streak of consecutive degenerate
+// pivots).
+func (p *Problem) solveOnce(ctx context.Context, ws *Workspace, forceBland bool) (*Solution, bool, error) {
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return &Solution{Status: Canceled}, false, &StatusError{Status: Canceled, cause: cerr}
+		}
+	}
 	st := p.newState(ws)
+	st.ctx = ctx
+	if forceBland {
+		st.bland, st.forceBland = true, true
+	}
 	defer ws.stash(st)
 
 	// Phase 1: minimize the sum of artificial variables.
@@ -108,10 +196,12 @@ func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
 		st.setPhase1Costs()
 		status := st.iterate()
 		if status != Optimal {
-			return p.finish(st, status)
+			sol, err := p.finish(st, status)
+			return sol, st.stalled(), err
 		}
 		if st.phase1Objective() > 1e-6 {
-			return p.finish(st, Infeasible)
+			sol, err := p.finish(st, Infeasible)
+			return sol, st.stalled(), err
 		}
 		st.evictArtificials()
 	}
@@ -119,7 +209,14 @@ func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
 	// Phase 2: the real objective.
 	st.setPhase2Costs(p)
 	status := st.iterate()
-	return p.finish(st, status)
+	sol, err := p.finish(st, status)
+	return sol, st.stalled(), err
+}
+
+// stalled reports whether the run's longest degenerate-pivot streak is
+// long enough to suggest cycling rather than an honestly large LP.
+func (st *tableauState) stalled() bool {
+	return st.maxDegenRun > st.m+16
 }
 
 // newState builds the initial tableau, slacks, artificials and starting
@@ -376,11 +473,20 @@ func (st *tableauState) recomputeReducedCosts() {
 	}
 }
 
-// iterate runs simplex pivots until optimality, unboundedness or the
-// iteration budget is reached.
+// iterate runs simplex pivots until optimality, unboundedness, the
+// iteration budget, or cancellation.
 func (st *tableauState) iterate() Status {
 	sinceRefresh := 0
+	sinceCtx := 0
 	for ; st.iters < st.maxIter; st.iters++ {
+		if st.ctx != nil {
+			if sinceCtx++; sinceCtx >= ctxCheckEvery {
+				sinceCtx = 0
+				if st.ctx.Err() != nil {
+					return Canceled
+				}
+			}
+		}
 		if sinceRefresh >= refreshEvery {
 			st.recomputeReducedCosts()
 			sinceRefresh = 0
@@ -395,12 +501,15 @@ func (st *tableauState) iterate() Status {
 		}
 		if theta <= tolFeas {
 			st.degen++
+			if st.degen > st.maxDegenRun {
+				st.maxDegenRun = st.degen
+			}
 			if st.degen > 2*(st.m+64) {
 				st.bland = true
 			}
 		} else {
 			st.degen = 0
-			if st.bland {
+			if st.bland && !st.forceBland {
 				st.bland = false
 			}
 		}
@@ -595,7 +704,11 @@ func (st *tableauState) pivot(r, enter int, entVal float64) {
 func (p *Problem) finish(st *tableauState, status Status) (*Solution, error) {
 	sol := &Solution{Status: status, Iterations: st.iters}
 	if status != Optimal {
-		return sol, fmt.Errorf("%w: %s", ErrNotOptimal, status)
+		serr := &StatusError{Status: status}
+		if status == Canceled && st.ctx != nil {
+			serr.cause = st.ctx.Err()
+		}
+		return sol, serr
 	}
 	x := make([]float64, st.n)
 	for j := 0; j < st.n; j++ {
@@ -630,4 +743,147 @@ func (p *Problem) finish(st *tableauState, status Status) (*Solution, error) {
 		sol.duals[i] = sign * -sigma * st.d[st.nStruct+i]
 	}
 	return sol, nil
+}
+
+// verifySolution independently re-checks an Optimal solution against the
+// original problem data: every value finite and inside its bounds, every
+// row residual within tolVerify of its right-hand side(s), relative to the
+// row's magnitude. It shares no state with the tableau, so tableau drift
+// (accumulated pivot round-off) cannot hide from it.
+func (p *Problem) verifySolution(sol *Solution) error {
+	for j, x := range sol.x {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("variable %d (%q) is non-finite: %g", j, p.names[j], x)
+		}
+		scale := 1 + math.Abs(x)
+		if x < p.lo[j]-tolVerify*scale || x > p.hi[j]+tolVerify*scale {
+			return fmt.Errorf("variable %d (%q) = %g outside bounds [%g, %g]", j, p.names[j], x, p.lo[j], p.hi[j])
+		}
+	}
+	for r := range p.rows {
+		rw := &p.rows[r]
+		ax, mag := 0.0, 1+math.Abs(rw.rhs)
+		for _, t := range rw.terms {
+			v := t.Coef * sol.x[t.Var]
+			ax += v
+			mag += math.Abs(v)
+		}
+		tol := tolVerify * mag
+		var bad bool
+		switch {
+		case rw.isRange:
+			bad = ax < rw.rangeLo-tol || ax > rw.rhs+tol
+		case rw.op == LE:
+			bad = ax > rw.rhs+tol
+		case rw.op == GE:
+			bad = ax < rw.rhs-tol
+		default: // EQ
+			bad = math.Abs(ax-rw.rhs) > tol
+		}
+		if bad {
+			return fmt.Errorf("row %d residual: a·x = %g violates %s %g (tol %g)", r, ax, opString(rw), rw.rhs, tol)
+		}
+	}
+	return nil
+}
+
+func opString(rw *row) string {
+	if rw.isRange {
+		return fmt.Sprintf("range [%g, ·] ≤", rw.rangeLo)
+	}
+	switch rw.op {
+	case LE:
+		return "≤"
+	case GE:
+		return "≥"
+	default:
+		return "="
+	}
+}
+
+// rescaledRetry is the last numerical line of defense: the returned basis
+// failed verification, so the problem is re-solved once on a copy whose
+// rows are equilibrated by exact powers of two (no rounding introduced)
+// and whose inequality right-hand sides are relaxed by a tiny
+// deterministic slack that preserves feasibility. The retry's solution
+// must pass verification against the ORIGINAL problem; otherwise the
+// solve fails with an error wrapping ErrNumerical.
+func (p *Problem) rescaledRetry(ctx context.Context, ws *Workspace, orig *Solution, verr error) (*Solution, error) {
+	q := p.rescaledCopy()
+	sol, _, err := q.solveOnce(ctx, ws, false)
+	if err != nil && sol.Status == IterLimit {
+		sol, _, err = q.solveOnce(ctx, ws, true)
+	}
+	if err != nil || p.verifySolution(sol) != nil {
+		// Keep the original (claimed-optimal) basis for forensics; the
+		// error says its numbers cannot be trusted.
+		return orig, fmt.Errorf("%w: %w: %v", ErrNotOptimal, ErrNumerical, verr)
+	}
+	// Undo the row scaling on the duals: row i was multiplied by s_i, so
+	// its shadow price w.r.t. the original rhs is s_i times the scaled one.
+	for i, s := range q.retryRowScale {
+		sol.duals[i] *= s
+	}
+	// Recompute the objective against the exact original costs (the copy
+	// shares them, but keep the contract explicit).
+	obj := 0.0
+	for j := range sol.x {
+		obj += p.cost[j] * sol.x[j]
+	}
+	sol.Objective = obj
+	sol.Rescaled = true
+	return sol, nil
+}
+
+// rescaledCopy builds the equilibrated, slightly relaxed clone used by
+// rescaledRetry. Row scale factors are exact powers of two, so the scaled
+// coefficients are bit-exact multiples and the conditioning change is the
+// only difference the simplex sees; the RHS relaxation (1e-9 relative)
+// only ever widens the feasible set.
+func (p *Problem) rescaledCopy() *Problem {
+	q := &Problem{
+		sense:   p.sense,
+		cost:    p.cost,
+		lo:      p.lo,
+		hi:      p.hi,
+		names:   p.names,
+		MaxIter: p.MaxIter,
+	}
+	q.rows = make([]row, len(p.rows))
+	q.retryRowScale = make([]float64, len(p.rows))
+	for r := range p.rows {
+		rw := p.rows[r]
+		maxAbs := 0.0
+		for _, t := range rw.terms {
+			if a := math.Abs(t.Coef); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		s := 1.0
+		if maxAbs > 0 && !math.IsInf(maxAbs, 0) {
+			// Exact power-of-two equilibration: s·maxAbs ∈ [1, 2).
+			s = math.Exp2(float64(-math.Ilogb(maxAbs)))
+		}
+		const relax = 1e-9
+		terms := make([]Term, len(rw.terms))
+		for k, t := range rw.terms {
+			terms[k] = Term{Var: t.Var, Coef: t.Coef * s}
+		}
+		nr := row{terms: terms, op: rw.op, isRange: rw.isRange}
+		switch {
+		case rw.isRange:
+			d := relax * (1 + math.Max(math.Abs(rw.rangeLo), math.Abs(rw.rhs)))
+			nr.rangeLo = (rw.rangeLo - d) * s
+			nr.rhs = (rw.rhs + d) * s
+		case rw.op == LE:
+			nr.rhs = (rw.rhs + relax*(1+math.Abs(rw.rhs))) * s
+		case rw.op == GE:
+			nr.rhs = (rw.rhs - relax*(1+math.Abs(rw.rhs))) * s
+		default: // EQ: perturbing an equality can destroy feasibility; keep it.
+			nr.rhs = rw.rhs * s
+		}
+		q.rows[r] = nr
+		q.retryRowScale[r] = s
+	}
+	return q
 }

@@ -285,13 +285,13 @@ func TestSetCost(t *testing.T) {
 	}
 }
 
-func TestAddVarPanicsOnBadBounds(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AddVar(lo>hi) did not panic")
-		}
-	}()
-	NewProblem(Minimize).AddVar("x", 2, 1, 0)
+func TestAddVarBadBoundsMarksMalformed(t *testing.T) {
+	p := NewProblem(Minimize)
+	p.AddVar("x", 2, 1, 0)
+	sol, err := p.Solve()
+	if err == nil || sol.Status != Malformed {
+		t.Fatalf("Solve after AddVar(lo>hi) = (%v, %v), want Malformed error", sol.Status, err)
+	}
 }
 
 func TestAddRowPanicsOnUnknownVar(t *testing.T) {

@@ -128,6 +128,11 @@ func RunOpts(dc *model.DataCenter, pstates []int, tc [][]float64, tasks []worklo
 	if horizon <= 0 || window <= 0 {
 		return nil, fmt.Errorf("sim: window [%g, %g) must have positive length", opts.Start, horizon)
 	}
+	// A NaN bound sails through the <= comparisons above and would poison
+	// every rate; reject it explicitly.
+	if math.IsNaN(window) || math.IsInf(window, 0) {
+		return nil, fmt.Errorf("sim: window [%g, %g) must be finite", opts.Start, horizon)
+	}
 	for i := 1; i < len(opts.Hooks); i++ {
 		if opts.Hooks[i].Time < opts.Hooks[i-1].Time {
 			return nil, fmt.Errorf("sim: hooks not sorted by time at index %d", i)
@@ -180,6 +185,9 @@ func RunOpts(dc *model.DataCenter, pstates []int, tc [][]float64, tasks []worklo
 	for _, task := range tasks {
 		if task.Type < 0 || task.Type >= dc.T() {
 			return nil, fmt.Errorf("sim: task %d has unknown type %d", task.ID, task.Type)
+		}
+		if math.IsNaN(task.Arrival) || math.IsInf(task.Arrival, 0) {
+			return nil, fmt.Errorf("sim: task %d has non-finite arrival %g", task.ID, task.Arrival)
 		}
 		fire(task.Arrival)
 		core, completion, ok := s.ScheduleWith(policy, task, task.Arrival, freeAt)

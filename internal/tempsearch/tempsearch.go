@@ -19,6 +19,7 @@
 package tempsearch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -112,10 +113,18 @@ type Result struct {
 // the best feasible point. It is exponential in the number of CRACs and
 // exists as the ground truth for ablations on small instances.
 func Grid(ncrac int, cfg Config, step float64, newEval Factory) (Result, error) {
+	return GridContext(context.Background(), ncrac, cfg, step, newEval)
+}
+
+// GridContext is Grid under cooperative cancellation: a done context stops
+// the worker pool between candidate evaluations and returns an error
+// matching ctx.Err() via errors.Is. Uncancelled runs return exactly what
+// Grid returns.
+func GridContext(ctx context.Context, ncrac int, cfg Config, step float64, newEval Factory) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	s := newSearcher(ncrac, cfg, newEval)
+	s := newSearcher(ctx, ncrac, cfg, newEval)
 	return s.grid(step)
 }
 
@@ -125,10 +134,16 @@ func Grid(ncrac int, cfg Config, step float64, newEval Factory) (Result, error) 
 // between rounds are evaluated once (memoized), and Evals counts every
 // actual evaluation including those of refinement rounds.
 func CoarseToFine(ncrac int, cfg Config, newEval Factory) (Result, error) {
+	return CoarseToFineContext(context.Background(), ncrac, cfg, newEval)
+}
+
+// CoarseToFineContext is CoarseToFine under cooperative cancellation (see
+// GridContext).
+func CoarseToFineContext(ctx context.Context, ncrac int, cfg Config, newEval Factory) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	s := newSearcher(ncrac, cfg, newEval)
+	s := newSearcher(ctx, ncrac, cfg, newEval)
 	res, err := s.grid(cfg.CoarseStep)
 	if err != nil {
 		return res, err
@@ -143,8 +158,11 @@ func CoarseToFine(ncrac int, cfg Config, newEval Factory) (Result, error) {
 		// per CRAC per round keeps the eval count linear in the number of
 		// rounds instead of exponential in the refinement ratio).
 		cands := s.window(res.Out, next, next)
-		idx, v, ok := s.batch(cands)
+		idx, v, ok, err := s.batch(cands)
 		res.Evals = s.evals // exact accounting even when the window fails
+		if err != nil {
+			return res, err
+		}
 		if ok && v >= res.Value {
 			res.Out = append(res.Out[:0], cands[idx]...)
 			res.Value = v
@@ -164,6 +182,12 @@ func CoarseToFine(ncrac int, cfg Config, newEval Factory) (Result, error) {
 // strategy and the paper-scale default ablation point. The sweep order is
 // inherently sequential, so it runs on a single worker.
 func CoordinateDescent(ncrac int, cfg Config, start []float64, newEval Factory) (Result, error) {
+	return CoordinateDescentContext(context.Background(), ncrac, cfg, start, newEval)
+}
+
+// CoordinateDescentContext is CoordinateDescent under cooperative
+// cancellation: the context is checked before every coordinate scan.
+func CoordinateDescentContext(ctx context.Context, ncrac int, cfg Config, start []float64, newEval Factory) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -186,6 +210,9 @@ func CoordinateDescent(ncrac int, cfg Config, start []float64, newEval Factory) 
 	for sweep := 0; sweep < 50; sweep++ {
 		improved := false
 		for i := 0; i < ncrac; i++ {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("tempsearch: coordinate descent canceled: %w", err)
+			}
 			savedVal := out[i]
 			bestT, bestV := savedVal, res.Value
 			for _, t := range levels {
@@ -220,8 +247,10 @@ type memoEntry struct {
 }
 
 // searcher owns the evaluation machinery of one search call: the memo
-// table, the eval counter, and one Objective per worker.
+// table, the eval counter, one Objective per worker, and the context that
+// can cancel the whole search between evaluations.
 type searcher struct {
+	ctx     context.Context
 	ncrac   int
 	cfg     Config
 	factory Factory
@@ -231,8 +260,9 @@ type searcher struct {
 	keyBuf  []byte
 }
 
-func newSearcher(ncrac int, cfg Config, newEval Factory) *searcher {
+func newSearcher(ctx context.Context, ncrac int, cfg Config, newEval Factory) *searcher {
 	return &searcher{
+		ctx:     ctx,
 		ncrac:   ncrac,
 		cfg:     cfg,
 		factory: newEval,
@@ -266,7 +296,14 @@ func (s *searcher) obj(w int) Objective {
 // index. Ties on the objective keep the earliest candidate, which is the
 // lexicographically smallest vector because candidates are enumerated in
 // lexicographic order — so the outcome is independent of worker count.
-func (s *searcher) batch(cands [][]float64) (bestIdx int, bestVal float64, found bool) {
+//
+// Cancellation: each worker re-checks the context before claiming the next
+// candidate, so a canceled batch stops within one evaluation per worker,
+// every goroutine exits (no leaks — wg.Wait always returns), and the
+// returned error matches the context error via errors.Is. Nothing is
+// memoized from a canceled batch: partially filled results must not
+// poison a later retry of the same search window.
+func (s *searcher) batch(cands [][]float64) (bestIdx int, bestVal float64, found bool, err error) {
 	results := make([]memoEntry, len(cands))
 	var fresh []int
 	for i, c := range cands {
@@ -282,9 +319,14 @@ func (s *searcher) batch(cands [][]float64) (bestIdx int, bestVal float64, found
 	if workers > len(fresh) {
 		workers = len(fresh)
 	}
+	ctx := s.ctx
 	if workers <= 1 {
 		eval := s.obj(0)
-		for _, i := range fresh {
+		for n, i := range fresh {
+			if ctx.Err() != nil {
+				s.evals -= len(fresh) - n // count only what actually ran
+				return -1, 0, false, fmt.Errorf("tempsearch: search canceled: %w", ctx.Err())
+			}
 			v, ok := eval(cands[i])
 			results[i] = memoEntry{value: v, feasible: ok}
 		}
@@ -292,13 +334,16 @@ func (s *searcher) batch(cands [][]float64) (bestIdx int, bestVal float64, found
 		for w := 0; w < workers; w++ {
 			s.obj(w) // materialize outside the goroutines
 		}
-		var next int64
+		var next, ran int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(eval Objective) {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					n := int(atomic.AddInt64(&next, 1)) - 1
 					if n >= len(fresh) {
 						return
@@ -306,10 +351,15 @@ func (s *searcher) batch(cands [][]float64) (bestIdx int, bestVal float64, found
 					i := fresh[n]
 					v, ok := eval(cands[i])
 					results[i] = memoEntry{value: v, feasible: ok}
+					atomic.AddInt64(&ran, 1)
 				}
 			}(s.objs[w])
 		}
 		wg.Wait()
+		if cerr := ctx.Err(); cerr != nil {
+			s.evals -= len(fresh) - int(ran)
+			return -1, 0, false, fmt.Errorf("tempsearch: search canceled: %w", cerr)
+		}
 	}
 	for _, i := range fresh {
 		s.memo[s.key(cands[i])] = results[i]
@@ -321,7 +371,7 @@ func (s *searcher) batch(cands [][]float64) (bestIdx int, bestVal float64, found
 			bestIdx, bestVal = i, r.value
 		}
 	}
-	return bestIdx, bestVal, bestIdx >= 0
+	return bestIdx, bestVal, bestIdx >= 0, nil
 }
 
 // grid batch-evaluates the full lattice with the given step.
@@ -332,7 +382,10 @@ func (s *searcher) grid(step float64) (Result, error) {
 		perDim[i] = levels
 	}
 	cands := enumerate(perDim)
-	idx, v, ok := s.batch(cands)
+	idx, v, ok, err := s.batch(cands)
+	if err != nil {
+		return Result{Evals: s.evals}, err
+	}
 	if !ok {
 		return Result{Evals: s.evals},
 			fmt.Errorf("tempsearch: no feasible outlet assignment on the grid: %w", ErrNoFeasible)
