@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json ci fig6 results clean
+.PHONY: all build test test-short race bench bench-json bench-compare ci fig6 results clean
 
 all: build test
 
@@ -28,6 +28,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -fuzz FuzzLoadTasks -fuzztime 10s ./internal/workload
+	$(MAKE) bench-compare BENCHTIME=1x
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,6 +38,15 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench 'ThreeStagePaperScale' -benchtime 3x -json . > BENCH_stage1.json
 	@grep 'ns/op' BENCH_stage1.json | sed 's/.*"Test":"\([^"]*\)".*"Output":" *\([0-9]*\)\\t \([0-9]*\) ns.op.*/\1: \3 ns\/op (\2 runs)/' || true
+
+# Simplex performance gate: record the flat-vs-legacy and allocation
+# subbenchmarks, then fail if the warm scratch path allocates or the flat
+# solver regresses below the legacy rebuild path. BENCHTIME=1x (as in
+# `make ci`) keeps it quick; the default 3x smooths scheduler noise.
+BENCHTIME ?= 3x
+bench-compare:
+	$(GO) test -run '^$$' -bench 'ThreeStagePaperScale' -benchtime $(BENCHTIME) -json . > BENCH_simplex.json
+	$(GO) run ./cmd/benchcheck BENCH_simplex.json
 
 # The paper's headline experiment at full scale (25 trials, 150 nodes,
 # 3 CRACs); takes ~10 minutes on one core.

@@ -10,6 +10,7 @@ import (
 	"thermaldc/internal/assign"
 	"thermaldc/internal/experiments"
 	"thermaldc/internal/layout"
+	"thermaldc/internal/linprog"
 	"thermaldc/internal/model"
 	"thermaldc/internal/pwl"
 	"thermaldc/internal/scenario"
@@ -273,15 +274,18 @@ func BenchmarkThreeStagePaperScale(b *testing.B) {
 	})
 
 	for _, bench := range []struct {
-		name string
-		par  int
+		name    string
+		par     int
+		pricing linprog.Pricing
 	}{
-		{"solver-serial", 1},
-		{"solver-parallel", 0},
+		{"solver-serial", 1, linprog.PricingDantzig},
+		{"solver-parallel", 0, linprog.PricingDantzig},
+		{"solver-serial-devex", 1, linprog.PricingDevex},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			opts := assign.DefaultOptions()
 			opts.Search.Parallelism = bench.par
+			opts.Pricing = bench.pricing
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := assign.ThreeStage(sc.DC, sc.Thermal, opts); err != nil {
@@ -290,6 +294,56 @@ func BenchmarkThreeStagePaperScale(b *testing.B) {
 			}
 		})
 	}
+
+	// solver-warm-epoch is the controller's steady state: one retained
+	// ThreeStageSolver re-solving every epoch on cached search workers and
+	// the cached Stage-3 skeleton.
+	b.Run("solver-warm-epoch", func(b *testing.B) {
+		opts := assign.DefaultOptions()
+		opts.Search.Parallelism = 1
+		s, err := assign.NewThreeStageSolver(sc.DC, sc.Thermal, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// warm-resolve-allocs pins the zero-allocation contract of the scratch
+	// Stage-1 path at paper scale: after warm-up, re-solves must report
+	// 0 allocs/op (make bench-compare fails otherwise).
+	b.Run("warm-resolve-allocs", func(b *testing.B) {
+		arrs := make([]*pwl.Func, len(sc.DC.NodeTypes))
+		for j := range arrs {
+			f, err := assign.ARR(sc.DC, j, 50)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arrs[j] = f
+		}
+		s := assign.NewStage1Solver(sc.DC, sc.Thermal, arrs)
+		outs := [][]float64{{15, 15, 15}, {14, 16, 15}}
+		for _, out := range outs {
+			res, err := s.SolveScratch(out)
+			if err != nil || !res.Feasible {
+				b.Fatalf("warm-up solve at %v: %v (feasible=%v)", out, err, res != nil && res.Feasible)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SolveScratch(outs[i%2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFig6ReducedExperiment runs a miniature end-to-end Figure-6

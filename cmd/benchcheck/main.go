@@ -1,0 +1,164 @@
+// Command benchcheck enforces the simplex performance contract recorded by
+// `make bench-compare`. It parses `go test -bench` output (plain text or the
+// -json stream) and exits non-zero when either invariant is broken:
+//
+//   - warm-resolve-allocs must report exactly 0 allocs/op (the warm Stage-1
+//     scratch path has a zero-allocation contract), and
+//   - solver-serial (the flat incremental solver) must not be slower than
+//     legacy-rebuild (per-candidate tableau reconstruction).
+//
+// Usage: benchcheck [-tolerance f] [file]
+// With no file, it reads stdin. The tolerance (default 1.05) allows
+// solver-serial up to 5% over legacy-rebuild before failing, absorbing
+// scheduler noise on short -benchtime runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches a benchmark result row, with the optional -benchmem
+// tail. The -NN GOMAXPROCS suffix is folded into the name.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+type result struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	tolerance := flag.Float64("tolerance", 1.05,
+		"fail if solver-serial ns/op exceeds legacy-rebuild ns/op by more than this factor")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-tolerance f] [bench-output-file]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	name := "<stdin>"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			return 2
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	results, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: reading %s: %v\n", name, err)
+		return 2
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: no benchmark results found in %s\n", name)
+		return 2
+	}
+
+	failures := check(results, *tolerance)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchcheck: FAIL:", f)
+	}
+	if len(failures) > 0 {
+		return 1
+	}
+	fmt.Printf("benchcheck: ok (%d benchmarks checked in %s)\n", len(results), name)
+	return 0
+}
+
+// parse accepts either raw `go test -bench` text or the `-json` event
+// stream. JSON events carry the benchmark name in the Test field; the
+// Output field may hold the full result row or just the measurement
+// columns (`"       1\t 191680596 ns/op\n"`), so when Output lacks the
+// Benchmark prefix the name is grafted back on from Test.
+func parse(in io.Reader) (map[string]result, error) {
+	results := make(map[string]result)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) > 0 && line[0] == '{' {
+			var ev struct {
+				Action string
+				Test   string
+				Output string
+			}
+			if json.Unmarshal([]byte(line), &ev) == nil && ev.Action == "output" {
+				line = strings.TrimLeft(ev.Output, " \t")
+				if !strings.HasPrefix(line, "Benchmark") &&
+					strings.HasPrefix(ev.Test, "Benchmark") && strings.Contains(line, "ns/op") {
+					line = ev.Test + "\t" + line
+				}
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r result
+		r.nsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[5] != "" {
+			r.allocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			r.hasAllocs = true
+		}
+		results[trimProcs(m[1])] = r
+	}
+	return results, sc.Err()
+}
+
+// trimProcs drops the trailing -NN GOMAXPROCS suffix from a benchmark name.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func trimProcs(name string) string { return procsSuffix.ReplaceAllString(name, "") }
+
+func check(results map[string]result, tolerance float64) []string {
+	const (
+		legacy = "BenchmarkThreeStagePaperScale/legacy-rebuild"
+		serial = "BenchmarkThreeStagePaperScale/solver-serial"
+		warm   = "BenchmarkThreeStagePaperScale/warm-resolve-allocs"
+	)
+	var failures []string
+
+	w, ok := results[warm]
+	switch {
+	case !ok:
+		failures = append(failures, warm+" missing from benchmark output")
+	case !w.hasAllocs:
+		failures = append(failures, warm+" has no allocs/op column (run with -benchmem or b.ReportAllocs)")
+	case w.allocsPerOp != 0:
+		failures = append(failures, fmt.Sprintf(
+			"%s reports %g allocs/op, want 0 (warm scratch path broke its zero-allocation contract)",
+			warm, w.allocsPerOp))
+	}
+
+	l, okL := results[legacy]
+	s, okS := results[serial]
+	if !okL {
+		failures = append(failures, legacy+" missing from benchmark output")
+	}
+	if !okS {
+		failures = append(failures, serial+" missing from benchmark output")
+	}
+	if okL && okS && s.nsPerOp > l.nsPerOp*tolerance {
+		failures = append(failures, fmt.Sprintf(
+			"%s at %.0f ns/op is slower than %s at %.0f ns/op (×%.2f, tolerance ×%.2f)",
+			serial, s.nsPerOp, legacy, l.nsPerOp, s.nsPerOp/l.nsPerOp, tolerance))
+	}
+	return failures
+}

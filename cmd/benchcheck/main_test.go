@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const plainOK = `goos: linux
+BenchmarkThreeStagePaperScale/legacy-rebuild-4         	       3	 268833180 ns/op
+BenchmarkThreeStagePaperScale/solver-serial-4          	       3	 117461279 ns/op
+BenchmarkThreeStagePaperScale/warm-resolve-allocs-4    	       3	    552366 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+const jsonOK = `{"Action":"run","Test":"BenchmarkThreeStagePaperScale"}
+{"Action":"output","Output":"BenchmarkThreeStagePaperScale/legacy-rebuild \t       3\t 268833180 ns/op\n"}
+{"Action":"output","Output":"BenchmarkThreeStagePaperScale/solver-serial \t       3\t 117461279 ns/op\n"}
+{"Action":"output","Output":"BenchmarkThreeStagePaperScale/warm-resolve-allocs \t       3\t 552366 ns/op\t       0 B/op\t       0 allocs/op\n"}
+`
+
+func TestParseAndCheckPass(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"plain", plainOK},
+		{"json", jsonOK},
+	} {
+		results, err := parse(strings.NewReader(tc.in))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(results) != 3 {
+			t.Fatalf("%s: parsed %d results, want 3", tc.name, len(results))
+		}
+		if f := check(results, 1.05); len(f) != 0 {
+			t.Fatalf("%s: unexpected failures: %v", tc.name, f)
+		}
+	}
+}
+
+func TestCheckFailsOnAllocs(t *testing.T) {
+	in := strings.Replace(plainOK, "0 allocs/op", "3 allocs/op", 1)
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := check(results, 1.05)
+	if len(f) != 1 || !strings.Contains(f[0], "zero-allocation contract") {
+		t.Fatalf("failures = %v, want one allocs-contract failure", f)
+	}
+}
+
+func TestCheckFailsWhenFlatSlower(t *testing.T) {
+	in := strings.Replace(plainOK, " 117461279 ns/op", " 468833180 ns/op", 1)
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := check(results, 1.05)
+	if len(f) != 1 || !strings.Contains(f[0], "slower than") {
+		t.Fatalf("failures = %v, want one slower-than failure", f)
+	}
+}
+
+func TestCheckFailsOnMissingBenchmarks(t *testing.T) {
+	results, err := parse(strings.NewReader("BenchmarkOther-4 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := check(results, 1.05); len(f) != 3 {
+		t.Fatalf("failures = %v, want 3 missing-benchmark failures", f)
+	}
+}

@@ -23,14 +23,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"thermaldc/internal/assign"
 	"thermaldc/internal/experiments"
+	"thermaldc/internal/linprog"
 	"thermaldc/internal/report"
 	"thermaldc/internal/scenario"
 )
+
+// Global flags — given before the command (tapo -cpuprofile cpu.out fig6 …)
+// so every subcommand can be profiled and tuned the same way.
+var (
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	lpPricing  = flag.String("lp-pricing", "dantzig", "simplex pricing rule for the Stage-1 LPs: dantzig|devex")
+)
+
+// pricing is the parsed -lp-pricing value, applied to every assign.Options
+// a subcommand builds.
+var pricing linprog.Pricing
+
+// tunePricing applies the -lp-pricing selection to a subcommand's options.
+func tunePricing(opts *assign.Options) { opts.Pricing = pricing }
 
 // writeCSV writes one experiment result to path via the given writer
 // function ("" = skip).
@@ -50,12 +68,60 @@ func writeCSV(path string, write func(w *os.File) error) error {
 	return nil
 }
 
-func main() {
-	if len(os.Args) < 2 {
+func main() { os.Exit(run()) }
+
+// run carries the real main so profile-writing defers survive the exit.
+func run() int {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	switch *lpPricing {
+	case "dantzig":
+		pricing = linprog.PricingDantzig
+	case "devex":
+		pricing = linprog.PricingDevex
+	default:
+		fmt.Fprintf(os.Stderr, "tapo: unknown -lp-pricing %q (want dantzig or devex)\n", *lpPricing)
+		return 2
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tapo: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tapo: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tapo: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tapo: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *memProfile)
+		}()
+	}
+
 	var err error
 	switch cmd {
 	case "fig6":
@@ -93,12 +159,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tapo: unknown command %q\n\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tapo %s: %v\n", cmd, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
@@ -120,6 +187,11 @@ commands:
   thermal   thermal map + P-state histogram after the assignment
   compare   naive ondemand clamp vs Eq. 21 vs three-stage
   burst     MMPP arrival-burstiness sweep over both scheduler policies
+
+global flags (before the command):
+  -cpuprofile FILE   write a CPU profile (inspect with go tool pprof)
+  -memprofile FILE   write a heap profile on exit
+  -lp-pricing RULE   simplex pricing for Stage-1 LPs: dantzig (default) | devex
 
 run "tapo <cmd> -h" for flags; paper scale is -trials 25 -nodes 150 -cracs 3
 `)
@@ -156,6 +228,7 @@ func runFig6(args []string) error {
 	cfg.SimHorizon = *simHorizon
 	cfg.SimPaperPolicy = *simPaper
 	cfg.Options.Search.Parallelism = *searchPar
+	tunePricing(&cfg.Options)
 	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
 	if *quiet {
 		progress = nil
@@ -259,6 +332,7 @@ func runSweep(args []string) error {
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
 	cfg.StaticShare, cfg.Vprop = *static, *vprop
 	cfg.Options.Search.Parallelism = *searchPar
+	tunePricing(&cfg.Options)
 	var res *experiments.SweepResult
 	var err error
 	switch *kind {
@@ -290,6 +364,7 @@ func runAblation(args []string) error {
 	cfg := experiments.DefaultSweepConfig(nil)
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
 	cfg.Options.Search.Parallelism = *searchPar
+	tunePricing(&cfg.Options)
 	res, err := experiments.StrategyAblation(cfg, []assign.Strategy{
 		assign.CoarseToFine, assign.FullGrid, assign.CoordDescent,
 	})
@@ -322,6 +397,7 @@ func runMinPower(args []string) error {
 	}
 	opts := assign.DefaultOptions()
 	opts.Search.Parallelism = *searchPar
+	tunePricing(&opts)
 	primal, err := assign.ThreeStage(sc.DC, sc.Thermal, opts)
 	if err != nil {
 		return err
@@ -426,6 +502,7 @@ func runDegraded(args []string) error {
 	cfg.Levels = levels
 	cfg.SolveTimeout = *solveTimeout
 	cfg.Options.Search.Parallelism = *searchPar
+	tunePricing(&cfg.Options)
 	res, err := experiments.DegradedSweep(cfg)
 	if err != nil {
 		return err
@@ -490,6 +567,7 @@ func runThermal(args []string) error {
 	opts := assign.DefaultOptions()
 	opts.Psi = *psi
 	opts.Search.Parallelism = *searchPar
+	tunePricing(&opts)
 	res, err := experiments.ThermalMap(scCfg, opts)
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"thermaldc/internal/linprog"
 	"thermaldc/internal/model"
 	"thermaldc/internal/pwl"
 	"thermaldc/internal/solvererr"
@@ -44,6 +45,9 @@ type Options struct {
 	Search tempsearch.Config
 	// Strategy picks the search algorithm.
 	Strategy Strategy
+	// Pricing selects the simplex pricing rule for every Stage-1 LP
+	// (PricingDantzig, the zero value, reproduces the golden outputs).
+	Pricing linprog.Pricing
 }
 
 // DefaultOptions returns the paper's defaults (ψ = 50, coarse-to-fine
@@ -100,6 +104,17 @@ type ThreeStageSolver struct {
 	opts Options
 	arrs []*pwl.Func
 	base *Stage1Solver
+
+	// workers caches the per-search-worker Stage-1 solvers (workers[0] is
+	// base) so repeat Solve calls keep every worker's simplex workspace warm
+	// instead of re-cloning per epoch; next indexes the handout within one
+	// search.
+	workers []*Stage1Solver
+	next    int
+
+	// stage3 keeps the Stage-3 group-LP skeleton and workspace warm across
+	// epochs.
+	stage3 *Stage3Solver
 }
 
 // NewThreeStageSolver prepares a reusable first-step solver.
@@ -108,12 +123,52 @@ func NewThreeStageSolver(dc *model.DataCenter, tm *thermal.Model, opts Options) 
 	if err != nil {
 		return nil, err
 	}
+	base := NewStage1Solver(dc, tm, arrs)
+	base.SetPricing(opts.Pricing)
 	return &ThreeStageSolver{
-		dc:   dc,
-		opts: opts,
-		arrs: arrs,
-		base: NewStage1Solver(dc, tm, arrs),
+		dc:     dc,
+		opts:   opts,
+		arrs:   arrs,
+		base:   base,
+		stage3: NewStage3Solver(dc),
 	}, nil
+}
+
+// Stage1Warm returns the retained base Stage-1 solver, whose scratch solve
+// path benchmarks and tests exercise directly.
+func (s *ThreeStageSolver) Stage1Warm() *Stage1Solver { return s.base }
+
+// TakeLPStats drains and sums the simplex counters of every retained LP
+// workspace (all Stage-1 search workers plus the Stage-3 solver). Counters
+// reset to zero, so each call reports activity since the previous one.
+func (s *ThreeStageSolver) TakeLPStats() linprog.Stats {
+	var total linprog.Stats
+	if len(s.workers) == 0 {
+		total.Add(s.base.TakeStats())
+	}
+	for _, w := range s.workers {
+		total.Add(w.TakeStats())
+	}
+	total.Add(s.stage3.TakeStats())
+	return total
+}
+
+// worker hands out the next cached Stage-1 solver for the current search,
+// cloning the base skeleton only the first time a given worker slot is
+// used. Called from the single goroutine that runs the search factory.
+func (s *ThreeStageSolver) worker() *Stage1Solver {
+	if s.next < len(s.workers) {
+		w := s.workers[s.next]
+		s.next++
+		return w
+	}
+	w := s.base
+	if len(s.workers) > 0 {
+		w = s.base.Clone()
+	}
+	s.workers = append(s.workers, w)
+	s.next++
+	return w
 }
 
 // Solve runs the full three-stage assignment against the current model
@@ -129,19 +184,18 @@ func (s *ThreeStageSolver) Solve() (*ThreeStageResult, error) {
 // wrapped in a solvererr.SolveError naming the stage and kind; an
 // uncancelled context yields results bit-identical to Solve.
 func (s *ThreeStageSolver) SolveContext(ctx context.Context) (*ThreeStageResult, error) {
-	handed := false
+	s.next = 0
 	factory := func() tempsearch.Objective {
-		// The first worker gets the base solver; later workers get clones.
-		// Searches call the factory from a single goroutine, and all workers
-		// finish before the search returns, so reusing base afterwards for
-		// the final solve is safe.
-		solver := s.base
-		if handed {
-			solver = s.base.Clone()
-		}
-		handed = true
+		// The first worker gets the base solver; later workers get cached
+		// clones (cloned once, reused every epoch). Searches call the factory
+		// from a single goroutine, and all workers finish before the search
+		// returns, so reusing base afterwards for the final solve is safe.
+		solver := s.worker()
 		return func(cracOut []float64) (float64, bool) {
-			res, err := solver.SolveContext(ctx, cracOut)
+			// The scratch solve is bit-identical to SolveContext and
+			// allocation-free; the search keeps only (value, ok), never the
+			// solver-owned result.
+			res, err := solver.SolveScratchContext(ctx, cracOut)
 			if err != nil || !res.Feasible {
 				return 0, false
 			}
@@ -160,7 +214,7 @@ func (s *ThreeStageSolver) SolveContext(ctx context.Context) (*ThreeStageResult,
 	if err != nil {
 		return nil, solvererr.Wrap("stage2", err)
 	}
-	s3, err := Stage3Context(ctx, s.dc, pstates)
+	s3, err := s.stage3.SolveContext(ctx, pstates)
 	if err != nil {
 		return nil, solvererr.Wrap("stage3", err)
 	}

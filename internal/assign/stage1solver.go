@@ -3,6 +3,7 @@ package assign
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/model"
@@ -46,6 +47,16 @@ type Stage1Solver struct {
 	base     []float64
 	lin      []thermal.LinearCRACPower
 	nodeCoef []float64
+
+	// Scratch result + buffers for the zero-allocation SolveScratchContext
+	// path. All are overwritten by the next scratch solve.
+	scratch    Stage1Result
+	scrCracOut []float64
+	scrCore    []float64
+	scrPow     []float64
+	scrTin     []float64
+	scrGP      []float64
+	scrCRAC    []float64
 }
 
 // NewStage1Solver precomputes the Stage-1 LP skeleton for the given data
@@ -112,10 +123,28 @@ func NewStage1Solver(dc *model.DataCenter, tm *thermal.Model, arrs []*pwl.Func) 
 
 // Clone returns an independent solver over the same precomputed scenario,
 // for use by another search worker. Clones share only immutable inputs
-// (data center, thermal model, ARR envelopes).
+// (data center, thermal model, ARR envelopes) and inherit the pricing rule.
 func (s *Stage1Solver) Clone() *Stage1Solver {
-	return NewStage1Solver(s.dc, s.tm, s.arrs)
+	c := NewStage1Solver(s.dc, s.tm, s.arrs)
+	c.p.Pricing = s.p.Pricing
+	return c
 }
+
+// SetPricing selects the simplex pricing rule for this solver's LP (the
+// default Dantzig rule is bit-reproducible; devex trades that for speed).
+func (s *Stage1Solver) SetPricing(pr linprog.Pricing) { s.p.Pricing = pr }
+
+// TakeStats returns the accumulated simplex work counters and resets them,
+// giving callers per-epoch deltas.
+func (s *Stage1Solver) TakeStats() linprog.Stats {
+	st := s.ws.Stats
+	s.ws.Stats = linprog.Stats{}
+	return st
+}
+
+// Workspace exposes the solver's simplex workspace (benchmarks and tests
+// assert on buffer identity and allocation behavior).
+func (s *Stage1Solver) Workspace() *linprog.Workspace { return &s.ws }
 
 // Solve patches the skeleton for cracOut and runs the simplex, returning
 // the same result (and errors) Stage1Fixed would for the same inputs.
@@ -131,10 +160,53 @@ func (s *Stage1Solver) SolveContext(ctx context.Context, cracOut []float64) (*St
 	dc, tm := s.dc, s.tm
 	ncn := dc.NCN()
 
+	if badRow := s.patch(cracOut); badRow >= 0 {
+		// Base power alone violates this redline: infeasible outlets.
+		return &Stage1Result{CracOut: append([]float64(nil), cracOut...), Feasible: false},
+			fmt.Errorf("assign: redline %d violated by base power alone at outlets %v", badRow, cracOut)
+	}
+
+	sol, err := s.p.SolveWithContext(ctx, &s.ws)
+	if err != nil {
+		return &Stage1Result{CracOut: append([]float64(nil), cracOut...), Feasible: false}, err
+	}
+
+	res := &Stage1Result{
+		CracOut:          append([]float64(nil), cracOut...),
+		NodeCorePower:    make([]float64, ncn),
+		NodePower:        make([]float64, ncn),
+		PredictedARR:     sol.Objective,
+		PowerShadowPrice: sol.Dual(0), // the power row is added first
+	}
+	for k, node := range s.segNode {
+		res.NodeCorePower[node] += sol.Value(k)
+	}
+	for j := 0; j < ncn; j++ {
+		res.NodePower[j] = dc.NodeType(j).BasePower + res.NodeCorePower[j]
+		res.ComputePower += res.NodePower[j]
+	}
+	for _, cp := range tm.CRACPowers(cracOut, res.NodePower) {
+		res.CRACPower += cp
+	}
+	res.TotalPower = res.ComputePower + res.CRACPower
+	tin := tm.InletTemps(cracOut, res.NodePower)
+	res.Feasible = res.TotalPower <= dc.Pconst+powerTolerance &&
+		tm.RedlineSlack(tin) >= -powerTolerance
+	return res, nil
+}
+
+// patch rewrites the outlet-dependent parts of the LP skeleton for cracOut:
+// the power row's coefficients and rhs, and every thermal row's rhs. It
+// returns the index of the first thermal row whose redline is violated by
+// base power alone (infeasible outlets, LP left partially patched), or −1.
+// The accumulation order matches Stage1Fixed exactly so the patched
+// coefficients are bit-identical to a fresh build.
+func (s *Stage1Solver) patch(cracOut []float64) (badRow int) {
+	dc, tm := s.dc, s.tm
+	ncn := dc.NCN()
+
 	// Power row (paper constraint 4, linearized CRAC power):
 	// Σ_j (B_j + x_j) + Σ_i [Const_i + Σ_j Coef_i[j]·(B_j + x_j)] ≤ Pconst.
-	// The accumulation order matches Stage1Fixed exactly so the patched
-	// coefficients are bit-identical to a fresh build.
 	s.base = tm.InletBaseInto(cracOut, s.base)
 	s.lin = tm.LinearizeCRACPowerInto(cracOut, s.base, s.lin)
 	baseConst := 0.0
@@ -166,25 +238,51 @@ func (s *Stage1Solver) SolveContext(ctx context.Context, cracOut []float64) (*St
 			rhs -= grow[j] * s.basePow[j]
 		}
 		if rhs < 0 {
-			// Base power alone violates this redline: infeasible outlets.
-			return &Stage1Result{CracOut: append([]float64(nil), cracOut...), Feasible: false},
-				fmt.Errorf("assign: redline %d violated by base power alone at outlets %v", t, cracOut)
+			return t
 		}
 		s.p.SetRHS(1+t, rhs)
 	}
+	return -1
+}
 
-	sol, err := s.p.SolveWithContext(ctx, &s.ws)
+// errBaseRedline is the allocation-free error SolveScratch returns when a
+// redline is violated by base power alone (SolveContext formats a richer
+// message naming the row and outlets).
+var errBaseRedline = fmt.Errorf("assign: redline violated by base power alone")
+
+// SolveScratch is SolveScratchContext without a context.
+func (s *Stage1Solver) SolveScratch(cracOut []float64) (*Stage1Result, error) {
+	return s.SolveScratchContext(context.Background(), cracOut)
+}
+
+// SolveScratchContext is SolveContext's zero-allocation twin for search and
+// epoch hot loops: every number it produces is bit-identical, but the
+// returned Stage1Result and all its slices live in the solver and are
+// overwritten by the next scratch solve — callers that keep a result copy
+// it first. On the warm path (shapes unchanged since the last call) it
+// performs no heap allocations at all.
+func (s *Stage1Solver) SolveScratchContext(ctx context.Context, cracOut []float64) (*Stage1Result, error) {
+	dc, tm := s.dc, s.tm
+	ncn := dc.NCN()
+
+	res := &s.scratch
+	s.scrCracOut = append(s.scrCracOut[:0], cracOut...)
+	*res = Stage1Result{CracOut: s.scrCracOut}
+
+	if badRow := s.patch(cracOut); badRow >= 0 {
+		return res, errBaseRedline
+	}
+	sol, err := s.p.SolveInto(ctx, &s.ws)
 	if err != nil {
-		return &Stage1Result{CracOut: append([]float64(nil), cracOut...), Feasible: false}, err
+		return res, err
 	}
 
-	res := &Stage1Result{
-		CracOut:          append([]float64(nil), cracOut...),
-		NodeCorePower:    make([]float64, ncn),
-		NodePower:        make([]float64, ncn),
-		PredictedARR:     sol.Objective,
-		PowerShadowPrice: sol.Dual(0), // the power row is added first
-	}
+	s.scrCore = growZero(s.scrCore, ncn)
+	s.scrPow = growZero(s.scrPow, ncn)
+	res.NodeCorePower = s.scrCore
+	res.NodePower = s.scrPow
+	res.PredictedARR = sol.Objective
+	res.PowerShadowPrice = sol.Dual(0) // the power row is added first
 	for k, node := range s.segNode {
 		res.NodeCorePower[node] += sol.Value(k)
 	}
@@ -192,12 +290,30 @@ func (s *Stage1Solver) SolveContext(ctx context.Context, cracOut []float64) (*St
 		res.NodePower[j] = dc.NodeType(j).BasePower + res.NodeCorePower[j]
 		res.ComputePower += res.NodePower[j]
 	}
-	for _, cp := range tm.CRACPowers(cracOut, res.NodePower) {
+	s.scrTin, s.scrGP = tm.InletTempsInto(cracOut, res.NodePower, s.scrTin, s.scrGP)
+	s.scrCRAC = tm.CRACPowersInto(cracOut, s.scrTin, s.scrCRAC)
+	for _, cp := range s.scrCRAC {
 		res.CRACPower += cp
 	}
 	res.TotalPower = res.ComputePower + res.CRACPower
-	tin := tm.InletTemps(cracOut, res.NodePower)
-	res.Feasible = res.TotalPower <= dc.Pconst+powerTolerance &&
-		tm.RedlineSlack(tin) >= -powerTolerance
+	// Inline thermal.Model.RedlineSlack against the cached redline vector:
+	// same subtraction per unit, no per-call Redline() allocation.
+	slack := math.Inf(1)
+	for i, tin := range s.scrTin {
+		if sl := s.redline[i] - tin; sl < slack {
+			slack = sl
+		}
+	}
+	res.Feasible = res.TotalPower <= dc.Pconst+powerTolerance && slack >= -powerTolerance
 	return res, nil
+}
+
+// growZero returns a zeroed length-n slice reusing buf's capacity.
+func growZero(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		buf = buf[:n]
+		clear(buf)
+		return buf
+	}
+	return make([]float64, n)
 }

@@ -36,7 +36,10 @@ func Stage3(dc *model.DataCenter, pstates []int) (*Stage3Result, error) {
 	return Stage3Context(context.Background(), dc, pstates)
 }
 
-// Stage3Context is Stage3 under a context-governed simplex solve.
+// Stage3Context is Stage3 under a context-governed simplex solve. It is the
+// one-shot form of Stage3Solver, which additionally caches the group LP
+// skeleton across calls; both produce bit-identical results (verified by
+// TestStage3SolverMatchesOneShot).
 func Stage3Context(ctx context.Context, dc *model.DataCenter, pstates []int) (*Stage3Result, error) {
 	if len(pstates) != dc.NumCores() {
 		return nil, fmt.Errorf("assign: got %d P-states for %d cores", len(pstates), dc.NumCores())

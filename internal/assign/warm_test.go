@@ -1,0 +1,231 @@
+package assign_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/scenario"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/tempsearch"
+)
+
+func warmScenario(t *testing.T, seed int64, nnodes, ncracs int) *scenario.Scenario {
+	t.Helper()
+	cfg := scenario.Default(0.3, 0.1, seed)
+	cfg.NNodes, cfg.NCracs = nnodes, ncracs
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func bitsEq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestScratchSolveMatchesSolveContext drives the allocating and the
+// scratch Stage-1 solve over the same outlet vectors (on identically built
+// solvers, so the pivot history matches) and requires every output to be
+// bit-identical, including the infeasible corners.
+func TestScratchSolveMatchesSolveContext(t *testing.T) {
+	sc := warmScenario(t, 5, 20, 2)
+	arrs := buildARRs(t, sc, 50)
+	ref := assign.NewStage1Solver(sc.DC, sc.Thermal, arrs)
+	scr := assign.NewStage1Solver(sc.DC, sc.Thermal, arrs)
+
+	search := tempsearch.DefaultConfig()
+	lo, hi := search.Lo, search.Hi
+	rng := stats.NewRand(77)
+	for trial := 0; trial < 25; trial++ {
+		out := make([]float64, sc.DC.NCRAC())
+		for i := range out {
+			out[i] = lo + (hi-lo)*rng.Float64()
+		}
+		want, errW := ref.SolveContext(context.Background(), out)
+		got, errG := scr.SolveScratchContext(context.Background(), out)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: err mismatch: %v vs %v", trial, errW, errG)
+		}
+		if got.Feasible != want.Feasible {
+			t.Fatalf("trial %d: feasible %v vs %v", trial, got.Feasible, want.Feasible)
+		}
+		if errW != nil {
+			continue
+		}
+		if !bitsEq(got.PredictedARR, want.PredictedARR) ||
+			!bitsEq(got.TotalPower, want.TotalPower) ||
+			!bitsEq(got.ComputePower, want.ComputePower) ||
+			!bitsEq(got.CRACPower, want.CRACPower) ||
+			!bitsEq(got.PowerShadowPrice, want.PowerShadowPrice) {
+			t.Fatalf("trial %d: scalar fields differ: %+v vs %+v", trial, got, want)
+		}
+		for j := range want.NodePower {
+			if !bitsEq(got.NodePower[j], want.NodePower[j]) || !bitsEq(got.NodeCorePower[j], want.NodeCorePower[j]) {
+				t.Fatalf("trial %d node %d: power %v vs %v", trial, j, got.NodePower[j], want.NodePower[j])
+			}
+		}
+		for i := range want.CracOut {
+			if !bitsEq(got.CracOut[i], want.CracOut[i]) {
+				t.Fatalf("trial %d: CracOut differ", trial)
+			}
+		}
+	}
+}
+
+// TestScratchSolveWarmZeroAllocs pins the scratch path's contract: once
+// warmed, alternating outlet candidates through SolveScratch — exactly
+// what every temperature-search worker does thousands of times per epoch —
+// performs zero heap allocations.
+func TestScratchSolveWarmZeroAllocs(t *testing.T) {
+	sc := warmScenario(t, 5, 20, 2)
+	arrs := buildARRs(t, sc, 50)
+	s := assign.NewStage1Solver(sc.DC, sc.Thermal, arrs)
+
+	search := tempsearch.DefaultConfig()
+	mid := (search.Lo + search.Hi) / 2
+	outs := [][]float64{
+		{mid, mid},
+		{mid - 1, mid + 1},
+	}
+	for _, out := range outs {
+		if res, err := s.SolveScratch(out); err != nil || !res.Feasible {
+			t.Fatalf("warm-up solve at %v: %v (feasible=%v)", out, err, res != nil && res.Feasible)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(30, func() {
+		out := outs[i%2]
+		i++
+		if _, err := s.SolveScratch(out); err != nil {
+			t.Fatalf("scratch solve: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SolveScratch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestStage3SolverMatchesOneShot checks the skeleton-caching Stage-3
+// solver against the one-shot Stage3Context bit-for-bit, across P-state
+// vectors that exercise both the patch path (repeated signature) and the
+// rebuild path (new signature).
+func TestStage3SolverMatchesOneShot(t *testing.T) {
+	sc := warmScenario(t, 9, 20, 2)
+	ncores := sc.DC.NumCores()
+
+	allZero := make([]int, ncores)
+	mixed := make([]int, ncores)
+	for k := range mixed {
+		mixed[k] = k % 2
+	}
+	shifted := make([]int, ncores)
+	for k := range shifted {
+		shifted[k] = 1
+	}
+	// Same signatures as mixed but different counts: patch, not rebuild.
+	mixed2 := make([]int, ncores)
+	for k := range mixed2 {
+		mixed2[k] = (k / 3) % 2
+	}
+
+	warm := assign.NewStage3Solver(sc.DC)
+	vectors := [][]int{allZero, mixed, mixed, mixed2, shifted, allZero}
+	for vi, ps := range vectors {
+		want, err := assign.Stage3Context(context.Background(), sc.DC, ps)
+		if err != nil {
+			t.Fatalf("vector %d one-shot: %v", vi, err)
+		}
+		got, err := warm.SolveContext(context.Background(), ps)
+		if err != nil {
+			t.Fatalf("vector %d warm: %v", vi, err)
+		}
+		if !bitsEq(got.RewardRate, want.RewardRate) {
+			t.Fatalf("vector %d: reward %v vs %v", vi, got.RewardRate, want.RewardRate)
+		}
+		for i := range want.TC {
+			for k := range want.TC[i] {
+				if !bitsEq(got.TC[i][k], want.TC[i][k]) {
+					t.Fatalf("vector %d: TC[%d][%d] = %v, want %v", vi, i, k, got.TC[i][k], want.TC[i][k])
+				}
+			}
+		}
+		for k := range want.CoreUtilization {
+			if !bitsEq(got.CoreUtilization[k], want.CoreUtilization[k]) {
+				t.Fatalf("vector %d: util[%d] differs", vi, k)
+			}
+		}
+	}
+	// The cache holds the last signature only: allZero, mixed, shifted and
+	// the trailing allZero each rebuild, while the mixed repeat and mixed2
+	// (same signature, different counts) must hit the patch path.
+	if rb := warm.Rebuilds(); rb != 4 {
+		t.Fatalf("Rebuilds = %d, want 4 (repeat signatures must patch, not rebuild)", rb)
+	}
+	if st := warm.TakeStats(); st.Solves != int64(len(vectors)) {
+		t.Fatalf("Stats.Solves = %d, want %d", st.Solves, len(vectors))
+	}
+}
+
+// TestThreeStageWarmWorkersIsolatedAndCached checks the epoch hot path of
+// the full solver: (a) a parallel search gives results bit-identical to a
+// serial one (workers share nothing), (b) cloned workers own distinct
+// simplex workspaces, and (c) a second epoch re-solve runs entirely on
+// warm workspaces — zero workspace bytes allocated across all Stage-1
+// workers and the Stage-3 solver.
+func TestThreeStageWarmWorkersIsolatedAndCached(t *testing.T) {
+	sc := warmScenario(t, 5, 20, 2)
+	opts := assign.DefaultOptions()
+
+	opts.Search.Parallelism = 1
+	serial, err := assign.NewThreeStageSolver(sc.DC, sc.Thermal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPlan, err := serial.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Search.Parallelism = 4
+	par, err := assign.NewThreeStageSolver(sc.DC, sc.Thermal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := par.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEq(plan.RewardRate(), refPlan.RewardRate()) ||
+		!bitsEq(plan.Stage1.PredictedARR, refPlan.Stage1.PredictedARR) {
+		t.Fatalf("parallel result differs from serial: %v vs %v", plan.RewardRate(), refPlan.RewardRate())
+	}
+	for i := range refPlan.Stage1.CracOut {
+		if !bitsEq(plan.Stage1.CracOut[i], refPlan.Stage1.CracOut[i]) {
+			t.Fatal("parallel search picked different outlets than serial")
+		}
+	}
+
+	// Cloned workers must never share a workspace with the base solver.
+	base := par.Stage1Warm()
+	if clone := base.Clone(); clone.Workspace() == base.Workspace() {
+		t.Fatal("Clone shares the base solver's workspace")
+	}
+
+	// First epoch grew the workspaces; drain the counters …
+	first := par.TakeLPStats()
+	if first.Solves == 0 || first.AllocBytes == 0 {
+		t.Fatalf("first epoch stats implausible: %+v", first)
+	}
+	// … then a second epoch must stay at the high-water mark.
+	if _, err := par.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	second := par.TakeLPStats()
+	if second.Solves == 0 {
+		t.Fatalf("second epoch recorded no solves: %+v", second)
+	}
+	if second.AllocBytes != 0 {
+		t.Fatalf("second epoch allocated %d workspace bytes, want 0 (warm re-solve)", second.AllocBytes)
+	}
+}

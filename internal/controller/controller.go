@@ -30,6 +30,7 @@ import (
 
 	"thermaldc/internal/assign"
 	"thermaldc/internal/faults"
+	"thermaldc/internal/linprog"
 	"thermaldc/internal/model"
 	"thermaldc/internal/sched"
 	"thermaldc/internal/sim"
@@ -170,6 +171,10 @@ type EpochReport struct {
 	// ErrKind classifies the last solve failure (Unknown when the warm
 	// solve succeeded outright).
 	ErrKind solvererr.Kind
+	// LP aggregates the simplex counters (solves, pivots, workspace bytes
+	// allocated, …) drained from the warm solver after this epoch's ladder
+	// trip. Zero when the epoch did not re-solve.
+	LP linprog.Stats
 }
 
 // Result aggregates a controller run.
@@ -193,6 +198,8 @@ type Result struct {
 	// truth-model maxima: Excess ≤ 0 means the cap/redlines held for the
 	// whole run.
 	MaxPower, MaxPowerExcess, MaxInletExcess float64
+	// LP sums the per-epoch simplex counters across the run.
+	LP linprog.Stats
 	// Epochs holds the per-interval telemetry.
 	Epochs []EpochReport
 }
@@ -327,6 +334,10 @@ func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.
 			res.Resolves++
 			rep.Violations = len(assign.Verify(plannerDC, plannerTM, plan, cfg.Tol))
 			res.Violations += rep.Violations
+			// Drain the warm solver's simplex counters for this epoch (a
+			// cold rebuild mid-ladder forfeits the failed attempt's counts).
+			rep.LP = solver.TakeLPStats()
+			res.LP.Add(rep.LP)
 
 			// A new plan means new desired rates, so the scheduler is
 			// rebuilt with its ATC clock started at the boundary; core busy
@@ -523,6 +534,7 @@ func runOpenLoop(ctx context.Context, base *model.DataCenter, schedule faults.Sc
 	res := newResult(cfg)
 	res.Resolves = 1
 	res.Violations = len(assign.Verify(base, tm, plan, cfg.Tol))
+	res.LP = solver.TakeLPStats()
 
 	st := faults.NewState(base.NCRAC(), base.NCN())
 	p := &truthPlant{}
@@ -554,7 +566,7 @@ func runOpenLoop(ctx context.Context, base *model.DataCenter, schedule faults.Sc
 	if hookErr != nil {
 		return nil, hookErr
 	}
-	rep := EpochReport{Start: 0, End: cfg.Horizon, Resolved: true, Violations: res.Violations, Plan: plan}
+	rep := EpochReport{Start: 0, End: cfg.Horizon, Resolved: true, Violations: res.Violations, Plan: plan, LP: res.LP}
 	accumulate(res, &rep, out)
 	finish(res)
 	return res, nil

@@ -9,6 +9,7 @@ import (
 	"thermaldc/internal/assign"
 	"thermaldc/internal/controller"
 	"thermaldc/internal/faults"
+	"thermaldc/internal/linprog"
 	"thermaldc/internal/scenario"
 	"thermaldc/internal/stats"
 	"thermaldc/internal/workload"
@@ -87,6 +88,9 @@ type DegradedRow struct {
 	Resolves, Fallbacks int
 	Retries             int
 	RungCounts          [controller.NumRungs]int
+	// LP sums the closed loop's simplex counters (solves, pivots, workspace
+	// bytes allocated) across the trials.
+	LP linprog.Stats
 }
 
 // DegradedResult is the full sweep.
@@ -149,6 +153,7 @@ func DegradedSweep(cfg DegradedConfig) (*DegradedResult, error) {
 			row.Resolves += closed.Resolves
 			row.Fallbacks += closed.Fallbacks
 			row.Retries += closed.Retries
+			row.LP.Add(closed.LP)
 			for i, c := range closed.RungCounts {
 				row.RungCounts[i] += c
 			}
@@ -176,18 +181,21 @@ func (r *DegradedResult) Render() string {
 	fmt.Fprintf(&b, "Degraded operation: open-loop vs re-optimizing (%d nodes, %d CRACs, %d trials, horizon %.0f s, epoch %.0f s)\n",
 		r.Config.NNodes, r.Config.NCracs, r.Config.Trials, r.Config.Horizon, r.Config.Epoch)
 	fmt.Fprintf(&b, "excess columns: worst kW above the power cap / worst °C above a redline (<= 0 means the constraint held)\n")
-	fmt.Fprintf(&b, "ladder column: closed-loop epochs per degradation rung warm/cold/retry/prev/off (see controller.Rung)\n\n")
-	fmt.Fprintf(&b, "%6s %6s | %11s %9s %7s %7s | %11s %9s %7s %7s | %8s | %-15s %7s\n",
+	fmt.Fprintf(&b, "ladder column: closed-loop epochs per degradation rung warm/cold/retry/prev/off (see controller.Rung)\n")
+	fmt.Fprintf(&b, "lp columns: closed-loop simplex solves / pivots / workspace KiB allocated (0 KiB = fully warm tableaus)\n\n")
+	fmt.Fprintf(&b, "%6s %6s | %11s %9s %7s %7s | %11s %9s %7s %7s | %8s | %-15s %7s | %8s %9s %7s\n",
 		"nodes", "cracs",
 		"open rew/s", "open lost", "pow+kW", "inl+°C",
-		"cl rew/s", "cl lost", "pow+kW", "inl+°C", "gain%", "ladder w/c/r/p/o", "retries")
+		"cl rew/s", "cl lost", "pow+kW", "inl+°C", "gain%", "ladder w/c/r/p/o", "retries",
+		"lp slv", "lp piv", "lp KiB")
 	for _, row := range r.Rows {
 		rc := row.RungCounts
-		fmt.Fprintf(&b, "%6d %6d | %11.1f %9.1f %7.2f %7.2f | %11.1f %9.1f %7.2f %7.2f | %+8.1f | %3d/%d/%d/%d/%d %10d\n",
+		fmt.Fprintf(&b, "%6d %6d | %11.1f %9.1f %7.2f %7.2f | %11.1f %9.1f %7.2f %7.2f | %+8.1f | %3d/%d/%d/%d/%d %10d | %8d %9d %7.0f\n",
 			row.Level.NodeFailures, row.Level.CracDegradations,
 			row.OpenReward, row.OpenLost, row.OpenPowerExcess, row.OpenInletExcess,
 			row.ClosedReward, row.ClosedLost, row.ClosedPowerExcess, row.ClosedInletExcess,
-			row.GainPct, rc[0], rc[1], rc[2], rc[3], rc[4], row.Retries)
+			row.GainPct, rc[0], rc[1], rc[2], rc[3], rc[4], row.Retries,
+			row.LP.Solves, row.LP.Pivots, float64(row.LP.AllocBytes)/1024)
 	}
 	return b.String()
 }

@@ -1,0 +1,27 @@
+//go:build amd64
+
+package linprog
+
+// useAVX2 gates the vector elimination kernel on runtime CPU support
+// (AVX2 plus OS-enabled YMM state).
+var useAVX2 = cpuHasAVX2()
+
+// cpuHasAVX2 reports AVX2 support with the OS saving YMM state, probed via
+// CPUID/XGETBV (implemented in axpy_amd64.s).
+func cpuHasAVX2() bool
+
+// axpyNegAVX2 computes y[i] -= f*x[i] over len(x) elements with 4-wide
+// VMULPD/VSUBPD. Each element is one multiply rounding followed by one
+// subtract rounding — the same two-rounding sequence as the scalar loop, so
+// results are bit-identical (no FMA, which would contract them into one
+// rounding). Caller guarantees len(y) >= len(x).
+func axpyNegAVX2(f float64, x, y []float64)
+
+// axpyNeg subtracts f times x from y elementwise: y[i] -= f*x[i].
+func axpyNeg(f float64, x, y []float64) {
+	if useAVX2 && len(x) >= 8 {
+		axpyNegAVX2(f, x, y)
+		return
+	}
+	axpyNegGeneric(f, x, y)
+}

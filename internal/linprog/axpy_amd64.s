@@ -1,0 +1,85 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	// CPUID.1:ECX — need OSXSAVE (bit 27) and AVX (bit 28).
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  no
+	// XGETBV(0) — OS must enable XMM (bit 1) and YMM (bit 2) state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	// CPUID.7.0:EBX bit 5 — AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x20, BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpyNegAVX2(f float64, x, y []float64)
+// y[i] -= f*x[i] for i < len(x). Multiply and subtract round separately
+// (VMULPD then VSUBPD — never FMA), matching the scalar loop bit-for-bit.
+TEXT ·axpyNegAVX2(SB), NOSPLIT, $0-56
+	MOVQ         x_base+8(FP), SI
+	MOVQ         y_base+32(FP), DI
+	MOVQ         x_len+16(FP), CX
+	VBROADCASTSD f+0(FP), Y0
+	XORQ         AX, AX
+	MOVQ         CX, DX
+	ANDQ         $-8, DX
+
+vloop: // two 4-wide lanes per iteration
+	CMPQ    AX, DX
+	JGE     vtail
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VMOVUPD (DI)(AX*8), Y3
+	VMOVUPD 32(DI)(AX*8), Y4
+	VSUBPD  Y1, Y3, Y3
+	VSUBPD  Y2, Y4, Y4
+	VMOVUPD Y3, (DI)(AX*8)
+	VMOVUPD Y4, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	JMP     vloop
+
+vtail: // one 4-wide lane if it fits
+	MOVQ    CX, DX
+	ANDQ    $-4, DX
+	CMPQ    AX, DX
+	JGE     stail
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VMOVUPD (DI)(AX*8), Y3
+	VSUBPD  Y1, Y3, Y3
+	VMOVUPD Y3, (DI)(AX*8)
+	ADDQ    $4, AX
+
+stail: // scalar remainder — VEX-encoded to avoid SSE/AVX transition stalls
+	CMPQ   AX, CX
+	JGE    done
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VMOVSD (DI)(AX*8), X2
+	VSUBSD X1, X2, X2
+	VMOVSD X2, (DI)(AX*8)
+	INCQ   AX
+	JMP    stail
+
+done:
+	VZEROUPPER
+	RET

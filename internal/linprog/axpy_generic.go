@@ -1,0 +1,17 @@
+package linprog
+
+// axpyNegGeneric is the portable y[i] -= f*x[i] loop, unrolled 4-wide; the
+// bounds hint and unrolling keep the compiled loop check-free.
+func axpyNegGeneric(f float64, x, y []float64) {
+	y = y[:len(x)]
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		y[i] -= f * x[i]
+		y[i+1] -= f * x[i+1]
+		y[i+2] -= f * x[i+2]
+		y[i+3] -= f * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] -= f * x[i]
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package linprog
+
+// axpyNeg subtracts f times x from y elementwise: y[i] -= f*x[i].
+func axpyNeg(f float64, x, y []float64) {
+	axpyNegGeneric(f, x, y)
+}

@@ -1,0 +1,184 @@
+package linprog
+
+// Pricing selects the entering-variable pricing rule.
+type Pricing int
+
+const (
+	// PricingDantzig is the exact classic rule: every pivot scans all n
+	// columns and enters the one with the largest reduced-cost violation.
+	// It is the default because it makes the pivot sequence — and so every
+	// emitted value — bit-reproducible against the recorded goldens.
+	PricingDantzig Pricing = iota
+	// PricingDevex is candidate-list partial pricing with devex-style
+	// reference weights: pivots price only a small rotating candidate
+	// list, scored d_j²/w_j, refilling the list by one full scan when it
+	// runs dry. It reaches the same optimal objective but may stop at a
+	// different optimal vertex (these LPs have many — identical node types
+	// create symmetric columns), so it is opt-in for callers that want
+	// throughput over bit-reproducibility. The pre-optimality verification
+	// sweep (see iterate) guards it against premature exits.
+	PricingDevex
+)
+
+func (p Pricing) String() string {
+	switch p {
+	case PricingDantzig:
+		return "dantzig"
+	case PricingDevex:
+		return "devex"
+	default:
+		return "unknown"
+	}
+}
+
+// devexListSize bounds the candidate list: large enough to amortize
+// refills, far smaller than n for the paper-scale LPs.
+func devexListSize(n int) int {
+	s := 64 + n/32
+	if s > 512 {
+		s = 512
+	}
+	if s > n {
+		s = n
+	}
+	return s
+}
+
+// resetPricing restarts the pricing state at a phase boundary: reference
+// weights back to 1, candidate list empty.
+func (st *tableauState) resetPricing() {
+	if st.pricing != PricingDevex {
+		return
+	}
+	for j := range st.weight {
+		st.weight[j] = 1
+	}
+	st.candN, st.candStart = 0, 0
+}
+
+// scoreAt returns column j's pricing score (reduced-cost violation) and
+// entering direction, or (0, 0) when j is not eligible.
+func (st *tableauState) scoreAt(j int) (score, dir float64) {
+	if st.status[j] == basic || st.lo[j] == st.hi[j] {
+		return 0, 0
+	}
+	dj := st.d[j]
+	switch st.status[j] {
+	case atLower:
+		return -dj, 1
+	case atUpper:
+		return dj, -1
+	default: // freeZero
+		if dj < 0 {
+			return -dj, 1
+		}
+		return dj, -1
+	}
+}
+
+// chooseEnteringDevex prices only the candidate list, choosing the column
+// maximizing d_j²/w_j; entries that went ineligible are compacted away.
+// When the list runs dry it is refilled by one full rotating scan — the
+// only O(n) work — and the selection retried.
+func (st *tableauState) chooseEnteringDevex() (int, float64) {
+	for pass := 0; pass < 2; pass++ {
+		best, bestDir, bestVal := -1, 0.0, 0.0
+		cand := st.cand[:st.candN]
+		w := 0
+		for _, j32 := range cand {
+			j := int(j32)
+			score, dir := st.scoreAt(j)
+			if score <= tolReduced {
+				continue // drop from the list
+			}
+			cand[w] = j32
+			w++
+			if val := score * score / st.weight[j]; val > bestVal {
+				best, bestDir, bestVal = j, dir, val
+			}
+		}
+		st.candN = w
+		if best >= 0 {
+			return best, bestDir
+		}
+		if !st.refillCandidates() {
+			return -1, 0
+		}
+	}
+	return -1, 0
+}
+
+// refillCandidates scans all n columns once, starting at the rotation
+// cursor, collecting the first devexListSize eligible columns. Rotation
+// spreads pricing attention across the whole column range over successive
+// refills (classic multiple partial pricing).
+func (st *tableauState) refillCandidates() bool {
+	limit := devexListSize(st.n)
+	if cap(st.cand) < limit {
+		st.cand = make([]int32, limit)
+	}
+	st.candN = 0
+	j := st.candStart
+	if j >= st.n {
+		j = 0
+	}
+	for scanned := 0; scanned < st.n; scanned++ {
+		if score, _ := st.scoreAt(j); score > tolReduced {
+			st.cand[st.candN] = int32(j)
+			st.candN++
+			if st.candN == limit {
+				j++
+				break
+			}
+		}
+		if j++; j >= st.n {
+			j = 0
+		}
+	}
+	if j >= st.n {
+		j = 0
+	}
+	st.candStart = j
+	st.stats.CandidateRebuilds++
+	return st.candN > 0
+}
+
+// updateDevexWeights applies the devex reference-weight update after a
+// pivot in row r on column enter: for every nonbasic column j touched by
+// the (already scaled) pivot row, w_j ← max(w_j, ᾱ_rj²·w_q); the leaving
+// variable re-enters the nonbasic set with the transformed weight
+// max(1, w_q/α_rq²). Weights far past any useful dynamic range reset the
+// reference framework. Bridged zeros inside a run contribute nw=0 ≤ w_j,
+// so walking runs instead of exact nonzeros changes nothing.
+func (st *tableauState) updateDevexWeights(r, enter int, inv float64) {
+	w := st.weight
+	wq := w[enter]
+	if wq < 1 {
+		wq = 1
+	}
+	maxW := 0.0
+	prow := st.row(r)
+	for k := 0; k < len(st.runs); k += 2 {
+		s, e := int(st.runs[k]), int(st.runs[k+1])
+		for j := s; j < e; j++ {
+			v := prow[j]
+			if nw := v * v * wq; nw > w[j] {
+				w[j] = nw
+			}
+			if w[j] > maxW {
+				maxW = w[j]
+			}
+		}
+	}
+	leave := st.basis[r] // pivot updates basis after this hook
+	lw := wq * inv * inv
+	if lw < 1 {
+		lw = 1
+	}
+	w[leave] = lw
+	if maxW > 1e12 {
+		for j := range w {
+			w[j] = 1
+		}
+	}
+}

@@ -167,6 +167,12 @@ type Problem struct {
 
 	// MaxIter optionally overrides the iteration budget (0 = automatic).
 	MaxIter int
+
+	// Pricing selects the entering-variable rule. The zero value
+	// (PricingDantzig) reproduces the classic full-scan pivot order
+	// bit-for-bit; PricingDevex opts into candidate-list partial pricing
+	// (same optimum, possibly a different optimal vertex).
+	Pricing Pricing
 }
 
 // noteDefect records the first insertion-time malformation.

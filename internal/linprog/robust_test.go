@@ -42,7 +42,7 @@ func TestBlandRestartRegression(t *testing.T) {
 	// The plain single pass must exhaust the budget...
 	plain := kleeMinty(n)
 	plain.MaxIter = budget
-	sol, _, err := plain.solveOnce(nil, &Workspace{}, false)
+	sol, _, err := plain.solveOnce(nil, &Workspace{}, false, false)
 	if err == nil || sol.Status != IterLimit {
 		t.Fatalf("single Dantzig pass = (%v, %v), want IterLimit — budget no longer tight, adjust the test", sol.Status, err)
 	}

@@ -30,16 +30,49 @@ const (
 )
 
 // tableauState is the mutable state of one Solve call.
+//
+// The tableau lives in one flat row-major backing array a of m rows with a
+// fixed stride (nStruct + 2m, the worst case of one artificial per row), so
+// the pivot loop walks contiguous memory instead of chasing row pointers.
+// Two sparsity structures cut the elimination work:
+//
+//   - extLo/extHi track each row's nonzero extent [extLo, extHi): every
+//     entry outside it is an exact zero, so the ratio test, reduced-cost
+//     refresh, and artificial eviction skip the structurally-zero tail
+//     without reading it. Pivoting unions the pivot row's extent into each
+//     touched row (fill-in only ever widens an extent).
+//   - runs packs the scaled pivot row's nonzero columns into contiguous
+//     [start, end) intervals (zero-gaps up to runGap wide are bridged), so
+//     each row elimination walks a handful of contiguous slices — dense
+//     enough for bounds-check-free sequential loops, sparse enough to skip
+//     the structural zero blocks that make up half of these rows.
+//
+// Skipping exact zeros is bit-compatible with the dense loops: subtracting
+// f·0 never changes a float64 (the sign-of-zero corner −0−(−0) aside), so
+// the pivot sequence and every emitted value match the dense tableau.
 type tableauState struct {
-	m, n int // rows, total columns (structural + slack + artificial)
+	m, n   int // rows, total columns (structural + slack + artificial)
+	stride int // row stride of a (≥ n)
+	nCols  int // structural + slack columns; artificials start here
 
-	t      [][]float64 // m×n working tableau, starts as the (row-scaled) constraint matrix
+	a            []float64 // m×stride flat row-major working tableau
+	extLo, extHi []int32   // per-row nonzero extent [extLo, extHi)
+	runs         []int32   // scratch: nonzero runs of the scaled pivot row, (start, end) pairs
+	colBuf       []float64 // scratch: the entering column, gathered once per pivot
+
 	xB     []float64   // current values of basic variables, per row
 	basis  []int       // basic variable per row
 	status []varStatus // per column
 	lo, hi []float64   // per column bounds
 	cost   []float64   // current phase objective (minimization)
 	d      []float64   // reduced costs, maintained incrementally
+
+	// psign folds each column's pricing state into one multiplier so the
+	// Dantzig scan is a single fused multiply-compare per column: score =
+	// psign_j·d_j, direction = −psign_j, ineligible columns hold 0. hasFree
+	// (any free nonbasic column) forces the classification fallback scan.
+	psign   []float64
+	hasFree bool
 
 	nStruct int // number of structural variables
 	nArt    int
@@ -55,49 +88,24 @@ type tableauState struct {
 	// exhausted iteration budget as cycling.
 	forceBland  bool
 	maxDegenRun int
+
+	// dFresh is true while the reduced-cost row d is exactly the full
+	// recomputation c_j − Σ c_B·T[·][j] (no incremental pivot updates have
+	// touched it since). Optimality may only be declared when it is true;
+	// otherwise iterate runs a verification sweep first.
+	dFresh bool
+
+	// Partial-pricing state (PricingDevex only).
+	pricing   Pricing
+	weight    []float64 // devex reference weights, per column
+	cand      []int32   // candidate list
+	candN     int
+	candStart int // rotation cursor for candidate refills
+
 	// ctx, when non-nil, is polled every ctxCheckEvery pivots for
 	// cooperative cancellation.
-	ctx context.Context
-}
-
-// Workspace holds the reusable buffers of repeated Solve calls. Solving
-// through a Workspace avoids reallocating the dense tableau every time,
-// which matters when one problem skeleton is solved hundreds of times with
-// patched coefficients (the CRAC outlet-temperature search). The zero
-// value is ready to use; a Workspace is NOT safe for concurrent use — give
-// each goroutine its own.
-type Workspace struct {
-	t       [][]float64
-	lo, hi  []float64
-	status  []varStatus
-	basis   []int
-	flipped []bool
-	xB      []float64
-	rhs     []float64
-	cost    []float64
-	d       []float64
-}
-
-// stash saves the (possibly grown) buffers of a finished solve back into
-// the workspace for the next call.
-func (ws *Workspace) stash(st *tableauState) {
-	ws.t = st.t
-	ws.lo, ws.hi = st.lo, st.hi
-	ws.status = st.status
-	ws.basis = st.basis
-	ws.flipped = st.flipped
-	ws.xB = st.xB
-	ws.cost = st.cost
-	ws.d = st.d
-}
-
-// f64buf returns a length-n float64 slice backed by buf when capacity
-// allows, without clearing the contents.
-func f64buf(buf []float64, n int) []float64 {
-	if cap(buf) >= n {
-		return buf[:n]
-	}
-	return make([]float64, n)
+	ctx   context.Context
+	stats *Stats
 }
 
 // Solve optimizes the problem and returns the solution. A non-Optimal
@@ -144,6 +152,20 @@ func (p *Problem) SolveWithContext(ctx context.Context, ws *Workspace) (*Solutio
 	if ws == nil {
 		ws = &Workspace{}
 	}
+	return p.solveGuarded(ctx, ws, false)
+}
+
+// SolveInto is the zero-allocation hot path: like SolveWithContext, but
+// the returned Solution and its vectors alias buffers owned by ws and stay
+// valid only until the next solve through ws. Callers that keep results
+// beyond that must copy what they need. The numbers are bit-identical to
+// SolveWithContext; only the buffer ownership differs. ws must be non-nil.
+func (p *Problem) SolveInto(ctx context.Context, ws *Workspace) (*Solution, error) {
+	return p.solveGuarded(ctx, ws, true)
+}
+
+func (p *Problem) solveGuarded(ctx context.Context, ws *Workspace, reuse bool) (*Solution, error) {
+	ws.Stats.Solves++
 	if p.defect != nil {
 		// Insertion noted a defect, but SetRHS/SetCost may have overwritten
 		// the bad value since; only reject if the problem is still sick.
@@ -154,11 +176,11 @@ func (p *Problem) SolveWithContext(ctx context.Context, ws *Workspace) (*Solutio
 		p.defect = nil
 	}
 
-	sol, stalled, err := p.solveOnce(ctx, ws, false)
+	sol, stalled, err := p.solveOnce(ctx, ws, false, reuse)
 	if err != nil && sol.Status == IterLimit {
 		// The budget ran out; re-run from scratch with Bland's rule pinned
 		// on, which cannot cycle (it may still be slower than the budget).
-		rsol, rstalled, rerr := p.solveOnce(ctx, ws, true)
+		rsol, rstalled, rerr := p.solveOnce(ctx, ws, true, reuse)
 		if rerr == nil {
 			rsol.Restarted = true
 		} else if rsol.Status == IterLimit && (stalled || rstalled) {
@@ -177,8 +199,8 @@ func (p *Problem) SolveWithContext(ctx context.Context, ws *Workspace) (*Solutio
 
 // solveOnce runs both simplex phases once. stalled reports whether the run
 // showed cycling-like behavior (a long streak of consecutive degenerate
-// pivots).
-func (p *Problem) solveOnce(ctx context.Context, ws *Workspace, forceBland bool) (*Solution, bool, error) {
+// pivots). With reuse the returned Solution aliases ws buffers.
+func (p *Problem) solveOnce(ctx context.Context, ws *Workspace, forceBland, reuse bool) (*Solution, bool, error) {
 	if ctx != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return &Solution{Status: Canceled}, false, &StatusError{Status: Canceled, cause: cerr}
@@ -196,11 +218,11 @@ func (p *Problem) solveOnce(ctx context.Context, ws *Workspace, forceBland bool)
 		st.setPhase1Costs()
 		status := st.iterate()
 		if status != Optimal {
-			sol, err := p.finish(st, status)
+			sol, err := p.finish(st, status, ws, reuse)
 			return sol, st.stalled(), err
 		}
 		if st.phase1Objective() > 1e-6 {
-			sol, err := p.finish(st, Infeasible)
+			sol, err := p.finish(st, Infeasible, ws, reuse)
 			return sol, st.stalled(), err
 		}
 		st.evictArtificials()
@@ -209,7 +231,7 @@ func (p *Problem) solveOnce(ctx context.Context, ws *Workspace, forceBland bool)
 	// Phase 2: the real objective.
 	st.setPhase2Costs(p)
 	status := st.iterate()
-	sol, err := p.finish(st, status)
+	sol, err := p.finish(st, status, ws, reuse)
 	return sol, st.stalled(), err
 }
 
@@ -219,19 +241,35 @@ func (st *tableauState) stalled() bool {
 	return st.maxDegenRun > st.m+16
 }
 
+// row returns row i of the flat tableau, sliced to the live n columns.
+func (st *tableauState) row(i int) []float64 {
+	base := i * st.stride
+	return st.a[base : base+st.n]
+}
+
 // newState builds the initial tableau, slacks, artificials and starting
-// basis for the problem, drawing buffers from ws.
+// basis for the problem, drawing buffers from ws. The construction mirrors
+// the previous ragged-row build operation for operation (term accumulation
+// order, row flips, residual scans), so results are bit-identical.
 func (p *Problem) newState(ws *Workspace) *tableauState {
 	m := len(p.rows)
 	nStruct := len(p.cost)
 
-	st := &tableauState{
+	st := &ws.st
+	*st = tableauState{
 		m:       m,
 		nStruct: nStruct,
+		pricing: p.Pricing,
+		stats:   &ws.Stats,
 	}
 
-	// Column layout: [structural | one slack per row | artificials as needed].
-	nCols := nStruct + m // artificials appended later
+	// Column layout: [structural | one slack per row | artificials as
+	// needed]. The stride reserves the worst case of one artificial per
+	// row up front, so no row ever has to move.
+	nCols := nStruct + m
+	st.nCols = nCols
+	st.stride = nCols + m
+
 	st.lo = append(ws.lo[:0], p.lo...)
 	st.hi = append(ws.hi[:0], p.hi...)
 	for _, r := range p.rows {
@@ -245,31 +283,51 @@ func (p *Problem) newState(ws *Workspace) *tableauState {
 		st.status = ws.status[:nCols]
 	} else {
 		st.status = make([]varStatus, nCols)
+		ws.Stats.AllocBytes += int64(nCols)
 	}
 	for j := 0; j < nCols; j++ {
 		st.status[j] = initialStatus(st.lo[j], st.hi[j])
 	}
 
-	// Dense rows, zeroed before the term fill when reused.
-	if cap(ws.t) >= m {
-		st.t = ws.t[:m]
-	} else {
-		st.t = make([][]float64, m, m+8)
-		copy(st.t, ws.t)
-	}
-	rhs := f64buf(ws.rhs, m)
+	// Flat rows, zeroed over the full stride before the term fill so every
+	// column an extent can ever grow into holds an exact zero. A freshly
+	// allocated backing array is already zero; a reused one is only dirty
+	// inside the previous solve's per-row extents (every tableau write —
+	// term fill, flips, eliminations, fill-in — lands inside them), so a
+	// same-shaped reuse clears just those spans instead of the full m×stride
+	// block.
+	fresh := cap(ws.a) < m*st.stride
+	sameShape := !fresh && ws.aM == m && ws.aStride == st.stride
+	st.a = ws.f64(ws.a, m*st.stride)
+	prevLo, prevHi := ws.extLo, ws.extHi
+	st.extLo = ws.i32(ws.extLo, m)
+	st.extHi = ws.i32(ws.extHi, m)
+	ws.aM, ws.aStride = m, st.stride
+	st.runs = ws.runs
+	rhs := ws.f64(ws.rhs, m)
 	ws.rhs = rhs
 	for i, r := range p.rows {
-		rowv := f64buf(st.t[i], nCols)
-		for j := range rowv {
-			rowv[j] = 0
+		rowv := st.a[i*st.stride : (i+1)*st.stride]
+		if !fresh {
+			if sameShape && i < len(prevLo) && i < len(prevHi) {
+				clear(rowv[prevLo[i]:prevHi[i]])
+			} else {
+				clear(rowv)
+			}
 		}
 		for _, tm := range r.terms {
 			rowv[tm.Var] += tm.Coef
 		}
 		rowv[nStruct+i] = 1 // slack
-		st.t[i] = rowv
 		rhs[i] = r.rhs
+	}
+
+	// Precompute the nonbasic value of every column once; the residual
+	// scans below read it m·n times.
+	nbv := ws.f64(ws.nbv, nCols)
+	ws.nbv = nbv
+	for j := 0; j < nCols; j++ {
+		nbv[j] = nonbasicValue(st.status[j], st.lo[j], st.hi[j])
 	}
 
 	// Residuals at the initial nonbasic point decide the starting basis.
@@ -286,13 +344,18 @@ func (p *Problem) newState(ws *Workspace) *tableauState {
 	} else {
 		st.flipped = make([]bool, m)
 	}
-	st.xB = f64buf(ws.xB, m)
+	st.xB = ws.f64(ws.xB, m)
+	ws.xB = st.xB
+	st.colBuf = ws.f64(ws.colBuf, m)
+	ws.colBuf = st.colBuf
 	st.cost = ws.cost
 	st.d = ws.d
+	st.psign = ws.psign
 	for i := 0; i < m; i++ {
+		rowv := st.a[i*st.stride : (i+1)*st.stride]
 		res := rhs[i]
-		for j := 0; j < nCols; j++ {
-			res -= st.t[i][j] * nonbasicValue(st.status[j], st.lo[j], st.hi[j])
+		for j, v := range rowv[:nCols] {
+			res -= v * nbv[j]
 		}
 		slack := nStruct + i
 		if res >= st.lo[slack]-tolFeas && res <= st.hi[slack]+tolFeas {
@@ -300,39 +363,35 @@ func (p *Problem) newState(ws *Workspace) *tableauState {
 			st.basis[i] = slack
 			st.xB[i] = clamp(res, st.lo[slack], st.hi[slack])
 			st.status[slack] = basic
+			st.extLo[i], st.extHi[i] = 0, int32(slack+1)
 			continue
 		}
 		// Need an artificial. Scale the row so the artificial is +1 with a
-		// non-negative basic value.
+		// non-negative basic value. The flip covers the columns that exist
+		// at this point (structural, slacks, artificials created so far),
+		// matching the previous ragged-row behavior exactly.
 		if res < 0 {
-			for j := range st.t[i] {
-				st.t[i][j] = -st.t[i][j]
+			for j := 0; j < nCols+st.nArt; j++ {
+				rowv[j] = -rowv[j]
 			}
 			res = -res
 			st.flipped[i] = true
 		}
-		art := len(st.lo)
+		art := nCols + st.nArt
 		st.lo = append(st.lo, 0)
 		st.hi = append(st.hi, Inf)
 		st.status = append(st.status, basic)
-		for k := 0; k < m; k++ {
-			if k == i {
-				st.t[k] = append(st.t[k], 1)
-			} else {
-				st.t[k] = append(st.t[k], 0)
-			}
-		}
+		rowv[art] = 1
 		st.basis[i] = art
 		st.xB[i] = res
 		st.nArt++
+		st.extLo[i], st.extHi[i] = 0, int32(art+1)
 	}
 	st.n = len(st.lo)
-	// Artificial columns were appended after some rows already existed;
-	// normalize row lengths (rows created before artificials are shorter).
-	for i := range st.t {
-		for len(st.t[i]) < st.n {
-			st.t[i] = append(st.t[i], 0)
-		}
+
+	if st.pricing == PricingDevex {
+		st.weight = ws.f64(ws.weight, st.n)
+		st.cand = ws.i32(ws.cand, devexListSize(st.n))
 	}
 
 	st.maxIter = p.MaxIter
@@ -399,6 +458,8 @@ func (st *tableauState) setPhase1Costs() {
 		st.cost[j] = 1
 	}
 	st.recomputeReducedCosts()
+	st.initPricingSigns()
+	st.resetPricing()
 }
 
 func (st *tableauState) setPhase2Costs(p *Problem) {
@@ -421,6 +482,8 @@ func (st *tableauState) setPhase2Costs(p *Problem) {
 		}
 	}
 	st.recomputeReducedCosts()
+	st.initPricingSigns()
+	st.resetPricing()
 }
 
 func (st *tableauState) phase1Objective() float64 {
@@ -443,38 +506,55 @@ func (st *tableauState) evictArtificials() {
 			continue
 		}
 		pivCol, pivAbs := -1, tolPivot
-		for j := 0; j < st.n-st.nArt; j++ {
+		row := st.row(i)
+		hi := st.n - st.nArt
+		if h := int(st.extHi[i]); h < hi {
+			hi = h // entries past the extent are exact zeros
+		}
+		for j := int(st.extLo[i]); j < hi; j++ {
 			if st.status[j] == basic || st.lo[j] == st.hi[j] {
 				continue
 			}
-			if a := math.Abs(st.t[i][j]); a > pivAbs {
+			if a := math.Abs(row[j]); a > pivAbs {
 				pivAbs, pivCol = a, j
 			}
 		}
 		if pivCol >= 0 {
+			st.gatherColumn(pivCol) // pivot reads the entering column from colBuf
 			st.pivot(i, pivCol, nonbasicValue(st.status[pivCol], st.lo[pivCol], st.hi[pivCol]))
 		}
 	}
 }
 
 // recomputeReducedCosts rebuilds the reduced-cost row d from scratch:
-// d_j = c_j − Σ_i c_{B(i)}·T[i][j].
+// d_j = c_j − Σ_i c_{B(i)}·T[i][j]. Each row contributes only over its
+// nonzero extent; entries outside it are exact zeros and cannot change d.
 func (st *tableauState) recomputeReducedCosts() {
 	st.d = append(st.d[:0], st.cost...)
+	d := st.d
 	for i := 0; i < st.m; i++ {
 		cb := st.cost[st.basis[i]]
 		if cb == 0 {
 			continue
 		}
-		row := st.t[i]
-		for j := 0; j < st.n; j++ {
-			st.d[j] -= cb * row[j]
-		}
+		row := st.row(i)
+		lo, hi := int(st.extLo[i]), int(st.extHi[i])
+		axpyNeg(cb, row[lo:hi], d[lo:hi])
 	}
+	st.dFresh = true
+	st.stats.Refreshes++
 }
 
 // iterate runs simplex pivots until optimality, unboundedness, the
 // iteration budget, or cancellation.
+//
+// Optimality is never declared off the incrementally-maintained reduced
+// costs alone: when pricing finds no eligible column, a verification sweep
+// recomputes d from the tableau and re-prices over all n columns (also
+// refilling the partial-pricing candidate list). Only a clean sweep
+// returns Optimal; anything it finds resumes pivoting. This closes the
+// premature-optimality hole where a stale d row — or a candidate list that
+// went empty between refreshes — hides a still-improvable column.
 func (st *tableauState) iterate() Status {
 	sinceRefresh := 0
 	sinceCtx := 0
@@ -493,7 +573,18 @@ func (st *tableauState) iterate() Status {
 		}
 		enter, dir := st.chooseEntering()
 		if enter < 0 {
-			return Optimal
+			if st.dFresh {
+				return Optimal
+			}
+			// Verification sweep: full refresh, then re-price everything.
+			st.recomputeReducedCosts()
+			sinceRefresh = 0
+			st.candN = 0
+			enter, dir = st.chooseEntering()
+			if enter < 0 {
+				return Optimal
+			}
+			st.stats.SweepResumes++
 		}
 		flip, leaveRow, theta := st.ratioTest(enter, dir)
 		if math.IsInf(theta, 1) {
@@ -515,16 +606,21 @@ func (st *tableauState) iterate() Status {
 		}
 		if flip {
 			// Bound flip: the entering variable runs to its other bound;
-			// no basis change.
-			col := st.colCache(enter)
+			// no basis change, and d is untouched.
+			e32 := int32(enter)
 			for i := 0; i < st.m; i++ {
-				st.xB[i] -= dir * theta * col[i]
+				if e32 < st.extLo[i] || e32 >= st.extHi[i] {
+					continue // exact zero column entry
+				}
+				st.xB[i] -= dir * theta * st.colBuf[i]
 			}
 			if st.status[enter] == atLower {
 				st.status[enter] = atUpper
 			} else {
 				st.status[enter] = atLower
 			}
+			st.psign[enter] = pricingSign(st.status[enter], st.lo[enter], st.hi[enter])
+			st.stats.BoundFlips++
 			sinceRefresh++
 			continue
 		}
@@ -537,8 +633,55 @@ func (st *tableauState) iterate() Status {
 }
 
 // chooseEntering picks the entering column and its direction (+1 =
-// increasing, −1 = decreasing), or (-1, 0) at optimality.
+// increasing, −1 = decreasing), or (-1, 0) when pricing sees no eligible
+// column. Bland's rule always uses the exact full scan.
 func (st *tableauState) chooseEntering() (int, float64) {
+	if st.pricing == PricingDevex && !st.bland {
+		return st.chooseEnteringDevex()
+	}
+	return st.chooseEnteringDantzig()
+}
+
+// chooseEnteringDantzig is the exact classic rule: scan all n columns for
+// the largest reduced-cost violation (first eligible index under Bland).
+// The hot path folds each column's status into the maintained pricing sign
+// (see initPricingSigns): score = psign_j·d_j is bit-identical to the
+// branchy per-status computation ((−1)·d and (+1)·d are exact), ineligible
+// columns carry sign 0 and can never beat the tolerance, and the strict >
+// keeps the same lowest-index tie-breaking. Free columns need a per-sign
+// direction choice that a single multiplier cannot express, so problems
+// that have any fall back to the classification scan.
+func (st *tableauState) chooseEnteringDantzig() (int, float64) {
+	if st.hasFree {
+		return st.chooseEnteringClassify()
+	}
+	d := st.d[:st.n]
+	ps := st.psign[:st.n]
+	ps = ps[:len(d)]
+	if st.bland {
+		for j, dj := range d {
+			if ps[j]*dj > tolReduced {
+				return j, -ps[j] // first eligible index
+			}
+		}
+		return -1, 0
+	}
+	best, bestScore := -1, tolReduced
+	for j, dj := range d {
+		if s := ps[j] * dj; s > bestScore {
+			best, bestScore = j, s
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, -ps[best]
+}
+
+// chooseEnteringClassify is the classification form of the Dantzig scan,
+// kept for problems with free variables (none of the repo's LPs have any,
+// but the solver stays general).
+func (st *tableauState) chooseEnteringClassify() (int, float64) {
 	best, bestScore, bestDir := -1, tolReduced, 0.0
 	for j := 0; j < st.n; j++ {
 		if st.status[j] == basic || st.lo[j] == st.hi[j] {
@@ -571,18 +714,63 @@ func (st *tableauState) chooseEntering() (int, float64) {
 	return best, bestDir
 }
 
-func (st *tableauState) colCache(j int) []float64 {
-	col := make([]float64, st.m)
-	for i := 0; i < st.m; i++ {
-		col[i] = st.t[i][j]
+// pricingSign is the per-column multiplier of the fast Dantzig scan:
+// psign_j·d_j reproduces the reduced-cost violation score exactly
+// (atLower → −d_j, atUpper → +d_j) and the entering direction is −psign_j.
+// Basic and fixed columns get 0 so they can never price in; free columns
+// also get 0 and force the fallback scan via hasFree.
+func pricingSign(s varStatus, lo, hi float64) float64 {
+	if s == basic || lo == hi {
+		return 0
 	}
-	return col
+	switch s {
+	case atLower:
+		return -1
+	case atUpper:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// initPricingSigns (re)derives every column's pricing sign from its status
+// and bounds. Called at each phase start; pivots and bound flips maintain
+// the array incrementally afterwards.
+func (st *tableauState) initPricingSigns() {
+	st.psign = f64buf(st.psign, st.n)
+	st.hasFree = false
+	for j := 0; j < st.n; j++ {
+		st.psign[j] = pricingSign(st.status[j], st.lo[j], st.hi[j])
+		if st.status[j] == freeZero && st.lo[j] != st.hi[j] {
+			st.hasFree = true
+		}
+	}
+}
+
+// gatherColumn copies the entering column's in-extent entries into colBuf,
+// so the ratio test, basic-value update, bound flips, and the pivot's row
+// multipliers read it sequentially instead of each re-walking the strided
+// tableau. Entries outside a row's extent are exact zeros and are never
+// read (every consumer repeats the extent check), so they are not written.
+func (st *tableauState) gatherColumn(enter int) {
+	col := st.colBuf
+	e32 := int32(enter)
+	for i := 0; i < st.m; i++ {
+		if e32 < st.extLo[i] || e32 >= st.extHi[i] {
+			continue
+		}
+		col[i] = st.a[i*st.stride+enter]
+	}
 }
 
 // ratioTest determines how far the entering variable can move. It returns
 // flip=true when the binding limit is the entering variable's own opposite
-// bound, otherwise the leaving row index and the step length.
+// bound, otherwise the leaving row index and the step length. Rows whose
+// extent excludes the entering column hold an exact zero there and are
+// skipped without touching the tableau. As a side effect it gathers the
+// entering column into colBuf for the rest of the pivot.
 func (st *tableauState) ratioTest(enter int, dir float64) (flip bool, leaveRow int, theta float64) {
+	st.gatherColumn(enter)
 	theta = Inf
 	// The entering variable's own range.
 	if !math.IsInf(st.lo[enter], -1) && !math.IsInf(st.hi[enter], 1) {
@@ -591,8 +779,12 @@ func (st *tableauState) ratioTest(enter int, dir float64) (flip bool, leaveRow i
 	flip = true
 	leaveRow = -1
 	bestPiv := 0.0
+	e32 := int32(enter)
 	for i := 0; i < st.m; i++ {
-		t := st.t[i][enter]
+		if e32 < st.extLo[i] || e32 >= st.extHi[i] {
+			continue
+		}
+		t := st.colBuf[i]
 		rate := -dir * t // d(xB_i)/dθ
 		var lim float64
 		switch {
@@ -646,13 +838,27 @@ func (st *tableauState) updateBasics(enter int, dir, theta float64) {
 	if theta == 0 {
 		return
 	}
+	e32 := int32(enter)
 	for i := 0; i < st.m; i++ {
-		st.xB[i] -= dir * theta * st.t[i][enter]
+		if e32 < st.extLo[i] || e32 >= st.extHi[i] {
+			continue // exact zero column entry
+		}
+		st.xB[i] -= dir * theta * st.colBuf[i]
 	}
 }
 
+// runGap is the widest zero-gap bridged into a nonzero run of the scaled
+// pivot row. Bridged zeros are eliminated like any dense column (an exact
+// no-op), trading a little redundant arithmetic for long contiguous runs
+// whose inner loops the compiler keeps bounds-check-free.
+const runGap = 8
+
 // pivot makes column enter basic in row r with the entering value entVal,
 // performing the row elimination on the tableau and the reduced-cost row.
+// The scaled pivot row's nonzero columns are packed once into contiguous
+// runs and every elimination walks only those slices; the update order
+// over columns is ascending, exactly as the dense loop's, so all produced
+// values are bit-identical.
 func (st *tableauState) pivot(r, enter int, entVal float64) {
 	leave := st.basis[r]
 	// Classify the leaving variable at whichever bound it reached.
@@ -664,45 +870,89 @@ func (st *tableauState) pivot(r, enter int, entVal float64) {
 	} else {
 		st.status[leave] = atLower // free variable leaving: pin at lower (finite by construction)
 	}
+	st.psign[leave] = pricingSign(st.status[leave], st.lo[leave], st.hi[leave])
 
-	piv := st.t[r][enter]
-	row := st.t[r]
+	prow := st.row(r)
+	piv := prow[enter]
 	inv := 1 / piv
-	for j := range row {
-		row[j] *= inv
+	exLo, exHi := int(st.extLo[r]), int(st.extHi[r])
+	runs := st.runs[:0]
+	curStart, lastNz := -1, -1
+	for j := exLo; j < exHi; j++ {
+		v := prow[j] * inv
+		prow[j] = v
+		if v != 0 {
+			if curStart < 0 {
+				curStart = j
+			} else if j-lastNz > runGap {
+				runs = append(runs, int32(curStart), int32(lastNz+1))
+				curStart = j
+			}
+			lastNz = j
+		}
 	}
+	if curStart >= 0 {
+		runs = append(runs, int32(curStart), int32(lastNz+1))
+	}
+	st.runs = runs
+
+	e32 := int32(enter)
 	for i := 0; i < st.m; i++ {
 		if i == r {
 			continue
 		}
-		f := st.t[i][enter]
+		if e32 < st.extLo[i] || e32 >= st.extHi[i] {
+			continue // exact zero in the entering column
+		}
+		f := st.colBuf[i]
 		if f == 0 {
 			continue
 		}
-		// Reslicing to the pivot row's length lets the compiler elide the
-		// bounds checks in the hottest loop of the solver.
-		ri := st.t[i][:len(row)]
-		for j, rv := range row {
-			ri[j] -= f * rv
+		ib := i * st.stride
+		ri := st.a[ib : ib+st.n]
+		for k := 0; k < len(runs); k += 2 {
+			s, e := int(runs[k]), int(runs[k+1])
+			axpyNeg(f, prow[s:e], ri[s:e])
 		}
 		ri[enter] = 0 // exact zero to stop drift
+		// Fill-in can only land on the pivot row's extent: union it.
+		if int(st.extLo[i]) > exLo {
+			st.extLo[i] = int32(exLo)
+		}
+		if int(st.extHi[i]) < exHi {
+			st.extHi[i] = int32(exHi)
+		}
 	}
-	f := st.d[enter]
-	if f != 0 {
-		d := st.d[:len(row)]
-		for j, rv := range row {
-			d[j] -= f * rv
+	if f := st.d[enter]; f != 0 {
+		d := st.d
+		for k := 0; k < len(runs); k += 2 {
+			s, e := int(runs[k]), int(runs[k+1])
+			axpyNeg(f, prow[s:e], d[s:e])
 		}
 		d[enter] = 0
 	}
+	if st.pricing == PricingDevex {
+		st.updateDevexWeights(r, enter, inv)
+	}
 	st.basis[r] = enter
 	st.status[enter] = basic
+	st.psign[enter] = 0
 	st.xB[r] = entVal
+	st.dFresh = false
+	st.stats.Pivots++
 }
 
-// finish extracts the solution vector, objective and row duals.
-func (p *Problem) finish(st *tableauState, status Status) (*Solution, error) {
-	sol := &Solution{Status: status, Iterations: st.iters}
+// finish extracts the solution vector, objective and row duals. With reuse
+// the Solution and its vectors live in ws and are overwritten by the next
+// solve through ws; otherwise they are freshly allocated.
+func (p *Problem) finish(st *tableauState, status Status, ws *Workspace, reuse bool) (*Solution, error) {
+	var sol *Solution
+	if reuse {
+		sol = &ws.sol
+		*sol = Solution{Status: status, Iterations: st.iters}
+	} else {
+		sol = &Solution{Status: status, Iterations: st.iters}
+	}
 	if status != Optimal {
 		serr := &StatusError{Status: status}
 		if status == Canceled && st.ctx != nil {
@@ -710,7 +960,14 @@ func (p *Problem) finish(st *tableauState, status Status) (*Solution, error) {
 		}
 		return sol, serr
 	}
-	x := make([]float64, st.n)
+	var x []float64
+	if reuse {
+		x = ws.f64(ws.solX, st.n)
+		ws.solX = x
+		clear(x)
+	} else {
+		x = make([]float64, st.n)
+	}
 	for j := 0; j < st.n; j++ {
 		if st.status[j] != basic {
 			x[j] = nonbasicValue(st.status[j], st.lo[j], st.hi[j])
@@ -729,19 +986,30 @@ func (p *Problem) finish(st *tableauState, status Status) (*Solution, error) {
 	// Row duals from the slack columns' reduced costs: with the row
 	// possibly scaled by σ_i = ±1, d_slack_i = −σ_i·y_i for the internal
 	// minimization; the user-facing dual also flips sign for Maximize.
-	st.recomputeReducedCosts()
+	// Optimality implies d was just fully recomputed (the verification
+	// sweep), so the refresh only runs if something invalidated it since.
+	if !st.dFresh {
+		st.recomputeReducedCosts()
+	}
 	sign := 1.0
 	if p.sense == Maximize {
 		sign = -1
 	}
-	sol.duals = make([]float64, st.m)
+	var duals []float64
+	if reuse {
+		duals = ws.f64(ws.solDuals, st.m)
+		ws.solDuals = duals
+	} else {
+		duals = make([]float64, st.m)
+	}
 	for i := 0; i < st.m; i++ {
 		sigma := 1.0
 		if st.flipped[i] {
 			sigma = -1
 		}
-		sol.duals[i] = sign * -sigma * st.d[st.nStruct+i]
+		duals[i] = sign * -sigma * st.d[st.nStruct+i]
 	}
+	sol.duals = duals
 	return sol, nil
 }
 
@@ -808,11 +1076,15 @@ func opString(rw *row) string {
 // deterministic slack that preserves feasibility. The retry's solution
 // must pass verification against the ORIGINAL problem; otherwise the
 // solve fails with an error wrapping ErrNumerical.
+//
+// The retry always allocates its Solution fresh (never aliasing ws), so
+// orig — which may live in ws on the SolveInto path — survives the retry
+// solve for forensic return.
 func (p *Problem) rescaledRetry(ctx context.Context, ws *Workspace, orig *Solution, verr error) (*Solution, error) {
 	q := p.rescaledCopy()
-	sol, _, err := q.solveOnce(ctx, ws, false)
+	sol, _, err := q.solveOnce(ctx, ws, false, false)
 	if err != nil && sol.Status == IterLimit {
-		sol, _, err = q.solveOnce(ctx, ws, true)
+		sol, _, err = q.solveOnce(ctx, ws, true, false)
 	}
 	if err != nil || p.verifySolution(sol) != nil {
 		// Keep the original (claimed-optimal) basis for forensics; the
@@ -848,6 +1120,7 @@ func (p *Problem) rescaledCopy() *Problem {
 		hi:      p.hi,
 		names:   p.names,
 		MaxIter: p.MaxIter,
+		Pricing: p.Pricing,
 	}
 	q.rows = make([]row, len(p.rows))
 	q.retryRowScale = make([]float64, len(p.rows))

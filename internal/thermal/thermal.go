@@ -148,6 +148,22 @@ func (m *Model) InletTemps(cracOut, pcn []float64) []float64 {
 	return tin
 }
 
+// InletTempsInto is InletTemps writing into dst, using gp as the scratch
+// for the G·PCN product; both are reused when capacity allows and the
+// (possibly grown) scratch is returned for the caller to keep. The
+// computation order matches InletTemps exactly, so the temperatures are
+// bit-identical.
+func (m *Model) InletTempsInto(cracOut, pcn, dst, gp []float64) (tin, gpOut []float64) {
+	m.checkCRACLen(cracOut)
+	m.checkNodeLen(pcn)
+	tin = m.tinFromCRAC.MulVecInto(cracOut, dst)
+	gp = m.g.MulVecInto(pcn, gp)
+	for i := range tin {
+		tin[i] += gp[i]
+	}
+	return tin, gp
+}
+
 // OutletTemps returns all outlet temperatures. CRAC rows reproduce the
 // requested outlets; node rows satisfy Equation 4.
 func (m *Model) OutletTemps(cracOut, pcn []float64) []float64 {
@@ -185,6 +201,24 @@ func (m *Model) CRACPowers(cracOut, pcn []float64) []float64 {
 		out[i] = power.CRACPower(flows[i], tin[i], cracOut[i])
 	}
 	return out
+}
+
+// CRACPowersInto is CRACPowers for a precomputed inlet-temperature vector
+// (e.g. from InletTempsInto), writing into dst. Each CRAC's power is the
+// same expression CRACPowers evaluates, so results are bit-identical.
+func (m *Model) CRACPowersInto(cracOut, tin, dst []float64) []float64 {
+	m.checkCRACLen(cracOut)
+	flows := m.flows
+	n := m.dc.NCRAC()
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
+	}
+	for i := range dst {
+		dst[i] = power.CRACPower(flows[i], tin[i], cracOut[i])
+	}
+	return dst
 }
 
 // TotalPower returns compute power plus exact CRAC power (the left side of
