@@ -17,10 +17,12 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/sched/ ./internal/controller/ ./internal/faults/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/sched/ ./internal/controller/ ./internal/faults/ ./internal/telemetry/
 
 # Pre-merge gate (see README): formatting, vet, build, full race suite,
-# and a short fuzz smoke on the workload parser.
+# a short fuzz smoke on the workload parser, the simplex performance
+# gate, and a short instrumented degraded run whose exported time series
+# must pass cmd/tscheck's schema validation.
 ci:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -29,6 +31,9 @@ ci:
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -fuzz FuzzLoadTasks -fuzztime 10s ./internal/workload
 	$(MAKE) bench-compare BENCHTIME=1x
+	$(GO) run ./cmd/tapo degraded -trials 1 -nodes 10 -cracs 2 -horizon 30 \
+		-faults 0:0,2:1 -metrics-out /tmp/tapo-ci-metrics.jsonl > /dev/null
+	$(GO) run ./cmd/tscheck /tmp/tapo-ci-metrics.jsonl
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -16,6 +16,7 @@ import (
 	"thermaldc/internal/scenario"
 	"thermaldc/internal/sim"
 	"thermaldc/internal/stats"
+	"thermaldc/internal/telemetry"
 	"thermaldc/internal/tempsearch"
 	"thermaldc/internal/thermal"
 	"thermaldc/internal/workload"
@@ -329,6 +330,37 @@ func BenchmarkThreeStagePaperScale(b *testing.B) {
 			arrs[j] = f
 		}
 		s := assign.NewStage1Solver(sc.DC, sc.Thermal, arrs)
+		outs := [][]float64{{15, 15, 15}, {14, 16, 15}}
+		for _, out := range outs {
+			res, err := s.SolveScratch(out)
+			if err != nil || !res.Feasible {
+				b.Fatalf("warm-up solve at %v: %v (feasible=%v)", out, err, res != nil && res.Feasible)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SolveScratch(outs[i%2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// warm-resolve-allocs-metrics repeats the contract with the metrics
+	// registry live (tracing still off, its default): counter increments
+	// are atomic adds on pre-resolved handles, so instrumentation must not
+	// cost an allocation either (make bench-compare fails otherwise).
+	b.Run("warm-resolve-allocs-metrics", func(b *testing.B) {
+		arrs := make([]*pwl.Func, len(sc.DC.NodeTypes))
+		for j := range arrs {
+			f, err := assign.ARR(sc.DC, j, 50)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arrs[j] = f
+		}
+		s := assign.NewStage1Solver(sc.DC, sc.Thermal, arrs)
+		s.SetRecorder(telemetry.NewRecorder())
 		outs := [][]float64{{15, 15, 15}, {14, 16, 15}}
 		for _, out := range outs {
 			res, err := s.SolveScratch(out)

@@ -2,8 +2,9 @@
 // `make bench-compare`. It parses `go test -bench` output (plain text or the
 // -json stream) and exits non-zero when either invariant is broken:
 //
-//   - warm-resolve-allocs must report exactly 0 allocs/op (the warm Stage-1
-//     scratch path has a zero-allocation contract), and
+//   - warm-resolve-allocs and warm-resolve-allocs-metrics must report
+//     exactly 0 allocs/op (the warm Stage-1 scratch path has a
+//     zero-allocation contract, with and without live metrics), and
 //   - solver-serial (the flat incremental solver) must not be slower than
 //     legacy-rebuild (per-candidate tableau reconstruction).
 //
@@ -129,22 +130,25 @@ func trimProcs(name string) string { return procsSuffix.ReplaceAllString(name, "
 
 func check(results map[string]result, tolerance float64) []string {
 	const (
-		legacy = "BenchmarkThreeStagePaperScale/legacy-rebuild"
-		serial = "BenchmarkThreeStagePaperScale/solver-serial"
-		warm   = "BenchmarkThreeStagePaperScale/warm-resolve-allocs"
+		legacy      = "BenchmarkThreeStagePaperScale/legacy-rebuild"
+		serial      = "BenchmarkThreeStagePaperScale/solver-serial"
+		warm        = "BenchmarkThreeStagePaperScale/warm-resolve-allocs"
+		warmMetrics = "BenchmarkThreeStagePaperScale/warm-resolve-allocs-metrics"
 	)
 	var failures []string
 
-	w, ok := results[warm]
-	switch {
-	case !ok:
-		failures = append(failures, warm+" missing from benchmark output")
-	case !w.hasAllocs:
-		failures = append(failures, warm+" has no allocs/op column (run with -benchmem or b.ReportAllocs)")
-	case w.allocsPerOp != 0:
-		failures = append(failures, fmt.Sprintf(
-			"%s reports %g allocs/op, want 0 (warm scratch path broke its zero-allocation contract)",
-			warm, w.allocsPerOp))
+	for _, name := range []string{warm, warmMetrics} {
+		w, ok := results[name]
+		switch {
+		case !ok:
+			failures = append(failures, name+" missing from benchmark output")
+		case !w.hasAllocs:
+			failures = append(failures, name+" has no allocs/op column (run with -benchmem or b.ReportAllocs)")
+		case w.allocsPerOp != 0:
+			failures = append(failures, fmt.Sprintf(
+				"%s reports %g allocs/op, want 0 (warm scratch path broke its zero-allocation contract)",
+				name, w.allocsPerOp))
+		}
 	}
 
 	l, okL := results[legacy]

@@ -9,6 +9,7 @@ const plainOK = `goos: linux
 BenchmarkThreeStagePaperScale/legacy-rebuild-4         	       3	 268833180 ns/op
 BenchmarkThreeStagePaperScale/solver-serial-4          	       3	 117461279 ns/op
 BenchmarkThreeStagePaperScale/warm-resolve-allocs-4    	       3	    552366 ns/op	       0 B/op	       0 allocs/op
+BenchmarkThreeStagePaperScale/warm-resolve-allocs-metrics-4    	       3	    553101 ns/op	       0 B/op	       0 allocs/op
 PASS
 `
 
@@ -16,6 +17,7 @@ const jsonOK = `{"Action":"run","Test":"BenchmarkThreeStagePaperScale"}
 {"Action":"output","Output":"BenchmarkThreeStagePaperScale/legacy-rebuild \t       3\t 268833180 ns/op\n"}
 {"Action":"output","Output":"BenchmarkThreeStagePaperScale/solver-serial \t       3\t 117461279 ns/op\n"}
 {"Action":"output","Output":"BenchmarkThreeStagePaperScale/warm-resolve-allocs \t       3\t 552366 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkThreeStagePaperScale/warm-resolve-allocs-metrics \t       3\t 553101 ns/op\t       0 B/op\t       0 allocs/op\n"}
 `
 
 func TestParseAndCheckPass(t *testing.T) {
@@ -27,8 +29,8 @@ func TestParseAndCheckPass(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
-		if len(results) != 3 {
-			t.Fatalf("%s: parsed %d results, want 3", tc.name, len(results))
+		if len(results) != 4 {
+			t.Fatalf("%s: parsed %d results, want 4", tc.name, len(results))
 		}
 		if f := check(results, 1.05); len(f) != 0 {
 			t.Fatalf("%s: unexpected failures: %v", tc.name, f)
@@ -65,7 +67,7 @@ func TestCheckFailsOnMissingBenchmarks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f := check(results, 1.05); len(f) != 3 {
-		t.Fatalf("failures = %v, want 3 missing-benchmark failures", f)
+	if f := check(results, 1.05); len(f) != 4 {
+		t.Fatalf("failures = %v, want 4 missing-benchmark failures", f)
 	}
 }

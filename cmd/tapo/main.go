@@ -14,6 +14,12 @@
 //	tapo simulate [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
 //	tapo degraded [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
 //	              [-epoch SEC] [-faults nodes:cracs,...] [-solve-timeout DUR]
+//	              [-metrics-out FILE]
+//
+// Global telemetry flags (before the command): -log-level/-log-json tune
+// the structured logger, -serve-metrics ADDR exposes /metrics (Prometheus
+// text), /debug/vars (expvar), and /debug/pprof on an HTTP listener for
+// the duration of the run.
 //
 // Full paper scale is `-trials 25 -nodes 150 -cracs 3`; the defaults are
 // reduced so every command finishes interactively.
@@ -33,22 +39,35 @@ import (
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/report"
 	"thermaldc/internal/scenario"
+	"thermaldc/internal/telemetry"
 )
 
 // Global flags — given before the command (tapo -cpuprofile cpu.out fig6 …)
 // so every subcommand can be profiled and tuned the same way.
 var (
-	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	lpPricing  = flag.String("lp-pricing", "dantzig", "simplex pricing rule for the Stage-1 LPs: dantzig|devex")
+	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	lpPricing    = flag.String("lp-pricing", "dantzig", "simplex pricing rule for the Stage-1 LPs: dantzig|devex")
+	logLevel     = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	logJSON      = flag.Bool("log-json", false, "emit logs as JSON lines instead of plain text")
+	serveMetrics = flag.String("serve-metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090) for the duration of the run")
 )
 
 // pricing is the parsed -lp-pricing value, applied to every assign.Options
 // a subcommand builds.
 var pricing linprog.Pricing
 
-// tunePricing applies the -lp-pricing selection to a subcommand's options.
-func tunePricing(opts *assign.Options) { opts.Pricing = pricing }
+// recorder is the process-wide telemetry recorder, non-nil only when
+// -serve-metrics is given (subcommands with their own sinks, like
+// degraded -metrics-out, reuse it when present so one registry backs both).
+var recorder *telemetry.Recorder
+
+// tunePricing applies the -lp-pricing selection (and, when -serve-metrics
+// is on, the process recorder) to a subcommand's options.
+func tunePricing(opts *assign.Options) {
+	opts.Pricing = pricing
+	opts.Recorder = recorder
+}
 
 // writeCSV writes one experiment result to path via the given writer
 // function ("" = skip).
@@ -64,7 +83,7 @@ func writeCSV(path string, write func(w *os.File) error) error {
 	if err := write(f); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	telemetry.Default().Info("wrote " + path)
 	return nil
 }
 
@@ -89,6 +108,22 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "tapo: unknown -lp-pricing %q (want dantzig or devex)\n", *lpPricing)
 		return 2
 	}
+	lvl, lvlErr := telemetry.ParseLevel(*logLevel)
+	if lvlErr != nil {
+		fmt.Fprintf(os.Stderr, "tapo: %v\n", lvlErr)
+		return 2
+	}
+	telemetry.SetDefault(telemetry.NewLogger(os.Stderr, lvl, *logJSON))
+	if *serveMetrics != "" {
+		recorder = telemetry.NewRecorder()
+		addr, closeServe, srvErr := telemetry.Serve(*serveMetrics, recorder.Registry())
+		if srvErr != nil {
+			fmt.Fprintf(os.Stderr, "tapo: %v\n", srvErr)
+			return 1
+		}
+		defer closeServe()
+		telemetry.Default().Info("serving metrics", "addr", addr)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -102,7 +137,7 @@ func run() int {
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProfile)
+			telemetry.Default().Info("wrote " + *cpuProfile)
 		}()
 	}
 	if *memProfile != "" {
@@ -118,7 +153,7 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "tapo: %v\n", err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *memProfile)
+			telemetry.Default().Info("wrote " + *memProfile)
 		}()
 	}
 
@@ -189,9 +224,12 @@ commands:
   burst     MMPP arrival-burstiness sweep over both scheduler policies
 
 global flags (before the command):
-  -cpuprofile FILE   write a CPU profile (inspect with go tool pprof)
-  -memprofile FILE   write a heap profile on exit
-  -lp-pricing RULE   simplex pricing for Stage-1 LPs: dantzig (default) | devex
+  -cpuprofile FILE     write a CPU profile (inspect with go tool pprof)
+  -memprofile FILE     write a heap profile on exit
+  -lp-pricing RULE     simplex pricing for Stage-1 LPs: dantzig (default) | devex
+  -log-level LEVEL     log verbosity: debug | info (default) | warn | error
+  -log-json            emit logs as JSON lines instead of plain text
+  -serve-metrics ADDR  serve /metrics, /debug/vars and /debug/pprof on ADDR
 
 run "tapo <cmd> -h" for flags; paper scale is -trials 25 -nodes 150 -cracs 3
 `)
@@ -229,7 +267,7 @@ func runFig6(args []string) error {
 	cfg.SimPaperPolicy = *simPaper
 	cfg.Options.Search.Parallelism = *searchPar
 	tunePricing(&cfg.Options)
-	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	progress := func(line string) { telemetry.Default().Info(line) }
 	if *quiet {
 		progress = nil
 	}
@@ -488,6 +526,7 @@ func runDegraded(args []string) error {
 	epoch := fs.Float64("epoch", 15, "re-optimization epoch in seconds")
 	faultsFlag := fs.String("faults", "0:0,2:0,2:1,4:1,6:2", "severity levels as failedNodes:degradedCracs, comma-separated")
 	solveTimeout := fs.Duration("solve-timeout", 0, "per-epoch solve deadline (e.g. 200ms); 0 disables; expired budgets engage the degradation ladder")
+	metricsOut := fs.String("metrics-out", "", "write a per-epoch JSONL time series (one run per trial×mode) to this file")
 	searchPar := searchParFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -503,11 +542,27 @@ func runDegraded(args []string) error {
 	cfg.SolveTimeout = *solveTimeout
 	cfg.Options.Search.Parallelism = *searchPar
 	tunePricing(&cfg.Options)
+	cfg.Recorder = recorder
+	if *metricsOut != "" {
+		if cfg.Recorder == nil {
+			cfg.Recorder = telemetry.NewRecorder()
+		}
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		cfg.Recorder.Series = telemetry.NewJSONLWriter(mf)
+		cfg.Options.Recorder = cfg.Recorder
+	}
 	res, err := experiments.DegradedSweep(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println(res.Render())
+	if *metricsOut != "" {
+		telemetry.Default().Info("wrote " + *metricsOut)
+	}
 	return nil
 }
 

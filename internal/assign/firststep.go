@@ -8,6 +8,7 @@ import (
 	"thermaldc/internal/model"
 	"thermaldc/internal/pwl"
 	"thermaldc/internal/solvererr"
+	"thermaldc/internal/telemetry"
 	"thermaldc/internal/tempsearch"
 	"thermaldc/internal/thermal"
 )
@@ -48,6 +49,12 @@ type Options struct {
 	// Pricing selects the simplex pricing rule for every Stage-1 LP
 	// (PricingDantzig, the zero value, reproduces the golden outputs).
 	Pricing linprog.Pricing
+	// Recorder, when non-nil, wires the whole pipeline to a telemetry
+	// recorder: per-stage and per-LP spans go to its tracer (if tracing is
+	// enabled), solve counters to its metrics registry. Nil — the default —
+	// keeps every solver on the uninstrumented fast path. Telemetry never
+	// changes solver results.
+	Recorder *telemetry.Recorder
 }
 
 // DefaultOptions returns the paper's defaults (ψ = 50, coarse-to-fine
@@ -115,7 +122,21 @@ type ThreeStageSolver struct {
 	// stage3 keeps the Stage-3 group-LP skeleton and workspace warm across
 	// epochs.
 	stage3 *Stage3Solver
+
+	// rec is the telemetry recorder from Options (nil when uninstrumented);
+	// SolveContext records one SpanStage span per pipeline stage on its
+	// tracer.
+	rec *telemetry.Recorder
 }
+
+// Span labels for the SpanStage spans SolveContext records, in pipeline
+// order. Exported so span consumers can decode Span.Label.
+const (
+	StageLabelSearch = iota
+	StageLabelStage1
+	StageLabelStage2
+	StageLabelStage3
+)
 
 // NewThreeStageSolver prepares a reusable first-step solver.
 func NewThreeStageSolver(dc *model.DataCenter, tm *thermal.Model, opts Options) (*ThreeStageSolver, error) {
@@ -125,12 +146,22 @@ func NewThreeStageSolver(dc *model.DataCenter, tm *thermal.Model, opts Options) 
 	}
 	base := NewStage1Solver(dc, tm, arrs)
 	base.SetPricing(opts.Pricing)
+	stage3 := NewStage3Solver(dc)
+	if opts.Recorder != nil {
+		base.SetRecorder(opts.Recorder)
+		stage3.SetRecorder(opts.Recorder)
+		// Candidate spans during the temperature search come from the same
+		// tracer; search workers are Clones of base, so they inherit the LP
+		// wiring automatically.
+		opts.Search.Trace = opts.Recorder.Tracer()
+	}
 	return &ThreeStageSolver{
 		dc:     dc,
 		opts:   opts,
 		arrs:   arrs,
 		base:   base,
-		stage3: NewStage3Solver(dc),
+		rec:    opts.Recorder,
+		stage3: stage3,
 	}, nil
 }
 
@@ -184,6 +215,7 @@ func (s *ThreeStageSolver) Solve() (*ThreeStageResult, error) {
 // wrapped in a solvererr.SolveError naming the stage and kind; an
 // uncancelled context yields results bit-identical to Solve.
 func (s *ThreeStageSolver) SolveContext(ctx context.Context) (*ThreeStageResult, error) {
+	tr := s.rec.Tracer()
 	s.next = 0
 	factory := func() tempsearch.Objective {
 		// The first worker gets the base solver; later workers get cached
@@ -202,19 +234,27 @@ func (s *ThreeStageSolver) SolveContext(ctx context.Context) (*ThreeStageResult,
 			return res.PredictedARR, true
 		}
 	}
+	clk := tr.Begin()
 	best, err := runSearch(ctx, s.dc.NCRAC(), s.opts, factory)
+	tr.End(clk, telemetry.SpanStage, StageLabelSearch, int64(best.Evals), errBit(err))
 	if err != nil {
 		return nil, solvererr.Wrap("search", fmt.Errorf("assign: temperature search: %w", err))
 	}
+	clk = tr.Begin()
 	s1, err := s.base.SolveContext(ctx, best.Out)
+	tr.End(clk, telemetry.SpanStage, StageLabelStage1, 0, errBit(err))
 	if err != nil {
 		return nil, solvererr.Wrap("stage1", err)
 	}
+	clk = tr.Begin()
 	pstates, err := Stage2(s.dc, s.arrs, s1)
+	tr.End(clk, telemetry.SpanStage, StageLabelStage2, 0, errBit(err))
 	if err != nil {
 		return nil, solvererr.Wrap("stage2", err)
 	}
+	clk = tr.Begin()
 	s3, err := s.stage3.SolveContext(ctx, pstates)
+	tr.End(clk, telemetry.SpanStage, StageLabelStage3, 0, errBit(err))
 	if err != nil {
 		return nil, solvererr.Wrap("stage3", err)
 	}
@@ -224,6 +264,15 @@ func (s *ThreeStageSolver) SolveContext(ctx context.Context) (*ThreeStageResult,
 		Stage3:      s3,
 		SearchEvals: best.Evals,
 	}, nil
+}
+
+// errBit maps an error to the Span.Err convention used by the stage spans:
+// 0 for success, 1 for failure.
+func errBit(err error) int32 {
+	if err != nil {
+		return 1
+	}
+	return 0
 }
 
 // runSearch dispatches on the strategy.

@@ -8,6 +8,7 @@ import (
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/model"
 	"thermaldc/internal/pwl"
+	"thermaldc/internal/telemetry"
 	"thermaldc/internal/thermal"
 )
 
@@ -47,6 +48,12 @@ type Stage1Solver struct {
 	base     []float64
 	lin      []thermal.LinearCRACPower
 	nodeCoef []float64
+
+	// Telemetry handles. The zero values are no-ops, so an uninstrumented
+	// solver pays one predictable-branch per solve; instrumented solves pay
+	// two atomic adds and stay allocation-free.
+	mSolves telemetry.Counter
+	mInfeas telemetry.Counter
 
 	// Scratch result + buffers for the zero-allocation SolveScratchContext
 	// path. All are overwritten by the next scratch solve.
@@ -123,11 +130,27 @@ func NewStage1Solver(dc *model.DataCenter, tm *thermal.Model, arrs []*pwl.Func) 
 
 // Clone returns an independent solver over the same precomputed scenario,
 // for use by another search worker. Clones share only immutable inputs
-// (data center, thermal model, ARR envelopes) and inherit the pricing rule.
+// (data center, thermal model, ARR envelopes) and inherit the pricing rule
+// and telemetry wiring (metric handles are atomic and the tracer is
+// internally synchronized, so sharing them across workers is safe).
 func (s *Stage1Solver) Clone() *Stage1Solver {
 	c := NewStage1Solver(s.dc, s.tm, s.arrs)
 	c.p.Pricing = s.p.Pricing
+	c.ws.Trace = s.ws.Trace
+	c.mSolves, c.mInfeas = s.mSolves, s.mInfeas
 	return c
+}
+
+// SetRecorder wires the solver to rec: LP-solve spans go to rec's tracer
+// (nil tracer = untraced fast path) and per-solve counters to its metrics
+// registry. A nil rec (or a rec with tracing disabled) detaches cleanly.
+func (s *Stage1Solver) SetRecorder(rec *telemetry.Recorder) {
+	s.ws.Trace = rec.Tracer()
+	reg := rec.Registry()
+	s.mSolves = reg.Counter("tapo_stage1_solves_total",
+		"Stage-1 LP solve attempts (full and scratch paths)")
+	s.mInfeas = reg.Counter("tapo_stage1_infeasible_total",
+		"Stage-1 solves rejected because base power alone violates a redline")
 }
 
 // SetPricing selects the simplex pricing rule for this solver's LP (the
@@ -159,9 +182,11 @@ func (s *Stage1Solver) Solve(cracOut []float64) (*Stage1Result, error) {
 func (s *Stage1Solver) SolveContext(ctx context.Context, cracOut []float64) (*Stage1Result, error) {
 	dc, tm := s.dc, s.tm
 	ncn := dc.NCN()
+	s.mSolves.Inc()
 
 	if badRow := s.patch(cracOut); badRow >= 0 {
 		// Base power alone violates this redline: infeasible outlets.
+		s.mInfeas.Inc()
 		return &Stage1Result{CracOut: append([]float64(nil), cracOut...), Feasible: false},
 			fmt.Errorf("assign: redline %d violated by base power alone at outlets %v", badRow, cracOut)
 	}
@@ -268,8 +293,10 @@ func (s *Stage1Solver) SolveScratchContext(ctx context.Context, cracOut []float6
 	res := &s.scratch
 	s.scrCracOut = append(s.scrCracOut[:0], cracOut...)
 	*res = Stage1Result{CracOut: s.scrCracOut}
+	s.mSolves.Inc()
 
 	if badRow := s.patch(cracOut); badRow >= 0 {
+		s.mInfeas.Inc()
 		return res, errBaseRedline
 	}
 	sol, err := s.p.SolveInto(ctx, &s.ws)

@@ -7,6 +7,7 @@ import (
 
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/model"
+	"thermaldc/internal/telemetry"
 )
 
 // s3Key identifies a Stage-3 core group: cores of the same node type at the
@@ -41,6 +42,10 @@ type Stage3Solver struct {
 	taskRow  []int          // task index -> LP row (-1 when no terms)
 	rebuilds int
 
+	// Telemetry handles; zero values are no-ops (see Stage1Solver).
+	mSolves   telemetry.Counter
+	mRebuilds telemetry.Counter
+
 	countMap map[s3Key]int // per-call scratch
 }
 
@@ -52,6 +57,17 @@ func NewStage3Solver(dc *model.DataCenter) *Stage3Solver {
 // Rebuilds reports how many times the LP skeleton was built from scratch
 // because the group signature changed (1 on first solve).
 func (s *Stage3Solver) Rebuilds() int { return s.rebuilds }
+
+// SetRecorder wires the solver to rec: LP-solve spans go to rec's tracer
+// and per-solve/skeleton-rebuild counters to its metrics registry. A nil
+// rec detaches cleanly.
+func (s *Stage3Solver) SetRecorder(rec *telemetry.Recorder) {
+	s.ws.Trace = rec.Tracer()
+	reg := rec.Registry()
+	s.mSolves = reg.Counter("tapo_stage3_solves_total", "Stage-3 group-LP solves")
+	s.mRebuilds = reg.Counter("tapo_stage3_rebuilds_total",
+		"Stage-3 LP skeleton rebuilds (group signature changed)")
+}
 
 // TakeStats returns the accumulated simplex counters and resets them.
 func (s *Stage3Solver) TakeStats() linprog.Stats {
@@ -72,6 +88,7 @@ func (s *Stage3Solver) SolveContext(ctx context.Context, pstates []int) (*Stage3
 	if len(pstates) != dc.NumCores() {
 		return nil, fmt.Errorf("assign: got %d P-states for %d cores", len(pstates), dc.NumCores())
 	}
+	s.mSolves.Inc()
 
 	// Group cores by (node type, P-state), dropping off-state groups.
 	clear(s.countMap)
@@ -127,6 +144,7 @@ func (s *Stage3Solver) signatureMatches() bool {
 func (s *Stage3Solver) build() {
 	dc := s.dc
 	s.rebuilds++
+	s.mRebuilds.Inc()
 	s.keys = s.keys[:0]
 	for _, g := range s.groups {
 		s.keys = append(s.keys, g.key)

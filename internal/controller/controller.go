@@ -35,6 +35,7 @@ import (
 	"thermaldc/internal/sched"
 	"thermaldc/internal/sim"
 	"thermaldc/internal/solvererr"
+	"thermaldc/internal/telemetry"
 	"thermaldc/internal/tempsearch"
 	"thermaldc/internal/thermal"
 	"thermaldc/internal/workload"
@@ -82,6 +83,21 @@ type Config struct {
 	// RetryBackoff is the pause before the first retry attempt; it doubles
 	// per attempt and is cut short by the SolveTimeout deadline.
 	RetryBackoff time.Duration
+	// Recorder, when non-nil, publishes the run's telemetry: per-epoch
+	// counters and gauges on its metrics registry, epoch/rung/stage/LP
+	// spans on its tracer (if tracing is enabled), and one EpochSample row
+	// per interval on its series sink (if one is attached). The recorder
+	// is also threaded into the assignment pipeline, overriding
+	// Assign.Recorder. Nil — the default — keeps the whole run on the
+	// uninstrumented fast path. Telemetry never changes results.
+	Recorder *telemetry.Recorder
+	// MaxEpochReports bounds Result.Epochs: 0 (the default) keeps every
+	// per-interval report, preserving historical behavior; N > 0 retains
+	// only the last N reports (older ones are evicted as the run
+	// progresses, keeping memory flat on long horizons). Run totals and
+	// Result.EpochsSeen always cover the whole run — only the per-interval
+	// detail is windowed.
+	MaxEpochReports int
 }
 
 // DefaultConfig returns a closed-loop configuration: no solve deadline
@@ -200,8 +216,17 @@ type Result struct {
 	MaxPower, MaxPowerExcess, MaxInletExcess float64
 	// LP sums the per-epoch simplex counters across the run.
 	LP linprog.Stats
-	// Epochs holds the per-interval telemetry.
-	Epochs []EpochReport
+	// Epochs holds the per-interval telemetry. With Config.MaxEpochReports
+	// set it is a window over the last reports only (chronological after
+	// the run finishes); EpochsSeen counts every interval regardless.
+	Epochs     []EpochReport
+	EpochsSeen int
+
+	// epochCap/epochNext implement the MaxEpochReports retention ring:
+	// when the cap is hit, accumulate overwrites the oldest slot and
+	// finish rotates the ring back into chronological order.
+	epochCap  int
+	epochNext int
 }
 
 // Run drives the data center through the fault schedule. The base model is
@@ -224,6 +249,12 @@ func RunContext(ctx context.Context, base *model.DataCenter, schedule faults.Sch
 	}
 	if cfg.Tol <= 0 {
 		cfg.Tol = 1e-6
+	}
+	if cfg.Recorder != nil {
+		// One recorder observes the whole pipeline: the assignment solvers
+		// (stage/candidate/LP spans, solve counters) share it with the
+		// controller's own epoch metrics.
+		cfg.Assign.Recorder = cfg.Recorder
 	}
 
 	// Task-loss rule: a task is destroyed iff its host node dies before it
@@ -253,6 +284,8 @@ func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.
 	st := faults.NewState(base.NCRAC(), base.NCN())
 	res := newResult(cfg)
 	p := &truthPlant{}
+	m := newRunMetrics(cfg.Recorder, base.NCRAC())
+	tr := cfg.Recorder.Tracer()
 
 	var (
 		solver    *assign.ThreeStageSolver
@@ -269,6 +302,7 @@ func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("controller: run canceled at t=%g: %w", bounds[bi], cerr)
 		}
+		clkEpoch := tr.Begin()
 		a, b := bounds[bi], bounds[bi+1]
 
 		// Fold every event at or before this boundary into the state.
@@ -350,6 +384,9 @@ func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.
 			if err != nil {
 				return nil, err
 			}
+			if cfg.Recorder != nil {
+				s.SetRecorder(cfg.Recorder)
+			}
 			s.SetStartTime(a)
 		}
 		if err := p.update(base, st, plan); err != nil {
@@ -371,6 +408,10 @@ func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.
 		}
 		rep.Plan = plan
 		accumulate(res, &rep, out)
+		if err := m.emitEpoch(res, &rep, p); err != nil {
+			return nil, err
+		}
+		tr.End(clkEpoch, telemetry.SpanEpoch, int32(res.EpochsSeen-1), rep.LP.Pivots, errBit(nil))
 	}
 	finish(res)
 	return res, nil
@@ -426,7 +467,17 @@ func runLadder(parent context.Context, cfg Config, solver *assign.ThreeStageSolv
 		return true
 	}
 
-	if plan, err := guardedSolve(ctx, solver); err == nil {
+	// attempt wraps one solve rung with a SpanRung trace record (labelled
+	// by the rung being attempted) on the recorder's tracer, if any.
+	tr := cfg.Recorder.Tracer()
+	attempt := func(rung Rung, s *assign.ThreeStageSolver) (*assign.ThreeStageResult, error) {
+		clk := tr.Begin()
+		plan, err := guardedSolve(ctx, s)
+		tr.End(clk, telemetry.SpanRung, int32(rung), 0, errBit(err))
+		return plan, err
+	}
+
+	if plan, err := attempt(RungWarm, solver); err == nil {
 		return done(plan, RungWarm)
 	} else {
 		out.lastErr = err
@@ -437,7 +488,7 @@ func runLadder(parent context.Context, cfg Config, solver *assign.ThreeStageSolv
 			out.lastErr = err
 		} else {
 			out.solver = fresh
-			if plan, err := guardedSolve(ctx, fresh); err == nil {
+			if plan, err := attempt(RungCold, fresh); err == nil {
 				return done(plan, RungCold)
 			} else {
 				out.lastErr = err
@@ -466,7 +517,7 @@ func runLadder(parent context.Context, cfg Config, solver *assign.ThreeStageSolv
 			continue
 		}
 		out.solver = fresh
-		if plan, err := guardedSolve(ctx, fresh); err == nil {
+		if plan, err := attempt(RungRetry, fresh); err == nil {
 			return done(plan, RungRetry)
 		} else {
 			out.lastErr = err
@@ -556,9 +607,10 @@ func runOpenLoop(ctx context.Context, base *model.DataCenter, schedule faults.Sc
 		}})
 	}
 	out, err := sim.RunOpts(base, plan.PStates, plan.Stage3.TC, tasks, cfg.Horizon, sim.Options{
-		Hooks: hooks,
-		Plant: p,
-		Lost:  lost,
+		Hooks:     hooks,
+		Plant:     p,
+		Lost:      lost,
+		Telemetry: cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -568,6 +620,11 @@ func runOpenLoop(ctx context.Context, base *model.DataCenter, schedule faults.Sc
 	}
 	rep := EpochReport{Start: 0, End: cfg.Horizon, Resolved: true, Violations: res.Violations, Plan: plan, LP: res.LP}
 	accumulate(res, &rep, out)
+	// Open loop publishes one sample for the whole horizon; the plant
+	// reflects its final (post-fault) state.
+	if err := newRunMetrics(cfg.Recorder, base.NCRAC()).emitEpoch(res, &rep, p); err != nil {
+		return nil, err
+	}
 	finish(res)
 	return res, nil
 }
@@ -682,6 +739,7 @@ func newResult(cfg Config) *Result {
 		Horizon:        cfg.Horizon,
 		MaxPowerExcess: math.Inf(-1),
 		MaxInletExcess: math.Inf(-1),
+		epochCap:       cfg.MaxEpochReports,
 	}
 }
 
@@ -704,11 +762,25 @@ func accumulate(res *Result, rep *EpochReport, out *sim.Result) {
 	if out.MaxInletExcess > res.MaxInletExcess {
 		res.MaxInletExcess = out.MaxInletExcess
 	}
-	res.Epochs = append(res.Epochs, *rep)
+	res.EpochsSeen++
+	if res.epochCap > 0 && len(res.Epochs) == res.epochCap {
+		res.Epochs[res.epochNext] = *rep
+		res.epochNext = (res.epochNext + 1) % res.epochCap
+	} else {
+		res.Epochs = append(res.Epochs, *rep)
+	}
 }
 
 func finish(res *Result) {
 	if res.Horizon > 0 {
 		res.RewardRate = res.TotalReward / res.Horizon
+	}
+	// Unwind the retention ring so Epochs reads oldest-first.
+	if res.epochNext > 0 {
+		rot := make([]EpochReport, 0, len(res.Epochs))
+		rot = append(rot, res.Epochs[res.epochNext:]...)
+		rot = append(rot, res.Epochs[:res.epochNext]...)
+		res.Epochs = rot
+		res.epochNext = 0
 	}
 }

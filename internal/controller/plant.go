@@ -50,6 +50,18 @@ func (p *truthPlant) update(base *model.DataCenter, st *faults.State, plan *assi
 	return nil
 }
 
+// headroomInto reports the truth plant's current total draw, power cap,
+// and per-sensor inlet headroom (redline − inlet, positive = margin),
+// reusing buf for the headroom vector. Telemetry-only companion to Sample.
+func (p *truthPlant) headroomInto(buf []float64) (power, cap float64, by []float64) {
+	tin := p.tm.InletTemps(p.cracOut, p.pcn)
+	by = buf[:0]
+	for i := range tin {
+		by = append(by, p.redline[i]-tin[i])
+	}
+	return p.tm.TotalPower(p.cracOut, p.pcn), p.cap, by
+}
+
 // Sample implements sim.Plant against the current truth model.
 func (p *truthPlant) Sample(t float64) sim.PlantSample {
 	tin := p.tm.InletTemps(p.cracOut, p.pcn)

@@ -12,6 +12,7 @@ import (
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/scenario"
 	"thermaldc/internal/stats"
+	"thermaldc/internal/telemetry"
 	"thermaldc/internal/workload"
 )
 
@@ -46,6 +47,11 @@ type DegradedConfig struct {
 	// runs out the controller's degradation ladder takes over. Zero means
 	// no deadline.
 	SolveTimeout time.Duration
+	// Recorder, when non-nil, threads telemetry through every controller
+	// run of the sweep (closed and open loop): metrics accumulate across
+	// the whole sweep, and if a series sink is attached, each run writes
+	// its per-epoch rows under a fresh run number (JSONLWriter.NextRun).
+	Recorder *telemetry.Recorder
 }
 
 // DefaultDegradedConfig returns a reduced-scale sweep: severity grows from
@@ -136,15 +142,22 @@ func DegradedSweep(cfg DegradedConfig) (*DegradedResult, error) {
 			run := controller.DefaultConfig(cfg.Horizon, cfg.Epoch)
 			run.Assign = cfg.Options
 			run.SolveTimeout = cfg.SolveTimeout
+			run.Recorder = cfg.Recorder
+			cfg.Recorder.SeriesSink().NextRun()
 			closed, err := controller.Run(sc.DC, schedule, tasks, run)
 			if err != nil {
 				return nil, err
 			}
 			run.Mode = controller.OpenLoop
+			cfg.Recorder.SeriesSink().NextRun()
 			open, err := controller.Run(sc.DC, schedule, tasks, run)
 			if err != nil {
 				return nil, err
 			}
+
+			cfg.Recorder.Logger().Debug("degraded trial done",
+				"node_failures", lvl.NodeFailures, "crac_degradations", lvl.CracDegradations,
+				"trial", trial, "closed_reward_rate", closed.RewardRate, "open_reward_rate", open.RewardRate)
 
 			row.ClosedReward += closed.RewardRate
 			row.OpenReward += open.RewardRate

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"thermaldc/internal/telemetry"
 )
 
 // Numerical tolerances for the simplex. The LPs in this repository are well
@@ -165,6 +167,21 @@ func (p *Problem) SolveInto(ctx context.Context, ws *Workspace) (*Solution, erro
 }
 
 func (p *Problem) solveGuarded(ctx context.Context, ws *Workspace, reuse bool) (*Solution, error) {
+	if tr := ws.Trace; tr != nil {
+		clk := tr.Begin()
+		pivots0 := ws.Stats.Pivots
+		sol, err := p.solveGuardedInner(ctx, ws, reuse)
+		var code int32
+		if sol != nil {
+			code = int32(sol.Status)
+		}
+		tr.End(clk, telemetry.SpanLPSolve, 0, ws.Stats.Pivots-pivots0, code)
+		return sol, err
+	}
+	return p.solveGuardedInner(ctx, ws, reuse)
+}
+
+func (p *Problem) solveGuardedInner(ctx context.Context, ws *Workspace, reuse bool) (*Solution, error) {
 	ws.Stats.Solves++
 	if p.defect != nil {
 		// Insertion noted a defect, but SetRHS/SetCost may have overwritten

@@ -1,5 +1,7 @@
 package linprog
 
+import "thermaldc/internal/telemetry"
+
 // Stats counts the work done by solves that went through one Workspace.
 // The counters are cumulative; callers that want per-epoch numbers take a
 // snapshot and subtract, or use a draining accessor at a higher layer.
@@ -50,6 +52,12 @@ func (s *Stats) Add(o Stats) {
 type Workspace struct {
 	// Stats accumulates solve counters; see Stats.
 	Stats Stats
+
+	// Trace, when non-nil, records one telemetry.SpanLPSolve span per
+	// guarded solve (wall time, pivot count, terminal status). Leaving it
+	// nil keeps solves on the untraced fast path: no clock reads, no span
+	// writes, zero allocations.
+	Trace *telemetry.Tracer
 
 	a            []float64 // flat row-major tableau, m×stride
 	aM, aStride  int       // shape of the last tableau built in a

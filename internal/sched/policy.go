@@ -163,10 +163,12 @@ func (s *Scheduler) ScheduleWith(policy Policy, task workload.Task, now float64,
 		})
 	}
 	if len(cands) == 0 {
+		s.mRejected.Inc()
 		return -1, 0, false
 	}
 	idx, drop := policy.Pick(task, now, cands)
 	if drop {
+		s.mRejected.Inc()
 		return -1, 0, false
 	}
 	if idx < 0 || idx >= len(cands) {
@@ -174,5 +176,6 @@ func (s *Scheduler) ScheduleWith(policy Policy, task workload.Task, now float64,
 	}
 	chosen := cands[idx]
 	s.counts[task.Type][chosen.Core]++
+	s.mAssigned.Inc()
 	return chosen.Core, chosen.Completion, true
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"thermaldc/internal/model"
+	"thermaldc/internal/telemetry"
 	"thermaldc/internal/workload"
 )
 
@@ -31,6 +32,22 @@ type Scheduler struct {
 	// startTime anchors the ATC rate clock (elapsed = now − startTime);
 	// zero for a fresh simulation, the epoch start when reassigning.
 	startTime float64
+
+	// Telemetry counters; the zero values are no-ops, so an uninstrumented
+	// scheduler pays nothing on the per-arrival path.
+	mAssigned telemetry.Counter
+	mRejected telemetry.Counter
+}
+
+// SetRecorder wires per-arrival assignment counters to rec's metrics
+// registry (tapo_sched_assigned_total / tapo_sched_rejected_total). A nil
+// rec detaches cleanly.
+func (s *Scheduler) SetRecorder(rec *telemetry.Recorder) {
+	reg := rec.Registry()
+	s.mAssigned = reg.Counter("tapo_sched_assigned_total",
+		"tasks assigned to a core by the second-step scheduler")
+	s.mRejected = reg.Counter("tapo_sched_rejected_total",
+		"task arrivals the scheduler could not place (no deadline-feasible core, or policy drop)")
 }
 
 // SetStartTime anchors the ATC clock at t: rates are computed over

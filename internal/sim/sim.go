@@ -7,10 +7,12 @@ package sim
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 
 	"thermaldc/internal/model"
 	"thermaldc/internal/sched"
+	"thermaldc/internal/telemetry"
 	"thermaldc/internal/workload"
 )
 
@@ -105,6 +107,10 @@ type Options struct {
 	// voids the task's reward (a fault destroys it) while the core stays
 	// occupied. The fault layer supplies the node-failure timeline here.
 	Lost func(core int, start, completion float64) bool
+	// Telemetry, when non-nil, wires a freshly built scheduler's assignment
+	// counters to the recorder (a caller-supplied Scheduler keeps whatever
+	// wiring it already has) and enables debug-level run logging.
+	Telemetry *telemetry.Recorder
 }
 
 // Run simulates the task stream against the first-step assignment
@@ -149,6 +155,13 @@ func RunOpts(dc *model.DataCenter, pstates []int, tc [][]float64, tasks []worklo
 		if err != nil {
 			return nil, err
 		}
+		if opts.Telemetry != nil {
+			s.SetRecorder(opts.Telemetry)
+		}
+	}
+	if log := opts.Telemetry.Logger(); log.Enabled(slog.LevelDebug) {
+		log.Debug("sim: run starting", "t_start", opts.Start, "t_end", horizon,
+			"tasks", len(tasks), "hooks", len(opts.Hooks))
 	}
 	ncores := dc.NumCores()
 	freeAt := opts.FreeAt

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Logger is a thin leveled wrapper over log/slog. Two handlers back it:
+// the default plain handler prints bare `msg key=val` lines (a message
+// with no attributes renders byte-identical to the fmt.Fprintf(os.Stderr,
+// …) call it replaced), and the JSON handler is stock slog JSON for
+// machine consumption. A nil *Logger drops everything.
+type Logger struct {
+	s   *slog.Logger
+	lvl slog.Level
+}
+
+// NewLogger builds a logger writing to w at the given minimum level,
+// plain by default or slog JSON when jsonOut is set.
+func NewLogger(w io.Writer, level slog.Level, jsonOut bool) *Logger {
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	} else {
+		h = &plainHandler{w: w, level: level, mu: &sync.Mutex{}}
+	}
+	return &Logger{s: slog.New(h), lvl: level}
+}
+
+// ParseLevel maps the -log-level flag values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Enabled reports whether the logger emits records at level; callers use
+// it to skip building attribute lists on hot-ish paths. Nil-safe.
+func (l *Logger) Enabled(level slog.Level) bool {
+	return l != nil && level >= l.lvl
+}
+
+// Debug logs at LevelDebug (silent under the default Info level).
+func (l *Logger) Debug(msg string, args ...any) {
+	if l != nil {
+		l.s.Debug(msg, args...)
+	}
+}
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, args ...any) {
+	if l != nil {
+		l.s.Info(msg, args...)
+	}
+}
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l != nil {
+		l.s.Warn(msg, args...)
+	}
+}
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, args ...any) {
+	if l != nil {
+		l.s.Error(msg, args...)
+	}
+}
+
+// defaultLogger is the process-wide logger internal packages report
+// through; cmd/tapo reconfigures it from -log-level/-log-json.
+var defaultLogger atomic.Pointer[Logger]
+
+func init() {
+	defaultLogger.Store(NewLogger(os.Stderr, slog.LevelInfo, false))
+}
+
+// Default returns the process-wide logger (never nil).
+func Default() *Logger { return defaultLogger.Load() }
+
+// SetDefault replaces the process-wide logger; a nil l restores the
+// stderr Info plain logger.
+func SetDefault(l *Logger) {
+	if l == nil {
+		l = NewLogger(os.Stderr, slog.LevelInfo, false)
+	}
+	defaultLogger.Store(l)
+}
+
+// plainHandler renders records as `msg[ key=val]...\n` with no timestamp
+// or level prefix: the human-facing format of the stderr progress lines
+// the repository printed before the telemetry layer existed, kept
+// byte-identical for attribute-free records.
+type plainHandler struct {
+	w     io.Writer
+	level slog.Level
+	mu    *sync.Mutex
+	attrs []slog.Attr
+}
+
+func (h *plainHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level
+}
+
+func (h *plainHandler) Handle(_ context.Context, rec slog.Record) error {
+	var b strings.Builder
+	b.WriteString(rec.Message)
+	for _, a := range h.attrs {
+		writeAttr(&b, a)
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func writeAttr(b *strings.Builder, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	b.WriteByte(' ')
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	b.WriteString(a.Value.String())
+}
+
+func (h *plainHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	c := *h
+	c.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &c
+}
+
+// WithGroup flattens groups: this handler is for terse progress lines,
+// not nested structure (use -log-json for that).
+func (h *plainHandler) WithGroup(string) slog.Handler { return h }

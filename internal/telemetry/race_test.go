@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWritersSoak hammers one registry and one tracer from many
+// goroutines while a reader exports snapshots, as the parallel tempsearch
+// workers and a live -serve-metrics scrape would. Run under -race by
+// `make ci` (and the race target), it is the layer's data-race gate; the
+// final counter check also catches lost updates.
+func TestConcurrentWritersSoak(t *testing.T) {
+	const (
+		writers = 8
+		iters   = 2000
+	)
+	r := NewRegistry()
+	c := r.Counter("soak_total", "")
+	g := r.Gauge("soak_gauge", "")
+	h := r.Histogram("soak_hist", "", []float64{1, 10, 100})
+	perCRAC := []Gauge{r.Gauge("soak_crac", "", "crac", "0"), r.Gauge("soak_crac", "", "crac", "1")}
+	tr := NewTracer(256)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+				perCRAC[w%2].Set(float64(i))
+				sc := tr.Begin()
+				tr.End(sc, SpanCandidate, int32(w), int64(i), 0)
+			}
+		}(w)
+	}
+	// Concurrent readers: exporting while writers run must be race-free.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Snapshot()
+			tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	if got, want := c.Value(), int64(writers*iters); got != want {
+		t.Errorf("counter lost updates: %d, want %d", got, want)
+	}
+	if got, want := g.Value(), float64(writers*iters); got != want {
+		t.Errorf("gauge CAS lost updates: %g, want %g", got, want)
+	}
+	if got, want := h.Count(), int64(writers*iters); got != want {
+		t.Errorf("histogram lost observations: %d, want %d", got, want)
+	}
+	if got, want := tr.Count(), uint64(writers*iters); got != want {
+		t.Errorf("tracer lost spans: %d, want %d", got, want)
+	}
+}

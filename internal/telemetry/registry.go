@@ -1,0 +1,374 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind discriminates the three metric families.
+type MetricKind uint8
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("MetricKind(%d)", int(k))
+	}
+}
+
+// metric is one registered time series: a (family name, label set) pair
+// plus its atomic payload. Counters keep an integer in bits; gauges keep
+// math.Float64bits; histograms use the bucket/sum/count fields. Slots are
+// heap-stable — handles point straight at them — so registration can grow
+// the registry's index without invalidating concurrent writers.
+type metric struct {
+	name   string // family name, e.g. "tapo_lp_pivots_total"
+	labels string // rendered label set, e.g. `{crac="0"}`, or ""
+	help   string
+	kind   MetricKind
+
+	bits atomic.Uint64 // counter value (uint64) or gauge float bits
+
+	uppers  []float64       // histogram bucket upper bounds, ascending
+	buckets []atomic.Uint64 // per-bucket counts; len(uppers)+1 (+Inf last)
+	sumBits atomic.Uint64   // histogram sum, float bits updated by CAS
+	count   atomic.Uint64   // histogram observation count
+}
+
+// Registry interns metric names to IDs and owns the flat slot array they
+// index. Registration (Counter/Gauge/Histogram) takes a lock and may
+// allocate; it is meant for setup time. The returned handles write with
+// atomics only — no locks, no allocation — and are safe for concurrent
+// use. Registering an already-known (name, labels) pair returns a handle
+// to the existing slot, so independent subsystems share series by naming
+// them identically.
+type Registry struct {
+	mu  sync.Mutex
+	ids map[string]int // interned "name{labels}" -> index into metrics
+	// metrics is the flat, append-only slot index in registration order
+	// (the export order). Entries are pointers so slots stay address-stable
+	// while the slice grows.
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ids: make(map[string]int)}
+}
+
+// Labels renders key/value pairs into a deterministic Prometheus label
+// set: Labels("crac", "0") == `{crac="0"}`. Pairs must come in key, value
+// order; values are escaped per the Prometheus text format.
+func Labels(pairs ...string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("telemetry: Labels needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		v := pairs[i+1]
+		for j := 0; j < len(v); j++ {
+			switch c := v[j]; c {
+			case '\\', '"':
+				b.WriteByte('\\')
+				b.WriteByte(c)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteByte(c)
+			}
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register interns (name, labels) and returns its slot, creating it with
+// the given shape on first sight. A kind mismatch on an existing name is a
+// programming error and panics — it would silently cross counter and gauge
+// semantics otherwise.
+func (r *Registry) register(name, labels, help string, kind MetricKind, uppers []float64) *metric {
+	if r == nil {
+		return nil
+	}
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.ids[key]; ok {
+		m := r.metrics[id]
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s, was %s", key, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: labels, help: help, kind: kind}
+	if kind == KindHistogram {
+		m.uppers = append([]float64(nil), uppers...)
+		if !sort.Float64sAreSorted(m.uppers) {
+			panic("telemetry: histogram buckets must be sorted ascending")
+		}
+		m.buckets = make([]atomic.Uint64, len(m.uppers)+1)
+	}
+	r.ids[key] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or finds) a monotonically increasing counter.
+// labels are optional key/value pairs as in Labels. A nil registry
+// returns a no-op handle.
+func (r *Registry) Counter(name, help string, labels ...string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{r.register(name, Labels(labels...), help, KindCounter, nil)}
+}
+
+// Gauge registers (or finds) a float gauge. A nil registry returns a
+// no-op handle.
+func (r *Registry) Gauge(name, help string, labels ...string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{r.register(name, Labels(labels...), help, KindGauge, nil)}
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram with the given
+// ascending upper bounds (an implicit +Inf bucket is appended). A nil
+// registry returns a no-op handle.
+func (r *Registry) Histogram(name, help string, uppers []float64, labels ...string) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	return Histogram{r.register(name, Labels(labels...), help, KindHistogram, uppers)}
+}
+
+// Counter is a handle to a registered counter. The zero value (and any
+// handle from a nil registry) is a no-op, so call sites never nil-check.
+type Counter struct{ m *metric }
+
+// Add increments the counter by delta; negative deltas are ignored
+// (counters are monotone). Safe for concurrent use; never allocates.
+func (c Counter) Add(delta int64) {
+	if c.m == nil || delta <= 0 {
+		return
+	}
+	c.m.bits.Add(uint64(delta))
+}
+
+// Inc is Add(1).
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a no-op handle).
+func (c Counter) Value() int64 {
+	if c.m == nil {
+		return 0
+	}
+	return int64(c.m.bits.Load())
+}
+
+// Gauge is a handle to a registered gauge; the zero value is a no-op.
+type Gauge struct{ m *metric }
+
+// Set stores v. Safe for concurrent use; never allocates.
+func (g Gauge) Set(v float64) {
+	if g.m == nil {
+		return
+	}
+	g.m.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds v via a compare-and-swap loop (gauges, unlike
+// counters, accept float and negative deltas).
+func (g Gauge) Add(v float64) {
+	if g.m == nil {
+		return
+	}
+	for {
+		old := g.m.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.m.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 for a no-op handle).
+func (g Gauge) Value() float64 {
+	if g.m == nil {
+		return 0
+	}
+	return math.Float64frombits(g.m.bits.Load())
+}
+
+// Histogram is a handle to a registered histogram; the zero value is a
+// no-op.
+type Histogram struct{ m *metric }
+
+// Observe records v into its bucket. Safe for concurrent use; never
+// allocates (the bucket scan is over the preallocated bounds).
+func (h Histogram) Observe(v float64) {
+	if h.m == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.m.uppers) && v > h.m.uppers[i] {
+		i++
+	}
+	h.m.buckets[i].Add(1)
+	h.m.count.Add(1)
+	for {
+		old := h.m.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.m.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h Histogram) Count() int64 {
+	if h.m == nil {
+		return 0
+	}
+	return int64(h.m.count.Load())
+}
+
+// Sum returns the sum of observed values.
+func (h Histogram) Sum() float64 {
+	if h.m == nil {
+		return 0
+	}
+	return math.Float64frombits(h.m.sumBits.Load())
+}
+
+// snapshot returns the registered slots in registration order.
+func (r *Registry) snapshot() []*metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.metrics...)
+}
+
+// Snapshot returns a flat name{labels} → value view of every registered
+// metric (histograms contribute _count and _sum entries), for expvar and
+// tests.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.snapshot() {
+		key := m.name + m.labels
+		switch m.kind {
+		case KindCounter:
+			out[key] = int64(m.bits.Load())
+		case KindGauge:
+			out[key] = math.Float64frombits(m.bits.Load())
+		case KindHistogram:
+			out[key+"_count"] = int64(m.count.Load())
+			out[key+"_sum"] = math.Float64frombits(m.sumBits.Load())
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (one # TYPE header per family, histograms as cumulative
+// name_bucket series plus name_sum / name_count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	for _, m := range r.snapshot() {
+		if !typed[m.name] {
+			typed[m.name] = true
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, int64(m.bits.Load())); err != nil {
+				return err
+			}
+		case KindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, fmtFloat(math.Float64frombits(m.bits.Load()))); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if err := m.writeHistogram(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *metric) writeHistogram(w io.Writer) error {
+	cum := uint64(0)
+	for i := range m.buckets {
+		cum += m.buckets[i].Load()
+		le := "+Inf"
+		if i < len(m.uppers) {
+			le = fmtFloat(m.uppers[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, mergeLabels(m.labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels, fmtFloat(math.Float64frombits(m.sumBits.Load()))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, m.count.Load())
+	return err
+}
+
+// mergeLabels appends one key/value to an already-rendered label set.
+func mergeLabels(labels, key, value string) string {
+	extra := Labels(key, value)
+	if labels == "" {
+		return extra
+	}
+	return labels[:len(labels)-1] + "," + extra[1:]
+}
+
+// fmtFloat renders a float the way Prometheus expects (shortest
+// round-trip decimal; infinities as +Inf/-Inf).
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // monotone: ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+
+	h := r.Histogram("h_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("histogram count = %d, want 4 (NaN dropped)", got)
+	}
+	if got := h.Sum(); got != 55.55 {
+		t.Fatalf("histogram sum = %g, want 55.55", got)
+	}
+}
+
+func TestInterningSharesSlots(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "x", "crac", "0")
+	b := r.Counter("shared_total", "x", "crac", "0")
+	a.Add(3)
+	b.Add(4)
+	if a.Value() != 7 || b.Value() != 7 {
+		t.Fatalf("interned handles diverged: %d vs %d", a.Value(), b.Value())
+	}
+	other := r.Counter("shared_total", "x", "crac", "1")
+	if other.Value() != 0 {
+		t.Fatalf("different label set shared a slot")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("kind mismatch on re-registration did not panic")
+		}
+	}()
+	r.Gauge("shared_total", "x", "crac", "0")
+}
+
+func TestZeroValueHandlesAreNoOps(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("zero-value handles recorded something")
+	}
+	var nilReg *Registry
+	nilReg.Counter("x", "").Inc() // must not panic
+	if s := nilReg.Snapshot(); len(s) != 0 {
+		t.Fatalf("nil registry snapshot = %v", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tapo_lp_pivots_total", "simplex pivots").Add(12)
+	r.Gauge("tapo_plant_power_kw", "plant power", "dc", "a").Set(97.5)
+	h := r.Histogram("tapo_solve_wall_seconds", "ladder wall time", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE tapo_lp_pivots_total counter",
+		"tapo_lp_pivots_total 12",
+		"# TYPE tapo_plant_power_kw gauge",
+		`tapo_plant_power_kw{dc="a"} 97.5`,
+		"# TYPE tapo_solve_wall_seconds histogram",
+		`tapo_solve_wall_seconds_bucket{le="0.01"} 1`,
+		`tapo_solve_wall_seconds_bucket{le="0.1"} 2`,
+		`tapo_solve_wall_seconds_bucket{le="+Inf"} 3`,
+		"tapo_solve_wall_seconds_sum 5.055",
+		"tapo_solve_wall_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("prometheus output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	r.Gauge("g", "").Set(1.25)
+	r.Histogram("h", "", []float64{1}).Observe(3)
+	snap := r.Snapshot()
+	if snap["c_total"] != int64(2) {
+		t.Errorf("snapshot counter = %v", snap["c_total"])
+	}
+	if snap["g"] != 1.25 {
+		t.Errorf("snapshot gauge = %v", snap["g"])
+	}
+	if snap["h_count"] != int64(1) || snap["h_sum"] != 3.0 {
+		t.Errorf("snapshot histogram = %v / %v", snap["h_count"], snap["h_sum"])
+	}
+}
+
+// TestHotPathDoesNotAllocate pins the zero-allocation contract of the
+// metric write path: the warm solvers increment counters on every solve,
+// so a single stray allocation here would break the epoch hot path's
+// 0 allocs/op guarantee.
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2, 4, 8})
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(0.5)
+		h.Observe(3)
+	}); avg != 0 {
+		t.Fatalf("metric writes allocate %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if got := Labels(); got != "" {
+		t.Errorf("Labels() = %q", got)
+	}
+	if got := Labels("a", `x"y\z`); got != `{a="x\"y\\z"}` {
+		t.Errorf("Labels escape = %q", got)
+	}
+	if got := mergeLabels(`{a="1"}`, "le", "+Inf"); got != `{a="1",le="+Inf"}` {
+		t.Errorf("mergeLabels = %q", got)
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// servedRegistry backs the process-wide "tapo_metrics" expvar: expvar
+// names can be published once per process, so the var reads whichever
+// registry was most recently wired into a mux.
+var (
+	servedRegistry atomic.Pointer[Registry]
+	expvarOnce     sync.Once
+)
+
+func publishExpvar(reg *Registry) {
+	servedRegistry.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("tapo_metrics", expvar.Func(func() any {
+			if r := servedRegistry.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Mux builds the diagnostics HTTP mux served by `tapo -serve-metrics`:
+//
+//	/metrics          Prometheus text exposition of reg
+//	/debug/vars       expvar JSON (includes reg as "tapo_metrics")
+//	/debug/pprof/...  net/http/pprof profiles
+func Mux(reg *Registry) *http.ServeMux {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "tapo telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts Mux(reg) on addr in a background goroutine and returns the
+// bound address (useful with ":0") and a closer that stops the server.
+func Serve(addr string, reg *Registry) (boundAddr string, closeFn func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Mux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tapo_test_total", "test counter").Add(7)
+	srv := httptest.NewServer(Mux(reg))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "tapo_test_total 7") {
+		t.Errorf("/metrics = %d, %q", code, body)
+	}
+	if ct := "text/plain; version=0.0.4; charset=utf-8"; true {
+		resp, _ := srv.Client().Get(srv.URL + "/metrics")
+		if got := resp.Header.Get("Content-Type"); got != ct {
+			t.Errorf("/metrics content type = %q, want %q", got, ct)
+		}
+		resp.Body.Close()
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "tapo_metrics") {
+		t.Errorf("/debug/vars = %d, missing tapo_metrics: %q", code, body)
+	}
+
+	code, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	code, _ = get(t, srv, "/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+	code, body = get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d, %q", code, body)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("tapo_up", "").Set(1)
+	addr, closeFn, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET after Serve: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "tapo_up 1") {
+		t.Errorf("served metrics = %q", body)
+	}
+	if err := closeFn(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package telemetry is the observability substrate of the repository: a
+// dependency-free (standard library only) layer that the controller, the
+// three-stage solvers, the simplex core, the scheduler, and the truth
+// plant all report through.
+//
+// It has four parts, bundled by Recorder:
+//
+//   - a metrics Registry of counters, gauges, and fixed-bucket histograms
+//     backed by flat arrays of atomics keyed by interned IDs. Handles are
+//     resolved once at setup; the write path (Counter.Add, Gauge.Set,
+//     Histogram.Observe) is lock-free, allocation-free, and safe for
+//     concurrent writers.
+//   - a span Tracer for the solve pipeline (controller epoch → ladder
+//     rung → three-stage stage → tempsearch candidate → linprog solve)
+//     recording wall time, simplex pivots, and an error kind into a
+//     preallocated ring buffer. A nil *Tracer is the disabled state: every
+//     method is a nil-receiver no-op that never calls time.Now, which
+//     preserves the warm-epoch zero-allocation guarantee of the solvers.
+//   - a JSONL time-series exporter (JSONLWriter) of per-epoch EpochSample
+//     rows — inlet-temperature headroom, power headroom against Pconst,
+//     reward rate, drop/loss counts, LP work counters, ladder rung —
+//     validated by cmd/tscheck against SampleSchema.
+//   - a leveled structured Logger over log/slog whose default plain
+//     handler prints bare messages, byte-identical to the fmt.Fprintf
+//     lines it replaced; -log-json switches the same call sites to
+//     machine-readable output.
+//
+// Everything is nil-safe: a nil *Recorder (and nil components) disables
+// the layer at the cost of one pointer comparison per call site.
+package telemetry
+
+// Recorder bundles the telemetry components one run threads through the
+// solver plumbing. Any field may be nil to disable that component; a nil
+// *Recorder disables everything.
+type Recorder struct {
+	// Metrics is the shared registry counters and gauges resolve against.
+	Metrics *Registry
+	// Trace receives solve-pipeline spans (nil = tracing disabled, the
+	// default; the solvers' hot paths then skip their time.Now calls).
+	Trace *Tracer
+	// Series receives one EpochSample per controller epoch (nil = no
+	// time-series export).
+	Series *JSONLWriter
+	// Log overrides the package default logger for this run (nil = use
+	// Default()).
+	Log *Logger
+}
+
+// NewRecorder returns a Recorder with a fresh metrics registry and
+// tracing, series export, and logging left disabled.
+func NewRecorder() *Recorder {
+	return &Recorder{Metrics: NewRegistry()}
+}
+
+// Registry returns the metrics registry, nil when disabled.
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics
+}
+
+// Tracer returns the span tracer, nil when disabled.
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.Trace
+}
+
+// SeriesSink returns the JSONL exporter, nil when disabled.
+func (r *Recorder) SeriesSink() *JSONLWriter {
+	if r == nil {
+		return nil
+	}
+	return r.Series
+}
+
+// Logger returns the run's logger, falling back to the package default.
+func (r *Recorder) Logger() *Logger {
+	if r == nil || r.Log == nil {
+		return Default()
+	}
+	return r.Log
+}

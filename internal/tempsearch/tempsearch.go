@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"thermaldc/internal/telemetry"
 )
 
 // Objective evaluates one outlet-temperature vector and reports its value
@@ -65,6 +67,11 @@ type Config struct {
 	// GOMAXPROCS, 1 evaluates serially. Results are identical for every
 	// setting.
 	Parallelism int
+	// Trace, when non-nil, records one telemetry.SpanCandidate span per
+	// objective evaluation (label = worker index, Err = 1 for infeasible
+	// candidates). Nil leaves evaluations on the untraced fast path and is
+	// ignored by Validate.
+	Trace *telemetry.Tracer
 }
 
 // DefaultConfig returns the search window used by the experiments:
@@ -283,10 +290,28 @@ func (s *searcher) key(out []float64) string {
 	return string(b)
 }
 
-// obj returns the w-th worker Objective, creating workers lazily.
+// obj returns the w-th worker Objective, creating workers lazily. With
+// tracing configured each worker's Objective is wrapped to record one
+// SpanCandidate span per evaluation; the tracer is internally synchronized,
+// so concurrent workers may share it.
 func (s *searcher) obj(w int) Objective {
 	for len(s.objs) <= w {
-		s.objs = append(s.objs, s.factory())
+		eval := s.factory()
+		if tr := s.cfg.Trace; tr != nil {
+			inner := eval
+			worker := int32(len(s.objs))
+			eval = func(out []float64) (float64, bool) {
+				clk := tr.Begin()
+				v, ok := inner(out)
+				var code int32
+				if !ok {
+					code = 1
+				}
+				tr.End(clk, telemetry.SpanCandidate, worker, 0, code)
+				return v, ok
+			}
+		}
+		s.objs = append(s.objs, eval)
 	}
 	return s.objs[w]
 }

@@ -5,13 +5,19 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"thermaldc/internal/telemetry"
 )
 
 // SaveTasks writes a task stream as JSON, so generated (or traced)
 // workloads can be replayed across runs and tools.
 func SaveTasks(w io.Writer, tasks []Task) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(tasks)
+	if err := enc.Encode(tasks); err != nil {
+		return err
+	}
+	telemetry.Default().Debug("workload: saved tasks", "tasks", len(tasks))
+	return nil
 }
 
 // LoadTasks reads a task stream written by SaveTasks, re-sorts it by
@@ -39,5 +45,6 @@ func LoadTasks(r io.Reader) ([]Task, error) {
 		}
 	}
 	sort.Slice(tasks, func(a, b int) bool { return tasks[a].Arrival < tasks[b].Arrival })
+	telemetry.Default().Debug("workload: loaded tasks", "tasks", len(tasks))
 	return tasks, nil
 }
