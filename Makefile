@@ -20,16 +20,20 @@ race:
 	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/sched/ ./internal/controller/ ./internal/faults/ ./internal/telemetry/
 
 # Pre-merge gate (see README): formatting, vet, build, full race suite,
-# a short fuzz smoke on the workload parser, the simplex performance
-# gate, and a short instrumented degraded run whose exported time series
-# must pass cmd/tscheck's schema validation.
+# the full revised-vs-tableau differential sweep (600 seeded LPs, behind
+# the slow tag), short fuzz smokes on the workload parser and the LU
+# factorizer, the simplex performance gate, and a short instrumented
+# degraded run whose exported time series must pass cmd/tscheck's schema
+# validation.
 ci:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -tags slow -run TestDifferentialFull ./internal/linprog
 	$(GO) test -run '^$$' -fuzz FuzzLoadTasks -fuzztime 10s ./internal/workload
+	$(GO) test -run '^$$' -fuzz FuzzFactorLU -fuzztime 10s ./internal/linalg
 	$(MAKE) bench-compare BENCHTIME=1x
 	$(GO) run ./cmd/tapo degraded -trials 1 -nodes 10 -cracs 2 -horizon 30 \
 		-faults 0:0,2:1 -metrics-out /tmp/tapo-ci-metrics.jsonl > /dev/null

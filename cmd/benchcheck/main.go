@@ -2,11 +2,15 @@
 // `make bench-compare`. It parses `go test -bench` output (plain text or the
 // -json stream) and exits non-zero when either invariant is broken:
 //
-//   - warm-resolve-allocs and warm-resolve-allocs-metrics must report
-//     exactly 0 allocs/op (the warm Stage-1 scratch path has a
-//     zero-allocation contract, with and without live metrics), and
+//   - warm-resolve-allocs, warm-resolve-allocs-metrics and
+//     warm-dual-resolve must report exactly 0 allocs/op (the warm Stage-1
+//     scratch path has a zero-allocation contract, with and without live
+//     metrics, and the dual warm-started re-solve inherits it),
 //   - solver-serial (the flat incremental solver) must not be slower than
-//     legacy-rebuild (per-candidate tableau reconstruction).
+//     legacy-rebuild (per-candidate tableau reconstruction), and
+//   - warm-dual-resolve must spend strictly fewer pivots/op than
+//     cold-dual-resolve (the dual warm start must beat re-solving the
+//     power-cap step from scratch).
 //
 // Usage: benchcheck [-tolerance f] [file]
 // With no file, it reads stdin. The tolerance (default 1.05) allows
@@ -26,13 +30,18 @@ import (
 	"strings"
 )
 
-// benchLine matches a benchmark result row, with the optional -benchmem
-// tail. The -NN GOMAXPROCS suffix is folded into the name.
+// benchLine matches a benchmark result row: the ns/op column, an optional
+// custom pivots/op metric, and the optional -benchmem tail. The -NN
+// GOMAXPROCS suffix is folded into the name.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op` +
+		`(?:\s+([0-9.]+) pivots/op)?` +
+		`(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 type result struct {
 	nsPerOp     float64
+	pivotsPerOp float64
+	hasPivots   bool
 	allocsPerOp float64
 	hasAllocs   bool
 }
@@ -114,8 +123,12 @@ func parse(in io.Reader) (map[string]result, error) {
 		}
 		var r result
 		r.nsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[5] != "" {
-			r.allocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		if m[4] != "" {
+			r.pivotsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			r.hasPivots = true
+		}
+		if m[6] != "" {
+			r.allocsPerOp, _ = strconv.ParseFloat(m[6], 64)
 			r.hasAllocs = true
 		}
 		results[trimProcs(m[1])] = r
@@ -134,10 +147,12 @@ func check(results map[string]result, tolerance float64) []string {
 		serial      = "BenchmarkThreeStagePaperScale/solver-serial"
 		warm        = "BenchmarkThreeStagePaperScale/warm-resolve-allocs"
 		warmMetrics = "BenchmarkThreeStagePaperScale/warm-resolve-allocs-metrics"
+		warmDual    = "BenchmarkThreeStagePaperScale/warm-dual-resolve"
+		coldDual    = "BenchmarkThreeStagePaperScale/cold-dual-resolve"
 	)
 	var failures []string
 
-	for _, name := range []string{warm, warmMetrics} {
+	for _, name := range []string{warm, warmMetrics, warmDual} {
 		w, ok := results[name]
 		switch {
 		case !ok:
@@ -163,6 +178,25 @@ func check(results map[string]result, tolerance float64) []string {
 		failures = append(failures, fmt.Sprintf(
 			"%s at %.0f ns/op is slower than %s at %.0f ns/op (×%.2f, tolerance ×%.2f)",
 			serial, s.nsPerOp, legacy, l.nsPerOp, s.nsPerOp/l.nsPerOp, tolerance))
+	}
+
+	wd, okW := results[warmDual]
+	cd, okC := results[coldDual]
+	if !okW {
+		failures = append(failures, warmDual+" missing from benchmark output")
+	}
+	if !okC {
+		failures = append(failures, coldDual+" missing from benchmark output")
+	}
+	if okW && okC {
+		switch {
+		case !wd.hasPivots || !cd.hasPivots:
+			failures = append(failures, "dual-resolve benchmarks report no pivots/op metric")
+		case wd.pivotsPerOp >= cd.pivotsPerOp:
+			failures = append(failures, fmt.Sprintf(
+				"%s at %g pivots/op does not beat %s at %g pivots/op (dual warm start lost its edge)",
+				warmDual, wd.pivotsPerOp, coldDual, cd.pivotsPerOp))
+		}
 	}
 	return failures
 }

@@ -48,24 +48,33 @@ var (
 	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	lpPricing    = flag.String("lp-pricing", "dantzig", "simplex pricing rule for the Stage-1 LPs: dantzig|devex")
+	lpMethod     = flag.String("lp-method", "tableau", "simplex core for the assignment LPs: tableau|revised")
+	lpWarm       = flag.Bool("lp-warm", false, "retain optimal bases and dual warm-start epoch re-solves (revised core only)")
 	logLevel     = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	logJSON      = flag.Bool("log-json", false, "emit logs as JSON lines instead of plain text")
 	serveMetrics = flag.String("serve-metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090) for the duration of the run")
 )
 
-// pricing is the parsed -lp-pricing value, applied to every assign.Options
-// a subcommand builds.
-var pricing linprog.Pricing
+// pricing and method are the parsed -lp-pricing / -lp-method values,
+// applied to every assign.Options a subcommand builds.
+var (
+	pricing linprog.Pricing
+	method  linprog.Method
+)
 
 // recorder is the process-wide telemetry recorder, non-nil only when
 // -serve-metrics is given (subcommands with their own sinks, like
 // degraded -metrics-out, reuse it when present so one registry backs both).
 var recorder *telemetry.Recorder
 
-// tunePricing applies the -lp-pricing selection (and, when -serve-metrics
-// is on, the process recorder) to a subcommand's options.
+// tunePricing applies the -lp-pricing / -lp-method / -lp-warm selections
+// (and, when -serve-metrics is on, the process recorder) to a subcommand's
+// options. The defaults leave the options untouched, so default CLI output
+// is byte-identical to builds without these flags.
 func tunePricing(opts *assign.Options) {
 	opts.Pricing = pricing
+	opts.Method = method
+	opts.WarmStart = *lpWarm
 	opts.Recorder = recorder
 }
 
@@ -106,6 +115,19 @@ func run() int {
 		pricing = linprog.PricingDevex
 	default:
 		fmt.Fprintf(os.Stderr, "tapo: unknown -lp-pricing %q (want dantzig or devex)\n", *lpPricing)
+		return 2
+	}
+	switch *lpMethod {
+	case "tableau":
+		method = linprog.MethodTableau
+	case "revised":
+		method = linprog.MethodRevised
+	default:
+		fmt.Fprintf(os.Stderr, "tapo: unknown -lp-method %q (want tableau or revised)\n", *lpMethod)
+		return 2
+	}
+	if *lpWarm && method != linprog.MethodRevised {
+		fmt.Fprintln(os.Stderr, "tapo: -lp-warm requires -lp-method revised")
 		return 2
 	}
 	lvl, lvlErr := telemetry.ParseLevel(*logLevel)

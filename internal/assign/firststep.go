@@ -49,6 +49,16 @@ type Options struct {
 	// Pricing selects the simplex pricing rule for every Stage-1 LP
 	// (PricingDantzig, the zero value, reproduces the golden outputs).
 	Pricing linprog.Pricing
+	// Method selects the simplex core for every LP in the pipeline
+	// (linprog.MethodTableau, the zero value, reproduces the golden
+	// outputs; linprog.MethodRevised enables the LU-factorized core).
+	Method linprog.Method
+	// WarmStart enables dual-simplex warm starts on the Stage-1 solvers
+	// (effective under MethodRevised only): epoch re-solves that change
+	// only right-hand sides — a moved power cap at fixed outlets — restart
+	// from the previous optimal basis instead of solving cold. Results are
+	// identical either way; only the pivot count drops.
+	WarmStart bool
 	// Recorder, when non-nil, wires the whole pipeline to a telemetry
 	// recorder: per-stage and per-LP spans go to its tracer (if tracing is
 	// enabled), solve counters to its metrics registry. Nil — the default —
@@ -112,10 +122,13 @@ type ThreeStageSolver struct {
 	arrs []*pwl.Func
 	base *Stage1Solver
 
-	// workers caches the per-search-worker Stage-1 solvers (workers[0] is
-	// base) so repeat Solve calls keep every worker's simplex workspace warm
-	// instead of re-cloning per epoch; next indexes the handout within one
-	// search.
+	// workers caches the per-search-worker Stage-1 solvers so repeat Solve
+	// calls keep every worker's simplex workspace warm instead of
+	// re-cloning per epoch; next indexes the handout within one search.
+	// Without warm starts, workers[0] is base; with Options.WarmStart,
+	// base is dedicated to the per-epoch final solve (its retained basis
+	// signature must survive the search, whose candidates would clobber
+	// it) and every worker is a clone.
 	workers []*Stage1Solver
 	next    int
 
@@ -146,7 +159,10 @@ func NewThreeStageSolver(dc *model.DataCenter, tm *thermal.Model, opts Options) 
 	}
 	base := NewStage1Solver(dc, tm, arrs)
 	base.SetPricing(opts.Pricing)
+	base.SetMethod(opts.Method)
+	base.SetWarmStart(opts.WarmStart)
 	stage3 := NewStage3Solver(dc)
+	stage3.SetMethod(opts.Method)
 	if opts.Recorder != nil {
 		base.SetRecorder(opts.Recorder)
 		stage3.SetRecorder(opts.Recorder)
@@ -174,11 +190,11 @@ func (s *ThreeStageSolver) Stage1Warm() *Stage1Solver { return s.base }
 // reset to zero, so each call reports activity since the previous one.
 func (s *ThreeStageSolver) TakeLPStats() linprog.Stats {
 	var total linprog.Stats
-	if len(s.workers) == 0 {
-		total.Add(s.base.TakeStats())
-	}
+	total.Add(s.base.TakeStats())
 	for _, w := range s.workers {
-		total.Add(w.TakeStats())
+		if w != s.base {
+			total.Add(w.TakeStats())
+		}
 	}
 	total.Add(s.stage3.TakeStats())
 	return total
@@ -194,8 +210,12 @@ func (s *ThreeStageSolver) worker() *Stage1Solver {
 		return w
 	}
 	w := s.base
-	if len(s.workers) > 0 {
+	if len(s.workers) > 0 || s.opts.WarmStart {
 		w = s.base.Clone()
+		// Search candidates step the CRAC outlets on every evaluation, so
+		// the power-row coefficients never repeat and a warm attempt could
+		// only reject; keep search clones cold.
+		w.SetWarmStart(false)
 	}
 	s.workers = append(s.workers, w)
 	s.next++
@@ -218,10 +238,12 @@ func (s *ThreeStageSolver) SolveContext(ctx context.Context) (*ThreeStageResult,
 	tr := s.rec.Tracer()
 	s.next = 0
 	factory := func() tempsearch.Objective {
-		// The first worker gets the base solver; later workers get cached
-		// clones (cloned once, reused every epoch). Searches call the factory
-		// from a single goroutine, and all workers finish before the search
-		// returns, so reusing base afterwards for the final solve is safe.
+		// Without warm starts the first worker gets the base solver; later
+		// workers (and all workers under WarmStart — see worker) get cached
+		// clones, cloned once and reused every epoch. Searches call the
+		// factory from a single goroutine, and all workers finish before the
+		// search returns, so reusing base afterwards for the final solve is
+		// safe.
 		solver := s.worker()
 		return func(cracOut []float64) (float64, bool) {
 			// The scratch solve is bit-identical to SolveContext and

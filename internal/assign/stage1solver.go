@@ -136,6 +136,8 @@ func NewStage1Solver(dc *model.DataCenter, tm *thermal.Model, arrs []*pwl.Func) 
 func (s *Stage1Solver) Clone() *Stage1Solver {
 	c := NewStage1Solver(s.dc, s.tm, s.arrs)
 	c.p.Pricing = s.p.Pricing
+	c.p.Method = s.p.Method
+	c.p.WarmStart = s.p.WarmStart
 	c.ws.Trace = s.ws.Trace
 	c.mSolves, c.mInfeas = s.mSolves, s.mInfeas
 	return c
@@ -156,6 +158,18 @@ func (s *Stage1Solver) SetRecorder(rec *telemetry.Recorder) {
 // SetPricing selects the simplex pricing rule for this solver's LP (the
 // default Dantzig rule is bit-reproducible; devex trades that for speed).
 func (s *Stage1Solver) SetPricing(pr linprog.Pricing) { s.p.Pricing = pr }
+
+// SetMethod selects the simplex core for this solver's LP (MethodTableau,
+// the zero value, reproduces the golden outputs; MethodRevised enables the
+// LU-factorized core and is required for warm starts).
+func (s *Stage1Solver) SetMethod(m linprog.Method) { s.p.Method = m }
+
+// SetWarmStart toggles dual-simplex warm starts between solves (effective
+// under MethodRevised only). Warm starts engage when consecutive solves
+// differ only in right-hand sides — the power-cap-only epoch re-solve —
+// and fall back to a cold solve otherwise, so results never change; see
+// linprog.Problem.WarmStart.
+func (s *Stage1Solver) SetWarmStart(on bool) { s.p.WarmStart = on }
 
 // TakeStats returns the accumulated simplex work counters and resets them,
 // giving callers per-epoch deltas.

@@ -1,0 +1,117 @@
+package controller_test
+
+import (
+	"math"
+	"testing"
+
+	"thermaldc/internal/controller"
+	"thermaldc/internal/faults"
+	"thermaldc/internal/linprog"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/workload"
+)
+
+// capStepSchedule tightens the power cap in small steps. Small steps keep
+// the searched CRAC outlet optimum on the same lattice point across most
+// epochs, so the base Stage-1 solver's epoch re-solves patch only
+// right-hand sides and the dual warm start engages; a big step moves the
+// outlets, changes the power-row coefficients, and correctly falls back
+// cold.
+func capStepSchedule(horizon float64) faults.Schedule {
+	s := faults.Schedule{Events: []faults.Event{
+		{Time: 0.15 * horizon, Kind: faults.PowerCap, Magnitude: 0.97},
+		{Time: 0.35 * horizon, Kind: faults.PowerCap, Magnitude: 0.94},
+		{Time: 0.55 * horizon, Kind: faults.PowerCap, Magnitude: 0.91},
+		{Time: 0.75 * horizon, Kind: faults.PowerCap, Magnitude: 0.88},
+	}}
+	s.Sort()
+	return s
+}
+
+// TestClosedLoopWarmStartRegression runs the same power-cap-step fault
+// schedule twice under the revised simplex core — warm starts on and off —
+// and holds the warm run to two promises:
+//
+//  1. Exactness: every shipped plan (P-states, CRAC outlets) and the
+//     reward accounting are bit-identical to the cold run. A warm start
+//     either replays the retained basis to the same optimum or rejects to
+//     the cold path; it never changes the answer.
+//  2. Work: the warm run engages (WarmHits > 0, with real dual pivots) and
+//     pays strictly fewer total pivots, never more in any single epoch.
+//
+// The scenario seed is chosen so the Stage-1 optima along the schedule are
+// unique (degenerate ties can make warm and cold stop at different
+// equally-optimal vertices, which would break bit-identity without being a
+// bug) and so the searched outlets survive several cap steps.
+func TestClosedLoopWarmStartRegression(t *testing.T) {
+	const horizon = 40.0
+	sc := buildScenario(t, 3, 12)
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(31))
+	schedule := capStepSchedule(horizon)
+
+	run := func(warm bool) *controller.Result {
+		cfg := controller.DefaultConfig(horizon, 10)
+		cfg.Assign.Search.Parallelism = 1
+		cfg.Assign.Method = linprog.MethodRevised
+		cfg.Assign.WarmStart = warm
+		res, err := controller.Run(sc.DC, schedule, tasks, cfg)
+		if err != nil {
+			t.Fatalf("warm=%v: %v", warm, err)
+		}
+		return res
+	}
+	w, c := run(true), run(false)
+
+	if math.Float64bits(w.TotalReward) != math.Float64bits(c.TotalReward) {
+		t.Errorf("total reward %.17g (warm) != %.17g (cold)", w.TotalReward, c.TotalReward)
+	}
+	if len(w.Epochs) != len(c.Epochs) {
+		t.Fatalf("epoch count %d (warm) != %d (cold)", len(w.Epochs), len(c.Epochs))
+	}
+	for i := range w.Epochs {
+		we, ce := &w.Epochs[i], &c.Epochs[i]
+		if math.Float64bits(we.Reward) != math.Float64bits(ce.Reward) {
+			t.Errorf("epoch %d: reward differs warm vs cold", i)
+		}
+		for k := range ce.Plan.PStates {
+			if we.Plan.PStates[k] != ce.Plan.PStates[k] {
+				t.Errorf("epoch %d: PStates differ at core %d", i, k)
+				break
+			}
+		}
+		for k := range ce.Plan.Stage1.CracOut {
+			if we.Plan.Stage1.CracOut[k] != ce.Plan.Stage1.CracOut[k] {
+				t.Errorf("epoch %d: CracOut %v (warm) != %v (cold)",
+					i, we.Plan.Stage1.CracOut, ce.Plan.Stage1.CracOut)
+				break
+			}
+		}
+		if we.LP.Pivots > ce.LP.Pivots {
+			t.Errorf("epoch %d: warm run spent %d pivots, cold %d — warm must never cost extra",
+				i, we.LP.Pivots, ce.LP.Pivots)
+		}
+	}
+
+	if w.LP.WarmHits == 0 {
+		t.Fatalf("no warm hits across the cap schedule (attempts %d, rejects %d)",
+			w.LP.WarmAttempts, w.LP.WarmRejects)
+	}
+	if w.LP.DualPivots == 0 {
+		t.Error("warm hits did no dual pivots: cap steps never moved the basis, test is vacuous")
+	}
+	if w.LP.Pivots >= c.LP.Pivots {
+		t.Errorf("warm run total pivots %d >= cold %d", w.LP.Pivots, c.LP.Pivots)
+	}
+	if c.LP.WarmAttempts != 0 {
+		t.Errorf("cold run made %d warm attempts, want 0", c.LP.WarmAttempts)
+	}
+	lower := 0
+	for i := range w.Epochs {
+		if w.Epochs[i].LP.Pivots < c.Epochs[i].LP.Pivots {
+			lower++
+		}
+	}
+	if lower < 2 {
+		t.Errorf("only %d epochs re-solved with fewer pivots than cold, want >= 2", lower)
+	}
+}

@@ -250,3 +250,143 @@ func BenchmarkLUFactorSolve153(b *testing.B) {
 		}
 	}
 }
+
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(12) + 1
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		f, err := FactorLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		if err := f.SolveInto(got, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: SolveInto[%d] = %g, Solve = %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveIntoRejectsAliasAndBadLengths(t *testing.T) {
+	f, err := FactorLU(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3}
+	if err := f.SolveInto(b, b); err == nil {
+		t.Fatal("SolveInto accepted aliased dst")
+	}
+	if err := f.SolveInto(make([]float64, 2), b); err == nil {
+		t.Fatal("SolveInto accepted short dst")
+	}
+	if err := f.SolveInto(make([]float64, 3), b[:2]); err == nil {
+		t.Fatal("SolveInto accepted short b")
+	}
+}
+
+func TestSolveTransposeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(12) + 1
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		f, err := FactorLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		if err := f.SolveTransposeInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+		// Check Aᵀ·x = b.
+		got := a.Transpose().MulVec(x)
+		for i := range b {
+			if math.Abs(got[i]-b[i]) > 1e-8 {
+				t.Fatalf("trial %d n=%d: Aᵀx = %v, want %v", trial, n, got, b)
+			}
+		}
+		// dst may alias b: rerun in place and compare.
+		inPlace := append([]float64(nil), b...)
+		if err := f.SolveTransposeInto(inPlace, inPlace); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if inPlace[i] != x[i] {
+				t.Fatalf("trial %d: aliased transpose solve diverged at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestFactorReuseMatchesFactorLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var f LU
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(10) + 1
+		a := randomDiagDominant(rng, n)
+		if err := f.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := FactorLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.lu.Data {
+			if f.lu.Data[i] != ref.lu.Data[i] {
+				t.Fatalf("trial %d: reused Factor diverged from FactorLU at %d", trial, i)
+			}
+		}
+		for i := range ref.piv {
+			if f.piv[i] != ref.piv[i] {
+				t.Fatalf("trial %d: pivot permutation diverged at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestFactorSolveIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDiagDominant(rng, 16)
+	b := make([]float64, 16)
+	x := make([]float64, 16)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	var f LU
+	if err := f.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SolveTransposeInto(x, b); err != nil {
+		t.Fatal(err) // warm tmp scratch
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SolveInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SolveTransposeInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Factor+SolveInto+SolveTransposeInto allocates %v per run, want 0", allocs)
+	}
+}

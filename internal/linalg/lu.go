@@ -11,22 +11,41 @@ import (
 var ErrSingular = errors.New("linalg: matrix is singular")
 
 // LU holds an LU factorization with partial pivoting: P·A = L·U, stored
-// compactly in lu with the permutation in piv.
+// compactly in lu with the permutation in piv. The zero value is ready for
+// Factor, which reuses the receiver's buffers across refactorizations — the
+// pattern the revised simplex leans on to keep its refresh cadence
+// allocation-free after warm-up.
 type LU struct {
 	n   int
 	lu  *Matrix
 	piv []int
+	tmp []float64 // scratch for the transpose solve's permuted intermediate
 }
 
-// FactorLU computes the LU factorization of the square matrix a with
-// partial pivoting. The input matrix is not modified.
-func FactorLU(a *Matrix) (*LU, error) {
+// Factor (re)computes the LU factorization of the square matrix a with
+// partial pivoting, reusing the receiver's buffers when their capacity
+// allows. The input matrix is not modified. On error the receiver must not
+// be used for solves until a later Factor succeeds. The elimination is
+// bit-identical to FactorLU's.
+func (f *LU) Factor(a *Matrix) error {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: FactorLU needs a square matrix, got %dx%d", a.Rows, a.Cols)
+		return fmt.Errorf("linalg: Factor needs a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	if f.lu == nil || cap(f.lu.Data) < n*n {
+		f.lu = &Matrix{Rows: n, Cols: n, Data: make([]float64, n*n)}
+	} else {
+		f.lu.Rows, f.lu.Cols = n, n
+		f.lu.Data = f.lu.Data[:n*n]
+	}
+	copy(f.lu.Data, a.Data[:n*n])
+	if cap(f.piv) >= n {
+		f.piv = f.piv[:n]
+	} else {
+		f.piv = make([]int, n)
+	}
+	f.n = n
+	lu, piv := f.lu, f.piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -40,7 +59,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 		if maxAbs == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rk, rp := lu.Row(k), lu.Row(p)
@@ -62,7 +81,96 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{n: n, lu: lu, piv: piv}, nil
+	return nil
+}
+
+// FactorLU computes the LU factorization of the square matrix a with
+// partial pivoting. The input matrix is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	f := &LU{}
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// SolveInto solves A·x = b into dst without allocating. dst must have
+// length n and must not alias b (the permutation pass reads b after dst has
+// been partially written).
+func (f *LU) SolveInto(dst, b []float64) error {
+	if len(b) != f.n || len(dst) != f.n {
+		return fmt.Errorf("linalg: SolveInto length mismatch: dst %d, b %d, want %d", len(dst), len(b), f.n)
+	}
+	if f.n > 0 && &dst[0] == &b[0] {
+		return errors.New("linalg: SolveInto dst must not alias b")
+	}
+	// Apply the permutation, then forward-substitute L (unit diagonal).
+	for i := 0; i < f.n; i++ {
+		dst[i] = b[f.piv[i]]
+	}
+	for i := 0; i < f.n; i++ {
+		row := f.lu.Row(i)
+		s := dst[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * dst[j]
+		}
+		dst[i] = s
+	}
+	// Back-substitute U.
+	for i := f.n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := dst[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= row[j] * dst[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return ErrSingular
+		}
+		dst[i] = s / d
+	}
+	return nil
+}
+
+// SolveTransposeInto solves Aᵀ·x = b into dst without allocating (beyond a
+// once-grown internal scratch). With P·A = L·U this is Uᵀ·Lᵀ·P·x = b:
+// forward-substitute Uᵀ, back-substitute Lᵀ, then undo the permutation.
+// dst may alias b. The revised simplex uses this as BTRAN.
+func (f *LU) SolveTransposeInto(dst, b []float64) error {
+	if len(b) != f.n || len(dst) != f.n {
+		return fmt.Errorf("linalg: SolveTransposeInto length mismatch: dst %d, b %d, want %d", len(dst), len(b), f.n)
+	}
+	if cap(f.tmp) >= f.n {
+		f.tmp = f.tmp[:f.n]
+	} else {
+		f.tmp = make([]float64, f.n)
+	}
+	w := f.tmp
+	// Uᵀ·z = b: Uᵀ is lower triangular with U's diagonal.
+	for i := 0; i < f.n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(j, i) * w[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return ErrSingular
+		}
+		w[i] = s / d
+	}
+	// Lᵀ·w = z: Lᵀ is unit upper triangular.
+	for i := f.n - 1; i >= 0; i-- {
+		s := w[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.lu.At(j, i) * w[j]
+		}
+		w[i] = s
+	}
+	// P·x = w ⇒ x[piv[i]] = w[i].
+	for i := 0; i < f.n; i++ {
+		dst[f.piv[i]] = w[i]
+	}
+	return nil
 }
 
 // Solve solves A·x = b for x using the factorization.
@@ -71,30 +179,8 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: Solve length mismatch: %d want %d", len(b), f.n)
 	}
 	x := make([]float64, f.n)
-	// Apply the permutation, then forward-substitute L (unit diagonal).
-	for i := 0; i < f.n; i++ {
-		x[i] = b[f.piv[i]]
-	}
-	for i := 0; i < f.n; i++ {
-		row := f.lu.Row(i)
-		s := x[i]
-		for j := 0; j < i; j++ {
-			s -= row[j] * x[j]
-		}
-		x[i] = s
-	}
-	// Back-substitute U.
-	for i := f.n - 1; i >= 0; i-- {
-		row := f.lu.Row(i)
-		s := x[i]
-		for j := i + 1; j < f.n; j++ {
-			s -= row[j] * x[j]
-		}
-		d := row[i]
-		if d == 0 {
-			return nil, ErrSingular
-		}
-		x[i] = s / d
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
 	}
 	return x, nil
 }
@@ -106,12 +192,12 @@ func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
 	}
 	out := NewMatrix(f.n, b.Cols)
 	col := make([]float64, f.n)
+	x := make([]float64, f.n)
 	for c := 0; c < b.Cols; c++ {
 		for r := 0; r < f.n; r++ {
 			col[r] = b.At(r, c)
 		}
-		x, err := f.Solve(col)
-		if err != nil {
+		if err := f.SolveInto(x, col); err != nil {
 			return nil, err
 		}
 		for r := 0; r < f.n; r++ {

@@ -1,0 +1,13 @@
+//go:build slow
+
+package linprog
+
+import "testing"
+
+// TestDifferentialFull is the full tableau-vs-revised differential sweep —
+// 600 seeded random LPs across every row/bound shape the generator emits.
+// It runs in CI behind -tags slow; TestDifferentialShort covers the first
+// 80 seeds on every plain `go test`.
+func TestDifferentialFull(t *testing.T) {
+	differentialSweep(t, 600)
+}

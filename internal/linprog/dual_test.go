@@ -98,3 +98,128 @@ func TestDualNonBindingRowIsZero(t *testing.T) {
 		t.Errorf("non-binding dual = %g, want 0", sol.Dual(0))
 	}
 }
+
+// checkDualCertificate audits sol's duals as an optimality certificate for
+// p: dual sign conventions per row operator, complementary slackness (a
+// row with a nonzero dual must be binding), and strong duality — the
+// Lagrangian bound g(y) = Σ_i y_i·β_i + Σ_j d_j·(active bound of j) must
+// reproduce the primal objective. β_i is the row's rhs (for a range row,
+// the side the activity sits on, which complementary slackness pins when
+// y_i ≠ 0). Reduced costs d_j = c_j − Σ_i y_i·a_ij are recomputed from
+// the original problem data, independent of either solver core.
+func checkDualCertificate(t *testing.T, tag string, p *Problem, sol *Solution) {
+	t.Helper()
+	m, n := p.NumRows(), p.NumVars()
+	maxMag := 1 + math.Abs(sol.Objective)
+
+	// Row activities and per-row dual contributions.
+	act := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for _, tm := range p.rows[i].terms {
+			act[i] += tm.Coef * sol.Value(tm.Var)
+		}
+		if a := math.Abs(sol.Dual(i) * act[i]); a > maxMag {
+			maxMag = a
+		}
+	}
+	tol := 1e-6 * maxMag
+
+	// Sign conventions: the dual is ∂z*/∂rhs in the user's sense, so for
+	// Minimize a ≤ row can only help (y ≤ 0) and a ≥ row can only cost
+	// (y ≥ 0); Maximize flips both. Equality and range rows are free.
+	g := 0.0
+	for i := 0; i < m; i++ {
+		y := sol.Dual(i)
+		r := &p.rows[i]
+		if !r.isRange {
+			switch {
+			case r.op == LE && p.sense == Minimize && y > tol:
+				t.Fatalf("%s: row %d (≤, minimize) has dual %g > 0", tag, i, y)
+			case r.op == LE && p.sense == Maximize && y < -tol:
+				t.Fatalf("%s: row %d (≤, maximize) has dual %g < 0", tag, i, y)
+			case r.op == GE && p.sense == Minimize && y < -tol:
+				t.Fatalf("%s: row %d (≥, minimize) has dual %g < 0", tag, i, y)
+			case r.op == GE && p.sense == Maximize && y > tol:
+				t.Fatalf("%s: row %d (≥, maximize) has dual %g > 0", tag, i, y)
+			}
+		}
+		if math.Abs(y) > tol {
+			// Complementary slackness: a priced row must be binding.
+			lo, hi := r.rhs, r.rhs
+			if r.isRange {
+				lo = r.rangeLo
+			}
+			if act[i] > lo-tol && act[i] < hi+tol &&
+				math.Abs(act[i]-lo) > tol && math.Abs(act[i]-hi) > tol {
+				t.Fatalf("%s: row %d has dual %g but slack activity %g in (%g, %g)",
+					tag, i, y, act[i], lo, hi)
+			}
+		}
+		if r.isRange {
+			g += y * act[i] // binding side when y ≠ 0; slack rows add y≈0 noise
+		} else {
+			g += y * r.rhs
+		}
+	}
+
+	// Variable part: each reduced cost pushes its variable to a bound, and
+	// that bound's contribution closes the duality gap.
+	for j := 0; j < n; j++ {
+		d := p.cost[j]
+		for i := 0; i < m; i++ {
+			for _, tm := range p.rows[i].terms {
+				if tm.Var == j {
+					d -= sol.Dual(i) * tm.Coef
+				}
+			}
+		}
+		if math.Abs(d) <= tol {
+			continue
+		}
+		// Which bound the sign of d pins the variable to, in the user sense:
+		// minimize wants x_j low when d > 0; maximize wants it high.
+		atLo := d > 0
+		if p.sense == Maximize {
+			atLo = !atLo
+		}
+		b := p.lo[j]
+		if !atLo {
+			b = p.hi[j]
+		}
+		if math.IsInf(b, 0) {
+			t.Fatalf("%s: var %d has reduced cost %g against an infinite bound (dual infeasible)", tag, j, d)
+		}
+		if math.Abs(sol.Value(j)-b) > tol {
+			t.Fatalf("%s: var %d has reduced cost %g but sits at %g, not bound %g",
+				tag, j, d, sol.Value(j), b)
+		}
+		g += d * b
+	}
+	if math.Abs(g-sol.Objective) > 1e-5*maxMag {
+		t.Fatalf("%s: strong duality gap: dual bound %v, primal objective %v (tol %g)",
+			tag, g, sol.Objective, 1e-5*maxMag)
+	}
+}
+
+// TestDualStrongDualityProperty runs the dual certificate audit over the
+// seeded random-LP population, for both solver cores: every Optimal
+// solution's duals must satisfy sign conventions, complementary
+// slackness, and strong duality against the original problem data.
+func TestDualStrongDualityProperty(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 250; seed++ {
+		for _, method := range []Method{MethodTableau, MethodRevised} {
+			p := randomLP(seed)
+			p.Method = method
+			sol, err := p.Solve()
+			if err != nil || sol.Status != Optimal {
+				continue
+			}
+			checked++
+			checkDualCertificate(t, method.String(), p, sol)
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d optimal instances audited — generator drifted", checked)
+	}
+}

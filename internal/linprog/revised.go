@@ -1,0 +1,1383 @@
+package linprog
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"thermaldc/internal/linalg"
+)
+
+const (
+	// refactorEvery bounds the eta file: after this many basis changes the
+	// basis matrix is refactorized from scratch and the etas discarded,
+	// trading one O(m³) factorization for shorter FTRAN/BTRAN chains and a
+	// fresh numerical footing.
+	refactorEvery = 64
+	// dualFeasTol is the reduced-cost slack a retained basis may show and
+	// still be accepted as dual-feasible by the warm-start path. Wider than
+	// tolReduced because the retained basis is refactorized from scratch,
+	// so its reduced costs carry one fresh round of factorization noise.
+	dualFeasTol = 1e-7
+)
+
+// revisedState is the mutable state of one MethodRevised solve.
+//
+// Where the tableau core updates an m×n dense tableau per pivot, the
+// revised core keeps the problem columns static in CSC form and represents
+// B⁻¹ implicitly: an LU factorization of a reference basis plus a
+// product-form eta file of the pivots since. FTRAN (B⁻¹·v) is an LU solve
+// followed by the etas oldest-first; BTRAN (B⁻ᵀ·v) applies the eta
+// transposes newest-first and finishes with an LU transpose solve. The
+// reduced-cost row d, the pricing machinery (Dantzig scan / devex candidate
+// lists), the ratio test, and the degeneracy/Bland discipline all mirror
+// the tableau core so the two agree on status and objective; the pivot
+// SEQUENCE may differ (α columns carry factorization round-off instead of
+// tableau round-off), which is why the revised core is opt-in and the
+// tableau core keeps the goldens.
+type revisedState struct {
+	m, n    int // rows, total columns (structural + slack + artificial)
+	nStruct int
+	nCols   int // structural + slack; artificials start here
+	nArt    int
+
+	// Problem columns in compressed sparse column form, including slack
+	// and artificial unit columns. Static for the whole solve.
+	colPtr []int32
+	colIdx []int32
+	colVal []float64
+
+	rhs     []float64
+	lo, hi  []float64
+	status  []varStatus
+	basis   []int
+	xB      []float64
+	cost    []float64
+	d       []float64
+	psign   []float64
+	hasFree bool
+	nbv     []float64 // build-time nonbasic values (residual scans)
+
+	lu   *linalg.LU     // factorization of the reference basis B₀
+	bmat *linalg.Matrix // dense scratch the basis is assembled into
+
+	// Product-form eta file: eta k replaced basis position etaRow[k] with
+	// the column whose FTRAN image is etaVal[k·m : (k+1)·m].
+	etaRow []int32
+	etaVal []float64
+	nEta   int
+
+	w      []float64 // FTRAN image of the entering column
+	rho    []float64 // BTRAN image (row of B⁻ᵀ, or y)
+	cb     []float64 // basic-cost gather
+	rhsEff []float64 // rhs − N·x_N scratch
+	tmpm   []float64 // column gather / canonical-x_B scratch
+	alpha  []float64 // pivot row α_rj over all columns
+
+	pricing   Pricing
+	weight    []float64
+	cand      []int32
+	candN     int
+	candStart int
+
+	iters, maxIter     int
+	bland, forceBland  bool
+	degen, maxDegenRun int
+	dFresh             bool
+
+	ctx   context.Context
+	stats *Stats
+}
+
+// solveOnceRevised is solveOnce for MethodRevised: an optional dual-simplex
+// warm start from the workspace's retained basis, then the cold two-phase
+// primal revised simplex. A rejected warm start falls back to the cold path
+// and, if that also fails, marks the error with ErrWarmStartRejected.
+func (p *Problem) solveOnceRevised(ctx context.Context, ws *Workspace, forceBland, reuse bool) (*Solution, bool, error) {
+	warmRejected := false
+	if !forceBland && p.WarmStart && ws.warmOK {
+		ws.Stats.WarmAttempts++
+		if sol, err, ok := p.tryWarmRevised(ctx, ws, reuse); ok {
+			ws.Stats.WarmHits++
+			return sol, false, err
+		}
+		ws.Stats.WarmRejects++
+		warmRejected = true
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return &Solution{Status: Canceled}, false, &StatusError{Status: Canceled, cause: cerr}
+			}
+		}
+	}
+
+	rv, ok := p.newRevisedState(ws)
+	if !ok {
+		ws.stashRevised(rv)
+		sol := &Solution{Status: IterLimit}
+		return markWarmReject(sol, false, &StatusError{Status: IterLimit, cause: ErrNumerical}, warmRejected)
+	}
+	rv.ctx = ctx
+	if forceBland {
+		rv.bland, rv.forceBland = true, true
+	}
+	defer ws.stashRevised(rv)
+
+	// Phase 1: minimize the sum of artificial variables.
+	if rv.nArt > 0 {
+		rv.setPhase1Costs()
+		status := rv.iterate()
+		if status != Optimal {
+			sol, err := p.finishRevised(rv, status, ws, reuse)
+			return markWarmReject(sol, rv.stalled(), err, warmRejected)
+		}
+		if rv.phase1Objective() > 1e-6 {
+			sol, err := p.finishRevised(rv, Infeasible, ws, reuse)
+			return markWarmReject(sol, rv.stalled(), err, warmRejected)
+		}
+		if !rv.evictArtificials() {
+			sol, err := p.finishRevised(rv, IterLimit, ws, reuse)
+			return markWarmReject(sol, rv.stalled(), err, warmRejected)
+		}
+	}
+
+	// Phase 2: the real objective.
+	rv.setPhase2Costs(p)
+	status := rv.iterate()
+	sol, err := p.finishRevised(rv, status, ws, reuse)
+	if err == nil && p.WarmStart {
+		p.saveWarm(ws, rv)
+	}
+	return markWarmReject(sol, rv.stalled(), err, warmRejected)
+}
+
+// markWarmReject chains ErrWarmStartRejected into a failed solve that ran
+// cold because its warm start was rejected, so ladder telemetry can
+// distinguish "failed after a rejected warm start" from a plain failure.
+func markWarmReject(sol *Solution, stalled bool, err error, rejected bool) (*Solution, bool, error) {
+	if err != nil && rejected {
+		if serr, ok := err.(*StatusError); ok {
+			if serr.cause == nil {
+				serr.cause = ErrWarmStartRejected
+			} else {
+				serr.cause = fmt.Errorf("%w (%w)", serr.cause, ErrWarmStartRejected)
+			}
+		}
+	}
+	return sol, stalled, err
+}
+
+func (rv *revisedState) stalled() bool {
+	return rv.maxDegenRun > rv.m+16
+}
+
+// stashRevised saves the (possibly grown) buffers of a finished revised
+// solve back into the workspace for the next call.
+func (ws *Workspace) stashRevised(rv *revisedState) {
+	ws.lo, ws.hi = rv.lo, rv.hi
+	ws.status = rv.status
+	ws.basis = rv.basis
+	ws.xB = rv.xB
+	ws.rhs = rv.rhs
+	ws.cost = rv.cost
+	ws.d = rv.d
+	ws.psign = rv.psign
+	ws.weight = rv.weight
+	ws.cand = rv.cand
+	ws.rvColPtr, ws.rvColIdx, ws.rvColVal = rv.colPtr, rv.colIdx, rv.colVal
+	ws.rvNbv = rv.nbv
+	ws.rvRhsEff = rv.rhsEff
+	ws.rvW, ws.rvRho, ws.rvCB, ws.rvTmpM = rv.w, rv.rho, rv.cb, rv.tmpm
+	ws.rvAlpha = rv.alpha
+	ws.rvEtaRow, ws.rvEtaVal = rv.etaRow, rv.etaVal
+}
+
+// buildRevisedBase assembles the parts shared by cold and warm builds:
+// bounds, statuses, right-hand sides, and the CSC columns for structural
+// and slack variables (artificials, cold-path only, are appended later).
+func (p *Problem) buildRevisedBase(ws *Workspace) *revisedState {
+	m := len(p.rows)
+	nStruct := len(p.cost)
+	nCols := nStruct + m
+
+	rv := &ws.rv
+	*rv = revisedState{
+		m:       m,
+		nStruct: nStruct,
+		nCols:   nCols,
+		pricing: p.Pricing,
+		stats:   &ws.Stats,
+		lu:      &ws.rvLU,
+		bmat:    &ws.rvBmat,
+	}
+
+	rv.lo = append(ws.lo[:0], p.lo...)
+	rv.hi = append(ws.hi[:0], p.hi...)
+	for _, r := range p.rows {
+		slo, shi := slackBounds(r)
+		rv.lo = append(rv.lo, slo)
+		rv.hi = append(rv.hi, shi)
+	}
+
+	if cap(ws.status) >= nCols {
+		rv.status = ws.status[:nCols]
+	} else {
+		rv.status = make([]varStatus, nCols, nCols+m)
+		ws.Stats.AllocBytes += int64(nCols + m)
+	}
+	for j := 0; j < nCols; j++ {
+		rv.status[j] = initialStatus(rv.lo[j], rv.hi[j])
+	}
+
+	rv.nbv = ws.f64(ws.rvNbv, nCols)
+	ws.rvNbv = rv.nbv
+	for j := 0; j < nCols; j++ {
+		rv.nbv[j] = nonbasicValue(rv.status[j], rv.lo[j], rv.hi[j])
+	}
+
+	rv.rhs = ws.f64(ws.rhs, m)
+	ws.rhs = rv.rhs
+	for i, r := range p.rows {
+		rv.rhs[i] = r.rhs
+	}
+
+	// CSC build for structural + slack columns: count, prefix-sum, fill.
+	nnz := m // one unit entry per slack
+	for _, r := range p.rows {
+		nnz += len(r.terms)
+	}
+	colPtr := ws.i32(ws.rvColPtr, nCols+1)
+	colIdx := ws.i32(ws.rvColIdx, nnz)
+	colVal := ws.f64(ws.rvColVal, nnz)
+	for j := range colPtr {
+		colPtr[j] = 0
+	}
+	for _, r := range p.rows {
+		for _, t := range r.terms {
+			colPtr[t.Var+1]++
+		}
+	}
+	for i := 0; i < m; i++ {
+		colPtr[nStruct+i+1] = 1
+	}
+	for j := 1; j <= nCols; j++ {
+		colPtr[j] += colPtr[j-1]
+	}
+	cur := ws.i32(ws.rvColCur, nStruct)
+	ws.rvColCur = cur
+	copy(cur, colPtr[:nStruct])
+	for i, r := range p.rows {
+		for _, t := range r.terms {
+			k := cur[t.Var]
+			cur[t.Var]++
+			colIdx[k] = int32(i)
+			colVal[k] = t.Coef
+		}
+		k := colPtr[nStruct+i]
+		colIdx[k] = int32(i)
+		colVal[k] = 1
+	}
+	rv.colPtr, rv.colIdx, rv.colVal = colPtr, colIdx, colVal
+
+	if cap(ws.basis) >= m {
+		rv.basis = ws.basis[:m]
+	} else {
+		rv.basis = make([]int, m)
+	}
+	rv.xB = ws.f64(ws.xB, m)
+	ws.xB = rv.xB
+	rv.w = ws.f64(ws.rvW, m)
+	ws.rvW = rv.w
+	rv.rho = ws.f64(ws.rvRho, m)
+	ws.rvRho = rv.rho
+	rv.cb = ws.f64(ws.rvCB, m)
+	ws.rvCB = rv.cb
+	rv.tmpm = ws.f64(ws.rvTmpM, m)
+	ws.rvTmpM = rv.tmpm
+	rv.rhsEff = ws.f64(ws.rvRhsEff, m)
+	ws.rvRhsEff = rv.rhsEff
+	rv.etaRow = ws.i32(ws.rvEtaRow, refactorEvery)
+	ws.rvEtaRow = rv.etaRow
+	rv.etaVal = ws.f64(ws.rvEtaVal, refactorEvery*m)
+	ws.rvEtaVal = rv.etaVal
+
+	rv.cost = ws.cost
+	rv.d = ws.d
+	rv.psign = ws.psign
+	return rv
+}
+
+// finishRevisedSetup sizes the buffers that depend on the final column
+// count n and the iteration budget. Shared by the cold and warm builds.
+func (rv *revisedState) finishSetup(p *Problem, ws *Workspace) {
+	rv.alpha = ws.f64(ws.rvAlpha, rv.n)
+	ws.rvAlpha = rv.alpha
+	if rv.pricing == PricingDevex {
+		rv.weight = ws.f64(ws.weight, rv.n)
+		ws.weight = rv.weight
+		rv.cand = ws.i32(ws.cand, devexListSize(rv.n))
+		ws.cand = rv.cand
+	}
+	rv.maxIter = p.MaxIter
+	if rv.maxIter == 0 {
+		rv.maxIter = 200*(rv.m+rv.n) + 2000
+	}
+}
+
+// newRevisedState builds the cold-start state: the initial basis is one
+// slack or artificial per row, exactly as the tableau core chooses it, so
+// the two cores start from the same vertex. Unlike the tableau build, rows
+// are never sign-flipped: an artificial for a negative residual simply
+// carries coefficient −1.
+func (p *Problem) newRevisedState(ws *Workspace) (*revisedState, bool) {
+	rv := p.buildRevisedBase(ws)
+	nStruct, nCols := rv.nStruct, rv.nCols
+
+	for i, r := range p.rows {
+		res := r.rhs
+		for _, tm := range r.terms {
+			res -= tm.Coef * rv.nbv[tm.Var]
+		}
+		slack := nStruct + i
+		if res >= rv.lo[slack]-tolFeas && res <= rv.hi[slack]+tolFeas {
+			rv.basis[i] = slack
+			rv.xB[i] = clamp(res, rv.lo[slack], rv.hi[slack])
+			rv.status[slack] = basic
+			continue
+		}
+		sigma := 1.0
+		if res < 0 {
+			sigma = -1
+		}
+		art := nCols + rv.nArt
+		rv.lo = append(rv.lo, 0)
+		rv.hi = append(rv.hi, Inf)
+		rv.status = append(rv.status, basic)
+		rv.colIdx = append(rv.colIdx, int32(i))
+		rv.colVal = append(rv.colVal, sigma)
+		rv.colPtr = append(rv.colPtr, int32(len(rv.colIdx)))
+		rv.basis[i] = art
+		rv.xB[i] = sigma * res // = |res| ≥ 0
+		rv.nArt++
+	}
+	rv.n = nCols + rv.nArt
+	rv.finishSetup(p, ws)
+	return rv, rv.refactor()
+}
+
+// newRevisedWarmState builds the state for a dual-simplex warm start: no
+// artificials, basis and statuses restored from the workspace retention.
+// Returns ok=false when the retained basis fails to factorize.
+func (p *Problem) newRevisedWarmState(ws *Workspace) (*revisedState, bool) {
+	rv := p.buildRevisedBase(ws)
+	rv.n = rv.nCols
+	copy(rv.basis, ws.warmBasis)
+	copy(rv.status[:rv.nCols], ws.warmStatus)
+	rv.finishSetup(p, ws)
+	return rv, rv.refactor()
+}
+
+// columnInto scatters column j of the constraint matrix into the dense
+// length-m vector dst (cleared first).
+func (rv *revisedState) columnInto(dst []float64, j int) {
+	clear(dst)
+	for k := rv.colPtr[j]; k < rv.colPtr[j+1]; k++ {
+		dst[rv.colIdx[k]] += rv.colVal[k]
+	}
+}
+
+// colDot returns v · a_j over column j's sparse entries.
+func (rv *revisedState) colDot(j int, v []float64) float64 {
+	s := 0.0
+	for k := rv.colPtr[j]; k < rv.colPtr[j+1]; k++ {
+		s += rv.colVal[k] * v[rv.colIdx[k]]
+	}
+	return s
+}
+
+// refactor rebuilds the basis matrix from rv.basis, factorizes it, and
+// clears the eta file. Returns false on a (numerically) singular basis.
+func (rv *revisedState) refactor() bool {
+	return rv.refactorFrom(rv.basis)
+}
+
+// refactorFrom is refactor with an explicit basis column ordering (the
+// canonical extraction uses the ascending order).
+func (rv *revisedState) refactorFrom(cols []int) bool {
+	m := rv.m
+	if cap(rv.bmat.Data) >= m*m {
+		rv.bmat.Data = rv.bmat.Data[:m*m]
+	} else {
+		rv.bmat.Data = make([]float64, m*m)
+		rv.stats.AllocBytes += int64(8 * m * m)
+	}
+	rv.bmat.Rows, rv.bmat.Cols = m, m
+	clear(rv.bmat.Data)
+	for k, j := range cols {
+		for e := rv.colPtr[j]; e < rv.colPtr[j+1]; e++ {
+			rv.bmat.Data[int(rv.colIdx[e])*m+k] += rv.colVal[e]
+		}
+	}
+	if rv.lu.Factor(rv.bmat) != nil {
+		return false
+	}
+	rv.nEta = 0
+	rv.stats.Factorizations++
+	return true
+}
+
+// applyEtas applies the eta file to x in place, oldest first: x ← E_K⁻¹ ···
+// E_1⁻¹ x, completing an FTRAN started by the LU solve.
+func (rv *revisedState) applyEtas(x []float64) {
+	m := rv.m
+	for k := 0; k < rv.nEta; k++ {
+		r := int(rv.etaRow[k])
+		ev := rv.etaVal[k*m : (k+1)*m]
+		t := x[r] / ev[r]
+		if t != 0 {
+			for i, e := range ev {
+				if e != 0 {
+					x[i] -= e * t
+				}
+			}
+		}
+		x[r] = t
+	}
+}
+
+// applyEtasT applies the transposed eta file to y in place, newest first:
+// y ← E_1⁻ᵀ ··· E_K⁻ᵀ y, preparing a BTRAN for the LU transpose solve.
+// Each transposed eta only changes component r.
+func (rv *revisedState) applyEtasT(y []float64) {
+	m := rv.m
+	for k := rv.nEta - 1; k >= 0; k-- {
+		r := int(rv.etaRow[k])
+		ev := rv.etaVal[k*m : (k+1)*m]
+		s := 0.0
+		for i, e := range ev {
+			if e != 0 && i != r {
+				s += e * y[i]
+			}
+		}
+		y[r] = (y[r] - s) / ev[r]
+	}
+}
+
+// ftranColumn computes w = B⁻¹·a_j into rv.w. Returns false on a solve
+// failure (cannot happen after a successful factorization, but the revised
+// core degrades instead of panicking).
+func (rv *revisedState) ftranColumn(j int) bool {
+	rv.columnInto(rv.tmpm, j)
+	if rv.lu.SolveInto(rv.w, rv.tmpm) != nil {
+		return false
+	}
+	rv.applyEtas(rv.w)
+	return true
+}
+
+// btranUnit computes rho = B⁻ᵀ·e_r into rv.rho: row r of B⁻¹, the pivot
+// row multipliers.
+func (rv *revisedState) btranUnit(r int) bool {
+	clear(rv.tmpm)
+	rv.tmpm[r] = 1
+	rv.applyEtasT(rv.tmpm)
+	return rv.lu.SolveTransposeInto(rv.rho, rv.tmpm) == nil
+}
+
+// btranInto computes dst = B⁻ᵀ·v (dst may alias v).
+func (rv *revisedState) btranInto(dst, v []float64) bool {
+	if &dst[0] != &v[0] {
+		copy(dst, v)
+	}
+	rv.applyEtasT(dst)
+	return rv.lu.SolveTransposeInto(dst, dst) == nil
+}
+
+// computeXB solves B·x_B = rhs − N·x_N for the basic values.
+func (rv *revisedState) computeXB() bool {
+	copy(rv.rhsEff, rv.rhs)
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] == basic {
+			continue
+		}
+		v := nonbasicValue(rv.status[j], rv.lo[j], rv.hi[j])
+		if v == 0 {
+			continue
+		}
+		for k := rv.colPtr[j]; k < rv.colPtr[j+1]; k++ {
+			rv.rhsEff[rv.colIdx[k]] -= rv.colVal[k] * v
+		}
+	}
+	if rv.lu.SolveInto(rv.xB, rv.rhsEff) != nil {
+		return false
+	}
+	rv.applyEtas(rv.xB)
+	return true
+}
+
+func (rv *revisedState) setPhase1Costs() {
+	rv.cost = f64buf(rv.cost, rv.n)
+	for j := range rv.cost {
+		rv.cost[j] = 0
+	}
+	for j := rv.n - rv.nArt; j < rv.n; j++ {
+		rv.cost[j] = 1
+	}
+	rv.recomputeReducedCosts()
+	rv.initPricingSigns()
+	rv.resetPricing()
+}
+
+func (rv *revisedState) setPhase2Costs(p *Problem) {
+	rv.cost = f64buf(rv.cost, rv.n)
+	for j := range rv.cost {
+		rv.cost[j] = 0
+	}
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1 // internally always minimize
+	}
+	for j := 0; j < rv.nStruct; j++ {
+		rv.cost[j] = sign * p.cost[j]
+	}
+	// Artificials must never re-enter: pin them to 0.
+	for j := rv.n - rv.nArt; j < rv.n; j++ {
+		rv.lo[j], rv.hi[j] = 0, 0
+		if rv.status[j] != basic {
+			rv.status[j] = atLower
+		}
+	}
+	rv.recomputeReducedCosts()
+	rv.initPricingSigns()
+	rv.resetPricing()
+}
+
+func (rv *revisedState) phase1Objective() float64 {
+	sum := 0.0
+	for i, b := range rv.basis {
+		if b >= rv.n-rv.nArt {
+			sum += rv.xB[i]
+		}
+	}
+	return sum
+}
+
+// recomputeReducedCosts rebuilds d from the factorization: y = B⁻ᵀ·c_B,
+// then d_j = c_j − y·a_j for every nonbasic column (basic columns are
+// exactly 0 by definition).
+func (rv *revisedState) recomputeReducedCosts() {
+	for i := 0; i < rv.m; i++ {
+		rv.cb[i] = rv.cost[rv.basis[i]]
+	}
+	rv.btranInto(rv.rho, rv.cb)
+	rv.d = f64buf(rv.d, rv.n)
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] == basic {
+			rv.d[j] = 0
+			continue
+		}
+		rv.d[j] = rv.cost[j] - rv.colDot(j, rv.rho)
+	}
+	rv.dFresh = true
+	rv.stats.Refreshes++
+}
+
+// initPricingSigns mirrors the tableau core's fast-Dantzig sign setup.
+func (rv *revisedState) initPricingSigns() {
+	rv.psign = f64buf(rv.psign, rv.n)
+	rv.hasFree = false
+	for j := 0; j < rv.n; j++ {
+		rv.psign[j] = pricingSign(rv.status[j], rv.lo[j], rv.hi[j])
+		if rv.status[j] == freeZero && rv.lo[j] != rv.hi[j] {
+			rv.hasFree = true
+		}
+	}
+}
+
+func (rv *revisedState) resetPricing() {
+	if rv.pricing != PricingDevex {
+		return
+	}
+	for j := range rv.weight {
+		rv.weight[j] = 1
+	}
+	rv.candN, rv.candStart = 0, 0
+}
+
+// iterate runs primal revised-simplex pivots until optimality,
+// unboundedness, the iteration budget, or cancellation, under the same
+// refresh / verification-sweep / degeneracy discipline as the tableau core.
+func (rv *revisedState) iterate() Status {
+	sinceRefresh := 0
+	sinceCtx := 0
+	for ; rv.iters < rv.maxIter; rv.iters++ {
+		if rv.ctx != nil {
+			if sinceCtx++; sinceCtx >= ctxCheckEvery {
+				sinceCtx = 0
+				if rv.ctx.Err() != nil {
+					return Canceled
+				}
+			}
+		}
+		if sinceRefresh >= refreshEvery {
+			rv.recomputeReducedCosts()
+			sinceRefresh = 0
+		}
+		enter, dir := rv.chooseEntering()
+		if enter < 0 {
+			if rv.dFresh {
+				return Optimal
+			}
+			// Verification sweep: full refresh, then re-price everything.
+			rv.recomputeReducedCosts()
+			sinceRefresh = 0
+			rv.candN = 0
+			enter, dir = rv.chooseEntering()
+			if enter < 0 {
+				return Optimal
+			}
+			rv.stats.SweepResumes++
+		}
+		if !rv.ftranColumn(enter) {
+			return IterLimit
+		}
+		flip, leaveRow, theta := rv.ratioTest(enter, dir)
+		if math.IsInf(theta, 1) {
+			return Unbounded
+		}
+		if theta <= tolFeas {
+			rv.degen++
+			if rv.degen > rv.maxDegenRun {
+				rv.maxDegenRun = rv.degen
+			}
+			if rv.degen > 2*(rv.m+64) {
+				rv.bland = true
+			}
+		} else {
+			rv.degen = 0
+			if rv.bland && !rv.forceBland {
+				rv.bland = false
+			}
+		}
+		if flip {
+			for i, v := range rv.w {
+				if v != 0 {
+					rv.xB[i] -= dir * theta * v
+				}
+			}
+			if rv.status[enter] == atLower {
+				rv.status[enter] = atUpper
+			} else {
+				rv.status[enter] = atLower
+			}
+			rv.psign[enter] = pricingSign(rv.status[enter], rv.lo[enter], rv.hi[enter])
+			rv.stats.BoundFlips++
+			sinceRefresh++
+			continue
+		}
+		entVal := nonbasicValue(rv.status[enter], rv.lo[enter], rv.hi[enter]) + dir*theta
+		rv.updateBasics(dir, theta)
+		if !rv.pivot(leaveRow, enter, entVal) {
+			return IterLimit
+		}
+		sinceRefresh++
+	}
+	return IterLimit
+}
+
+func (rv *revisedState) chooseEntering() (int, float64) {
+	if rv.pricing == PricingDevex && !rv.bland {
+		return rv.chooseEnteringDevex()
+	}
+	return rv.chooseEnteringDantzig()
+}
+
+func (rv *revisedState) chooseEnteringDantzig() (int, float64) {
+	if rv.hasFree {
+		return rv.chooseEnteringClassify()
+	}
+	d := rv.d[:rv.n]
+	ps := rv.psign[:rv.n]
+	ps = ps[:len(d)]
+	if rv.bland {
+		for j, dj := range d {
+			if ps[j]*dj > tolReduced {
+				return j, -ps[j]
+			}
+		}
+		return -1, 0
+	}
+	best, bestScore := -1, tolReduced
+	for j, dj := range d {
+		if s := ps[j] * dj; s > bestScore {
+			best, bestScore = j, s
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, -ps[best]
+}
+
+func (rv *revisedState) chooseEnteringClassify() (int, float64) {
+	best, bestScore, bestDir := -1, tolReduced, 0.0
+	for j := 0; j < rv.n; j++ {
+		score, dir := rv.scoreAt(j)
+		if score <= tolReduced {
+			continue
+		}
+		if rv.bland {
+			return j, dir
+		}
+		if score > bestScore {
+			best, bestScore, bestDir = j, score, dir
+		}
+	}
+	return best, bestDir
+}
+
+func (rv *revisedState) scoreAt(j int) (score, dir float64) {
+	if rv.status[j] == basic || rv.lo[j] == rv.hi[j] {
+		return 0, 0
+	}
+	dj := rv.d[j]
+	switch rv.status[j] {
+	case atLower:
+		return -dj, 1
+	case atUpper:
+		return dj, -1
+	default: // freeZero
+		if dj < 0 {
+			return -dj, 1
+		}
+		return dj, -1
+	}
+}
+
+func (rv *revisedState) chooseEnteringDevex() (int, float64) {
+	for pass := 0; pass < 2; pass++ {
+		best, bestDir, bestVal := -1, 0.0, 0.0
+		cand := rv.cand[:rv.candN]
+		w := 0
+		for _, j32 := range cand {
+			j := int(j32)
+			score, dir := rv.scoreAt(j)
+			if score <= tolReduced {
+				continue
+			}
+			cand[w] = j32
+			w++
+			if val := score * score / rv.weight[j]; val > bestVal {
+				best, bestDir, bestVal = j, dir, val
+			}
+		}
+		rv.candN = w
+		if best >= 0 {
+			return best, bestDir
+		}
+		if !rv.refillCandidates() {
+			return -1, 0
+		}
+	}
+	return -1, 0
+}
+
+func (rv *revisedState) refillCandidates() bool {
+	limit := devexListSize(rv.n)
+	if cap(rv.cand) < limit {
+		rv.cand = make([]int32, limit)
+	}
+	rv.candN = 0
+	j := rv.candStart
+	if j >= rv.n {
+		j = 0
+	}
+	for scanned := 0; scanned < rv.n; scanned++ {
+		if score, _ := rv.scoreAt(j); score > tolReduced {
+			rv.cand[rv.candN] = int32(j)
+			rv.candN++
+			if rv.candN == limit {
+				j++
+				break
+			}
+		}
+		if j++; j >= rv.n {
+			j = 0
+		}
+	}
+	if j >= rv.n {
+		j = 0
+	}
+	rv.candStart = j
+	rv.stats.CandidateRebuilds++
+	return rv.candN > 0
+}
+
+// updateDevexWeights is the revised-core devex reference update: the scaled
+// pivot row entries come from the α row instead of the tableau.
+func (rv *revisedState) updateDevexWeights(r, enter int, inv float64) {
+	w := rv.weight
+	wq := w[enter]
+	if wq < 1 {
+		wq = 1
+	}
+	maxW := 0.0
+	for j := 0; j < rv.n; j++ {
+		v := rv.alpha[j] * inv
+		if v == 0 {
+			continue
+		}
+		if nw := v * v * wq; nw > w[j] {
+			w[j] = nw
+		}
+		if w[j] > maxW {
+			maxW = w[j]
+		}
+	}
+	leave := rv.basis[r] // pivot updates basis after this hook
+	lw := wq * inv * inv
+	if lw < 1 {
+		lw = 1
+	}
+	w[leave] = lw
+	if maxW > 1e12 {
+		for j := range w {
+			w[j] = 1
+		}
+	}
+}
+
+// ratioTest mirrors the tableau core's bounded-variable ratio test, reading
+// the FTRAN'd entering column rv.w instead of a gathered tableau column.
+func (rv *revisedState) ratioTest(enter int, dir float64) (flip bool, leaveRow int, theta float64) {
+	theta = Inf
+	if !math.IsInf(rv.lo[enter], -1) && !math.IsInf(rv.hi[enter], 1) {
+		theta = rv.hi[enter] - rv.lo[enter]
+	}
+	flip = true
+	leaveRow = -1
+	bestPiv := 0.0
+	for i := 0; i < rv.m; i++ {
+		t := rv.w[i]
+		rate := -dir * t // d(xB_i)/dθ
+		var lim float64
+		switch {
+		case rate > tolPivot:
+			if math.IsInf(rv.hi[rv.basis[i]], 1) {
+				continue
+			}
+			lim = (rv.hi[rv.basis[i]] - rv.xB[i]) / rate
+		case rate < -tolPivot:
+			if math.IsInf(rv.lo[rv.basis[i]], -1) {
+				continue
+			}
+			lim = (rv.xB[i] - rv.lo[rv.basis[i]]) / -rate
+		default:
+			continue
+		}
+		if lim < -tolFeas {
+			lim = 0
+		}
+		replace := false
+		if lim < theta-tolFeas {
+			replace = true
+		} else if lim < theta+tolFeas && leaveRow >= 0 {
+			if rv.bland {
+				replace = rv.basis[i] < rv.basis[leaveRow]
+			} else {
+				replace = math.Abs(t) > bestPiv
+			}
+		} else if lim < theta+tolFeas && leaveRow < 0 && lim <= theta {
+			replace = true
+		}
+		if replace {
+			theta = math.Min(theta, math.Max(lim, 0))
+			leaveRow = i
+			bestPiv = math.Abs(t)
+			flip = false
+		}
+	}
+	if leaveRow < 0 && math.IsInf(theta, 1) {
+		return false, -1, Inf // unbounded
+	}
+	return flip, leaveRow, theta
+}
+
+func (rv *revisedState) updateBasics(dir, theta float64) {
+	if theta == 0 {
+		return
+	}
+	for i, v := range rv.w {
+		if v != 0 {
+			rv.xB[i] -= dir * theta * v
+		}
+	}
+}
+
+// pivot makes column enter basic in basis position r with value entVal.
+// rv.w must hold the FTRAN'd entering column and xB must already be
+// stepped (updateBasics). The reduced costs are updated incrementally from
+// the α row (BTRAN + sparse dots) exactly as the tableau updates them from
+// its pivot row; the basis change is recorded as an eta, refactorizing on
+// cadence. Returns false on a numerical abort (singular refactorization).
+func (rv *revisedState) pivot(r, enter int, entVal float64) bool {
+	leave := rv.basis[r]
+	// Classify the leaving variable at whichever bound it reached.
+	lv := rv.xB[r]
+	if !math.IsInf(rv.lo[leave], -1) && math.Abs(lv-rv.lo[leave]) <= math.Abs(lv-rv.hi[leave]) {
+		rv.status[leave] = atLower
+	} else if !math.IsInf(rv.hi[leave], 1) {
+		rv.status[leave] = atUpper
+	} else {
+		rv.status[leave] = atLower
+	}
+	rv.psign[leave] = pricingSign(rv.status[leave], rv.lo[leave], rv.hi[leave])
+
+	wr := rv.w[r] // α_rq: pivot element
+	needAlpha := rv.d[enter] != 0 || rv.pricing == PricingDevex
+	if needAlpha {
+		if !rv.btranUnit(r) {
+			return false
+		}
+		for j := 0; j < rv.n; j++ {
+			if rv.status[j] == basic {
+				rv.alpha[j] = 0
+				continue
+			}
+			rv.alpha[j] = rv.colDot(j, rv.rho)
+		}
+	}
+	if f := rv.d[enter]; f != 0 {
+		t := f / wr
+		for j := 0; j < rv.n; j++ {
+			if rv.status[j] == basic || j == enter {
+				continue
+			}
+			if a := rv.alpha[j]; a != 0 {
+				rv.d[j] -= t * a
+			}
+		}
+		rv.d[leave] = -t // α_r,leave = 1 exactly
+	} else {
+		rv.d[leave] = 0
+	}
+	rv.d[enter] = 0
+	if rv.pricing == PricingDevex {
+		rv.updateDevexWeights(r, enter, 1/wr)
+	}
+
+	// Record the eta (w = B_old⁻¹·a_enter) and commit the basis change.
+	slab := rv.etaVal[rv.nEta*rv.m : (rv.nEta+1)*rv.m]
+	copy(slab, rv.w)
+	rv.etaRow[rv.nEta] = int32(r)
+	rv.nEta++
+	rv.basis[r] = enter
+	rv.status[enter] = basic
+	rv.psign[enter] = 0
+	rv.xB[r] = entVal
+	rv.dFresh = false
+	rv.stats.Pivots++
+	if rv.nEta >= refactorEvery {
+		return rv.refactor()
+	}
+	return true
+}
+
+// evictArtificials pivots basic artificial variables (necessarily ~0 after
+// a feasible phase 1) out of the basis where possible, like the tableau
+// core. The pivot row multipliers come from a BTRAN per candidate row.
+func (rv *revisedState) evictArtificials() bool {
+	for i := 0; i < rv.m; i++ {
+		if rv.basis[i] < rv.n-rv.nArt {
+			continue
+		}
+		if !rv.btranUnit(i) {
+			return false
+		}
+		pivCol, pivAbs := -1, tolPivot
+		for j := 0; j < rv.n-rv.nArt; j++ {
+			if rv.status[j] == basic || rv.lo[j] == rv.hi[j] {
+				continue
+			}
+			if a := math.Abs(rv.colDot(j, rv.rho)); a > pivAbs {
+				pivAbs, pivCol = a, j
+			}
+		}
+		if pivCol >= 0 {
+			if !rv.ftranColumn(pivCol) {
+				return false
+			}
+			if !rv.pivot(i, pivCol, nonbasicValue(rv.status[pivCol], rv.lo[pivCol], rv.hi[pivCol])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishRevised extracts the solution canonically: the final basis is
+// reordered ascending, refactorized from scratch, and both the basic
+// values and the row duals are recomputed from that fresh factorization.
+// The solution is therefore a deterministic function of (basis set,
+// nonbasic statuses, problem data) — a warm dual re-solve and a cold
+// primal solve that end on the same basis return bit-identical numbers,
+// which is what the controller's warm-start regression pins.
+func (p *Problem) finishRevised(rv *revisedState, status Status, ws *Workspace, reuse bool) (*Solution, error) {
+	var sol *Solution
+	if reuse {
+		sol = &ws.sol
+		*sol = Solution{Status: status, Iterations: rv.iters}
+	} else {
+		sol = &Solution{Status: status, Iterations: rv.iters}
+	}
+	if status != Optimal {
+		serr := &StatusError{Status: status}
+		if status == Canceled && rv.ctx != nil {
+			serr.cause = rv.ctx.Err()
+		}
+		return sol, serr
+	}
+
+	sorted := ws.ints(ws.rvSorted, rv.m)
+	ws.rvSorted = sorted
+	copy(sorted, rv.basis)
+	sort.Ints(sorted)
+	if !rv.refactorFrom(sorted) {
+		sol.Status = IterLimit
+		return sol, &StatusError{Status: IterLimit, cause: ErrNumerical}
+	}
+
+	var x []float64
+	if reuse {
+		x = ws.f64(ws.solX, rv.n)
+		ws.solX = x
+		clear(x)
+	} else {
+		x = make([]float64, rv.n)
+	}
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] != basic {
+			x[j] = nonbasicValue(rv.status[j], rv.lo[j], rv.hi[j])
+		}
+	}
+	copy(rv.rhsEff, rv.rhs)
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] == basic {
+			continue
+		}
+		v := x[j]
+		if v == 0 {
+			continue
+		}
+		for k := rv.colPtr[j]; k < rv.colPtr[j+1]; k++ {
+			rv.rhsEff[rv.colIdx[k]] -= rv.colVal[k] * v
+		}
+	}
+	if rv.lu.SolveInto(rv.tmpm, rv.rhsEff) != nil {
+		sol.Status = IterLimit
+		return sol, &StatusError{Status: IterLimit, cause: ErrNumerical}
+	}
+	for k, b := range sorted {
+		x[b] = rv.tmpm[k]
+	}
+	sol.x = x[:rv.nStruct]
+	obj := 0.0
+	for j := 0; j < rv.nStruct; j++ {
+		obj += p.cost[j] * sol.x[j]
+	}
+	sol.Objective = obj
+
+	// Row duals: y = B⁻ᵀ·c_B on the fresh factorization; the user-facing
+	// dual flips sign for Maximize (the core always minimizes).
+	for k, b := range sorted {
+		rv.cb[k] = rv.cost[b]
+	}
+	if rv.lu.SolveTransposeInto(rv.rho, rv.cb) != nil {
+		sol.Status = IterLimit
+		return sol, &StatusError{Status: IterLimit, cause: ErrNumerical}
+	}
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1
+	}
+	var duals []float64
+	if reuse {
+		duals = ws.f64(ws.solDuals, rv.m)
+		ws.solDuals = duals
+	} else {
+		duals = make([]float64, rv.m)
+	}
+	for i := 0; i < rv.m; i++ {
+		duals[i] = sign * rv.rho[i]
+	}
+	sol.duals = duals
+	return sol, nil
+}
+
+// saveWarm retains the canonical optimal basis, the nonbasic statuses, and
+// a bitwise signature of everything except the right-hand sides. A basis
+// still holding an artificial (a redundant row) is not retained: the warm
+// rebuild has no artificial columns.
+func (p *Problem) saveWarm(ws *Workspace, rv *revisedState) {
+	ws.warmOK = false
+	for _, b := range rv.basis {
+		if b >= rv.nCols {
+			return
+		}
+	}
+	ws.warmBasis = append(ws.warmBasis[:0], ws.rvSorted...)
+	ws.warmStatus = append(ws.warmStatus[:0], rv.status[:rv.nCols]...)
+	ws.warmSense = p.sense
+	ws.sigCost = append(ws.sigCost[:0], p.cost...)
+	ws.sigLo = append(ws.sigLo[:0], p.lo...)
+	ws.sigHi = append(ws.sigHi[:0], p.hi...)
+	ws.sigCoef = ws.sigCoef[:0]
+	ws.sigVar = ws.sigVar[:0]
+	ws.sigRows = ws.sigRows[:0]
+	for _, r := range p.rows {
+		ws.sigRows = append(ws.sigRows, sigRow{op: r.op, isRange: r.isRange, rangeLo: r.rangeLo, nTerms: int32(len(r.terms))})
+		for _, t := range r.terms {
+			ws.sigVar = append(ws.sigVar, int32(t.Var))
+			ws.sigCoef = append(ws.sigCoef, t.Coef)
+		}
+	}
+	ws.warmOK = true
+}
+
+// warmSignatureMatches reports whether p differs from the retained problem
+// only in right-hand sides: same shape, sense, costs, structural bounds,
+// row operators/ranges, and bit-identical coefficients. Only then is the
+// retained basis guaranteed dual-feasible for p, because reduced costs do
+// not depend on the RHS.
+func (p *Problem) warmSignatureMatches(ws *Workspace) bool {
+	if len(p.rows) != len(ws.sigRows) || len(p.cost) != len(ws.sigCost) || p.sense != ws.warmSense {
+		return false
+	}
+	for j, c := range p.cost {
+		if c != ws.sigCost[j] || p.lo[j] != ws.sigLo[j] || p.hi[j] != ws.sigHi[j] {
+			return false
+		}
+	}
+	k := 0
+	for i := range p.rows {
+		r := &p.rows[i]
+		sig := &ws.sigRows[i]
+		if r.op != sig.op || r.isRange != sig.isRange || len(r.terms) != int(sig.nTerms) {
+			return false
+		}
+		if r.isRange && r.rangeLo != sig.rangeLo {
+			return false
+		}
+		if k+len(r.terms) > len(ws.sigVar) {
+			return false
+		}
+		for _, t := range r.terms {
+			if int32(t.Var) != ws.sigVar[k] || t.Coef != ws.sigCoef[k] {
+				return false
+			}
+			k++
+		}
+	}
+	return k == len(ws.sigVar)
+}
+
+// tryWarmRevised attempts a dual-simplex warm start from the workspace's
+// retained basis. ok=false means the warm start was rejected (any reason)
+// and the caller must run the cold path; the workspace is left consistent.
+func (p *Problem) tryWarmRevised(ctx context.Context, ws *Workspace, reuse bool) (*Solution, error, bool) {
+	if !p.warmSignatureMatches(ws) {
+		return nil, nil, false
+	}
+	rv, ok := p.newRevisedWarmState(ws)
+	if !ok {
+		ws.stashRevised(rv)
+		return nil, nil, false
+	}
+	rv.ctx = ctx
+	defer ws.stashRevised(rv)
+
+	rv.setPhase2Costs(p)
+	// The retained basis must price dual-feasible under the (bit-identical)
+	// costs; factorization noise beyond dualFeasTol rejects the warm start.
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] == basic || rv.lo[j] == rv.hi[j] {
+			continue
+		}
+		dj := rv.d[j]
+		switch rv.status[j] {
+		case atLower:
+			if dj < -dualFeasTol {
+				return nil, nil, false
+			}
+		case atUpper:
+			if dj > dualFeasTol {
+				return nil, nil, false
+			}
+		default: // freeZero
+			if math.Abs(dj) > dualFeasTol {
+				return nil, nil, false
+			}
+		}
+	}
+	if !rv.computeXB() {
+		return nil, nil, false
+	}
+	if !rv.dualIterate() {
+		return nil, nil, false
+	}
+	// The dual phase restored primal feasibility; a primal cleanup pass
+	// confirms optimality (it terminates immediately when the maintained
+	// reduced costs verify clean) and repairs any round-off drift.
+	if rv.iterate() != Optimal {
+		return nil, nil, false
+	}
+	sol, err := p.finishRevised(rv, Optimal, ws, reuse)
+	if err != nil {
+		return nil, nil, false
+	}
+	p.saveWarm(ws, rv)
+	return sol, nil, true
+}
+
+// dualIterate runs bounded-variable dual-simplex pivots until primal
+// feasibility (true) or rejection (false: dual unboundedness — primal
+// infeasible, which the cold path is left to confirm —, a stalled budget,
+// cancellation, or a numerical abort).
+func (rv *revisedState) dualIterate() bool {
+	sinceCtx := 0
+	for ; rv.iters < rv.maxIter; rv.iters++ {
+		if rv.ctx != nil {
+			if sinceCtx++; sinceCtx >= ctxCheckEvery {
+				sinceCtx = 0
+				if rv.ctx.Err() != nil {
+					return false
+				}
+			}
+		}
+		// Leaving row: the largest primal bound violation.
+		r := -1
+		maxViol := tolFeas
+		delta := 0.0
+		for i := 0; i < rv.m; i++ {
+			b := rv.basis[i]
+			if v := rv.lo[b] - rv.xB[i]; v > maxViol {
+				maxViol, r, delta = v, i, rv.xB[i]-rv.lo[b] // delta < 0
+			}
+			if v := rv.xB[i] - rv.hi[b]; v > maxViol {
+				maxViol, r, delta = v, i, rv.xB[i]-rv.hi[b] // delta > 0
+			}
+		}
+		if r < 0 {
+			return true // primal feasible
+		}
+		if !rv.btranUnit(r) {
+			return false
+		}
+		// Dual ratio test: among columns whose reduced cost the dual step
+		// drives toward infeasibility, enter the one binding first (smallest
+		// |d_j/α_rj|), tie-broken on the larger pivot magnitude.
+		enter := -1
+		bestRatio := math.Inf(1)
+		bestAbs := 0.0
+		for j := 0; j < rv.n; j++ {
+			if rv.status[j] == basic || rv.lo[j] == rv.hi[j] {
+				rv.alpha[j] = 0
+				continue
+			}
+			a := rv.colDot(j, rv.rho)
+			rv.alpha[j] = a
+			if a > -tolPivot && a < tolPivot {
+				continue
+			}
+			eligible := false
+			if delta < 0 {
+				switch rv.status[j] {
+				case atLower:
+					eligible = a < 0
+				case atUpper:
+					eligible = a > 0
+				default: // freeZero: d ≈ 0, binds immediately in any direction
+					eligible = true
+				}
+			} else {
+				switch rv.status[j] {
+				case atLower:
+					eligible = a > 0
+				case atUpper:
+					eligible = a < 0
+				default:
+					eligible = true
+				}
+			}
+			if !eligible {
+				continue
+			}
+			ratio := math.Abs(rv.d[j] / a)
+			if ratio < bestRatio-tolPivot || (ratio < bestRatio+tolPivot && math.Abs(a) > bestAbs) {
+				enter, bestRatio, bestAbs = j, ratio, math.Abs(a)
+			}
+		}
+		if enter < 0 {
+			return false // dual unbounded ⇒ primal infeasible; cold path confirms
+		}
+		if !rv.dualPivot(r, enter, delta) {
+			return false
+		}
+	}
+	return false
+}
+
+// dualPivot performs one dual-simplex basis change: basis position r
+// (violating its bound by delta) leaves to the violated bound, column
+// enter becomes basic. rv.alpha must hold the pivot row from dualIterate.
+func (rv *revisedState) dualPivot(r, enter int, delta float64) bool {
+	leave := rv.basis[r]
+	aq := rv.alpha[enter]
+	// Dual step: shift y along the pivot row so enter's reduced cost hits 0.
+	t := rv.d[enter] / aq
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] == basic || j == enter {
+			continue
+		}
+		if a := rv.alpha[j]; a != 0 {
+			rv.d[j] -= t * a
+		}
+	}
+	rv.d[leave] = -t // α_r,leave = 1 exactly
+	rv.d[enter] = 0
+
+	// Primal step: the entering variable moves by delta/α_rq, landing the
+	// leaving variable exactly on its violated bound.
+	tp := delta / aq
+	if !rv.ftranColumn(enter) {
+		return false
+	}
+	entVal := nonbasicValue(rv.status[enter], rv.lo[enter], rv.hi[enter]) + tp
+	for i, v := range rv.w {
+		if v != 0 {
+			rv.xB[i] -= tp * v
+		}
+	}
+	if delta < 0 {
+		rv.status[leave] = atLower
+	} else {
+		rv.status[leave] = atUpper
+	}
+	rv.psign[leave] = pricingSign(rv.status[leave], rv.lo[leave], rv.hi[leave])
+
+	slab := rv.etaVal[rv.nEta*rv.m : (rv.nEta+1)*rv.m]
+	copy(slab, rv.w)
+	rv.etaRow[rv.nEta] = int32(r)
+	rv.nEta++
+	rv.basis[r] = enter
+	rv.status[enter] = basic
+	rv.psign[enter] = 0
+	rv.xB[r] = entVal
+	rv.dFresh = false
+	rv.stats.Pivots++
+	rv.stats.DualPivots++
+	if rv.nEta >= refactorEvery {
+		return rv.refactor()
+	}
+	return true
+}

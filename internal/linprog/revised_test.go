@@ -1,0 +1,350 @@
+package linprog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// asRevised returns a shallow solver-config copy of build() with the
+// revised core selected.
+func asRevised(p *Problem) *Problem {
+	p.Method = MethodRevised
+	return p
+}
+
+// fixtureLPs is the shared shape zoo for tableau/revised agreement tests:
+// slack-only, artificial-forcing, equality, range, free-variable, and
+// degenerate shapes.
+func fixtureLPs() map[string]func() *Problem {
+	return map[string]func() *Problem{
+		"small-bounded": smallLP,
+		"big-two-phase": bigLP,
+		"klee-minty-8":  func() *Problem { return kleeMinty(8) },
+		"equality": func() *Problem {
+			p := NewProblem(Minimize)
+			x := p.AddVar("x", 0, Inf, 1)
+			y := p.AddVar("y", 0, Inf, 2)
+			z := p.AddVar("z", 0, Inf, 3)
+			p.AddRow(EQ, 10, Term{x, 1}, Term{y, 1}, Term{z, 1})
+			p.AddRow(GE, 3, Term{y, 1}, Term{z, 2})
+			return p
+		},
+		"range-row": func() *Problem {
+			p := NewProblem(Maximize)
+			x := p.AddVar("x", 0, 8, 5)
+			y := p.AddVar("y", 0, 8, 4)
+			p.AddRangeRow(2, 9, Term{x, 1}, Term{y, 1})
+			p.AddRow(LE, 12, Term{x, 2}, Term{y, 1})
+			return p
+		},
+		"free-var": func() *Problem {
+			p := NewProblem(Minimize)
+			x := p.AddVar("x", -Inf, Inf, 1)
+			y := p.AddVar("y", 0, Inf, 1)
+			p.AddRow(GE, -4, Term{x, 1}, Term{y, 1})
+			p.AddRow(LE, 6, Term{x, 1}, Term{y, 2})
+			p.AddRow(GE, 1, Term{y, 1})
+			return p
+		},
+		"degenerate": func() *Problem {
+			p := NewProblem(Maximize)
+			x := p.AddVar("x", 0, Inf, 1)
+			y := p.AddVar("y", 0, Inf, 1)
+			p.AddRow(LE, 4, Term{x, 1})
+			p.AddRow(LE, 4, Term{x, 1}, Term{y, 0.0}) // duplicate binding row
+			p.AddRow(LE, 4, Term{y, 1})
+			return p
+		},
+	}
+}
+
+// TestRevisedMatchesTableauFixtures runs the shape zoo through both cores:
+// statuses must agree exactly, objectives within the verification
+// tolerance, and the revised solution must pass the same primal
+// verification the guarded driver applies.
+func TestRevisedMatchesTableauFixtures(t *testing.T) {
+	for name, build := range fixtureLPs() {
+		t.Run(name, func(t *testing.T) {
+			want, werr := build().Solve()
+			got, gerr := asRevised(build()).Solve()
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("error mismatch: tableau %v, revised %v", werr, gerr)
+			}
+			if got.Status != want.Status {
+				t.Fatalf("status %v, want %v", got.Status, want.Status)
+			}
+			if want.Status != Optimal {
+				return
+			}
+			tol := tolVerify * (1 + math.Abs(want.Objective))
+			if math.Abs(got.Objective-want.Objective) > tol {
+				t.Fatalf("objective %v, tableau %v (tol %g)", got.Objective, want.Objective, tol)
+			}
+			if err := build().verifySolution(got); err != nil {
+				t.Fatalf("revised solution fails verification: %v", err)
+			}
+		})
+	}
+}
+
+// TestRevisedStatusAgreement pins the non-optimal statuses: both cores
+// must call the same problems infeasible and unbounded.
+func TestRevisedStatusAgreement(t *testing.T) {
+	infeasible := func() *Problem {
+		p := NewProblem(Minimize)
+		x := p.AddVar("x", 0, 1, 1)
+		p.AddRow(GE, 2, Term{x, 1})
+		return p
+	}
+	unbounded := func() *Problem {
+		p := NewProblem(Maximize)
+		x := p.AddVar("x", 0, Inf, 1)
+		y := p.AddVar("y", 0, Inf, 1)
+		p.AddRow(LE, 1, Term{x, 1}, Term{y, -1})
+		return p
+	}
+	for name, build := range map[string]func() *Problem{"infeasible": infeasible, "unbounded": unbounded} {
+		ts, terr := build().Solve()
+		rs, rerr := asRevised(build()).Solve()
+		if terr == nil || rerr == nil {
+			t.Fatalf("%s: want errors from both cores, got tableau %v, revised %v", name, terr, rerr)
+		}
+		if rs.Status != ts.Status {
+			t.Fatalf("%s: revised status %v, tableau %v", name, rs.Status, ts.Status)
+		}
+	}
+}
+
+// TestRevisedWorkspaceCrossShapeReuse alternates revised solves of two
+// shapes through one Workspace: every solve must be bit-identical to a
+// fresh-workspace revised solve — no stale CSC, eta, or retention state
+// may leak between shapes.
+func TestRevisedWorkspaceCrossShapeReuse(t *testing.T) {
+	refA, err := asRevised(smallLP()).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := asRevised(bigLP()).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := &Workspace{}
+	pa, pb := asRevised(smallLP()), asRevised(bigLP())
+	for round := 0; round < 3; round++ {
+		got, err := pa.SolveWith(ws)
+		if err != nil {
+			t.Fatalf("round %d small: %v", round, err)
+		}
+		solutionBitsEqual(t, "small", got, refA)
+		got, err = pb.SolveWith(ws)
+		if err != nil {
+			t.Fatalf("round %d big: %v", round, err)
+		}
+		solutionBitsEqual(t, "big", got, refB)
+	}
+	if ws.Stats.Factorizations == 0 {
+		t.Fatal("Stats.Factorizations = 0: revised solves did not factorize")
+	}
+}
+
+// TestRevisedRefactorizationCadence pushes one solve past refactorEvery
+// pivots (Klee–Minty under Dantzig) so the periodic refactorization path
+// runs, and checks the eta-file bookkeeping via the stats.
+func TestRevisedRefactorizationCadence(t *testing.T) {
+	p := asRevised(kleeMinty(10)) // 1023 pivots ≫ refactorEvery
+	ws := &Workspace{}
+	sol, err := p.SolveWith(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := kleeMinty(10).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-want.Objective) > 1e-6*(1+math.Abs(want.Objective)) {
+		t.Fatalf("objective %v, want %v", sol.Objective, want.Objective)
+	}
+	// Initial basis + ≥ pivots/refactorEvery periodic rebuilds + canonical
+	// extraction.
+	minFactor := int64(2 + ws.Stats.Pivots/refactorEvery)
+	if ws.Stats.Factorizations < minFactor {
+		t.Fatalf("Factorizations = %d over %d pivots, want ≥ %d",
+			ws.Stats.Factorizations, ws.Stats.Pivots, minFactor)
+	}
+}
+
+// warmableLP is an artificial-free LP large enough that a cold re-solve
+// costs real pivots, used by the warm-start tests. All rows are LE with
+// slack-feasible origins so the optimal basis never retains an artificial.
+func warmableLP() *Problem {
+	rng := rand.New(rand.NewSource(4242))
+	p := NewProblem(Maximize)
+	const nv, nr = 30, 18
+	for j := 0; j < nv; j++ {
+		p.AddVar("", 0, 4, 0.5+rng.Float64())
+	}
+	for r := 0; r < nr; r++ {
+		terms := make([]Term, 0, 6)
+		for k := 0; k < 6; k++ {
+			terms = append(terms, Term{(r*7 + k*5) % nv, 0.2 + rng.Float64()})
+		}
+		p.AddRow(LE, 4+3*rng.Float64(), terms...)
+	}
+	return p
+}
+
+// TestRevisedWarmStartBitIdentical is the core warm-start contract: after
+// an RHS patch, a warm dual re-solve must return bit-identical numbers to
+// a cold revised solve of the same patched problem, because both extract
+// from the same canonically refactorized basis.
+func TestRevisedWarmStartBitIdentical(t *testing.T) {
+	p := warmableLP()
+	p.Method = MethodRevised
+	p.WarmStart = true
+	ws := &Workspace{}
+	if _, err := p.SolveWith(ws); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		r := rng.Intn(p.NumRows())
+		p.SetRHS(r, 4+3*rng.Float64())
+		warm, err := p.SolveWith(ws)
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+
+		cold := warmableLP()
+		cold.Method = MethodRevised
+		cold.SetRHS(r, p.rows[r].rhs)
+		// Replay all prior patches so the cold problem matches.
+		for i := 0; i < cold.NumRows(); i++ {
+			cold.SetRHS(i, p.rows[i].rhs)
+		}
+		ref, err := cold.Solve()
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		solutionBitsEqual(t, "warm-vs-cold", warm, ref)
+		for i := 0; i < p.NumRows(); i++ {
+			if math.Float64bits(warm.Dual(i)) != math.Float64bits(ref.Dual(i)) {
+				t.Fatalf("trial %d: dual[%d] = %v warm, %v cold", trial, i, warm.Dual(i), ref.Dual(i))
+			}
+		}
+	}
+	if ws.Stats.WarmHits == 0 {
+		t.Fatalf("WarmHits = 0 over 20 RHS patches (attempts %d, rejects %d)",
+			ws.Stats.WarmAttempts, ws.Stats.WarmRejects)
+	}
+}
+
+// TestRevisedWarmStartRejectsCoefficientChange: any change outside the RHS
+// must miss the signature and run cold — silently warm-starting off a
+// stale basis after a cost or coefficient edit would be wrong.
+func TestRevisedWarmStartRejectsCoefficientChange(t *testing.T) {
+	p := warmableLP()
+	p.Method = MethodRevised
+	p.WarmStart = true
+	ws := &Workspace{}
+	if _, err := p.SolveWith(ws); err != nil {
+		t.Fatal(err)
+	}
+	p.SetCost(0, 9.75)
+	got, err := p.SolveWith(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Stats.WarmAttempts != 1 || ws.Stats.WarmRejects != 1 {
+		t.Fatalf("attempts=%d rejects=%d after cost change, want 1/1",
+			ws.Stats.WarmAttempts, ws.Stats.WarmRejects)
+	}
+	cold := warmableLP()
+	cold.Method = MethodRevised
+	cold.SetCost(0, 9.75)
+	ref, err := cold.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solutionBitsEqual(t, "post-reject", got, ref)
+
+	// The rejected solve retained the new signature, so the next RHS patch
+	// warm-starts again.
+	p.SetRHS(0, 5.5)
+	if _, err := p.SolveWith(ws); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Stats.WarmHits == 0 {
+		t.Fatal("warm start did not recover after a rejected attempt")
+	}
+}
+
+// TestRevisedWarmSolveIntoZeroAllocs is the revised-core version of the
+// epoch hot-path guarantee: warmed-up RHS-patched re-solves through
+// SolveInto allocate nothing, including the dual warm-start machinery.
+func TestRevisedWarmSolveIntoZeroAllocs(t *testing.T) {
+	p := warmableLP()
+	p.Method = MethodRevised
+	p.WarmStart = true
+	ws := &Workspace{}
+	if _, err := p.SolveInto(nil, ws); err != nil {
+		t.Fatal(err)
+	}
+	rhs := []float64{5.0, 5.5}
+	i := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		p.SetRHS(0, rhs[i%2])
+		i++
+		sol, err := p.SolveInto(nil, ws)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("warm solve: %v (%v)", err, sol.Status)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm revised SolveInto allocates %.1f objects/op, want 0", allocs)
+	}
+	if ws.Stats.WarmHits == 0 {
+		t.Fatal("alloc loop never warm-started")
+	}
+}
+
+// TestRevisedWarmFewerPivots: a warm dual re-solve after a modest RHS step
+// must cost strictly fewer pivots than the cold solve of the same problem
+// — the whole point of retaining the basis.
+func TestRevisedWarmFewerPivots(t *testing.T) {
+	p := warmableLP()
+	p.Method = MethodRevised
+	p.WarmStart = true
+	ws := &Workspace{}
+	if _, err := p.SolveWith(ws); err != nil {
+		t.Fatal(err)
+	}
+	pivots0 := ws.Stats.Pivots
+	p.SetRHS(3, 5.25)
+	if _, err := p.SolveWith(ws); err != nil {
+		t.Fatal(err)
+	}
+	warmPivots := ws.Stats.Pivots - pivots0
+	if ws.Stats.WarmHits != 1 {
+		t.Fatalf("WarmHits = %d, want 1", ws.Stats.WarmHits)
+	}
+
+	cold := warmableLP()
+	cold.Method = MethodRevised
+	cold.SetRHS(3, 5.25)
+	cws := &Workspace{}
+	if _, err := cold.SolveWith(cws); err != nil {
+		t.Fatal(err)
+	}
+	if warmPivots >= cws.Stats.Pivots {
+		t.Fatalf("warm re-solve took %d pivots, cold %d — warm start saved nothing",
+			warmPivots, cws.Stats.Pivots)
+	}
+}
+
+// TestMethodString pins the flag-facing names.
+func TestMethodString(t *testing.T) {
+	if MethodTableau.String() != "tableau" || MethodRevised.String() != "revised" {
+		t.Fatalf("Method strings = %q/%q", MethodTableau.String(), MethodRevised.String())
+	}
+}

@@ -208,31 +208,40 @@ func TestSolveContextCanceled(t *testing.T) {
 	}
 }
 
+// countdownCtx reports Canceled after its Err method has been polled a
+// fixed number of times. The solver only consults ctx.Err() at its
+// cooperative check points, so this cancels deterministically mid-solve
+// without depending on goroutine scheduling (a cancel() fired from a
+// helper goroutine never runs before the solve completes on a single-CPU
+// machine, because the pivot loop does not yield).
+type countdownCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls--; c.polls < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
 // TestSolveContextMidSolveCancel cancels after the solve has started
 // pivoting (the cube is big enough that the cooperative check every
-// ctxCheckEvery pivots fires before completion when the context expires
-// immediately via a deadline in the past).
+// ctxCheckEvery pivots fires many times, and the countdown context flips
+// to Canceled only after the first few checks have passed).
 func TestSolveContextMidSolveCancel(t *testing.T) {
 	p := kleeMinty(14) // 16383 Dantzig pivots: plenty of check windows
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan struct{})
-	go func() {
-		// Cancel as soon as the solve is underway; even if this loses the
-		// race and fires before the first pivot, the outcome is the same
-		// status.
-		cancel()
-		close(done)
-	}()
+	ctx := &countdownCtx{Context: context.Background(), polls: 8}
 	sol, err := p.SolveContext(ctx)
-	<-done
 	if err == nil {
-		// The solve may legitimately win the race on a fast machine only if
-		// cancel had not fired; with cancel() called synchronously first
-		// that cannot happen.
 		t.Fatal("want cancellation error")
 	}
 	if sol.Status != Canceled {
 		t.Errorf("status = %v, want Canceled", sol.Status)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
 	}
 }
 

@@ -78,7 +78,6 @@ type tableauState struct {
 
 	nStruct int // number of structural variables
 	nArt    int
-	flipped []bool // rows scaled by −1 during artificial setup
 	iters   int
 	maxIter int
 	bland   bool
@@ -223,6 +222,9 @@ func (p *Problem) solveOnce(ctx context.Context, ws *Workspace, forceBland, reus
 			return &Solution{Status: Canceled}, false, &StatusError{Status: Canceled, cause: cerr}
 		}
 	}
+	if p.Method == MethodRevised {
+		return p.solveOnceRevised(ctx, ws, forceBland, reuse)
+	}
 	st := p.newState(ws)
 	st.ctx = ctx
 	if forceBland {
@@ -353,14 +355,6 @@ func (p *Problem) newState(ws *Workspace) *tableauState {
 	} else {
 		st.basis = make([]int, m)
 	}
-	if cap(ws.flipped) >= m {
-		st.flipped = ws.flipped[:m]
-		for i := range st.flipped {
-			st.flipped[i] = false
-		}
-	} else {
-		st.flipped = make([]bool, m)
-	}
 	st.xB = ws.f64(ws.xB, m)
 	ws.xB = st.xB
 	st.colBuf = ws.f64(ws.colBuf, m)
@@ -392,7 +386,6 @@ func (p *Problem) newState(ws *Workspace) *tableauState {
 				rowv[j] = -rowv[j]
 			}
 			res = -res
-			st.flipped[i] = true
 		}
 		art := nCols + st.nArt
 		st.lo = append(st.lo, 0)
@@ -1000,9 +993,11 @@ func (p *Problem) finish(st *tableauState, status Status, ws *Workspace, reuse b
 	}
 	sol.Objective = obj
 
-	// Row duals from the slack columns' reduced costs: with the row
-	// possibly scaled by σ_i = ±1, d_slack_i = −σ_i·y_i for the internal
-	// minimization; the user-facing dual also flips sign for Maximize.
+	// Row duals from the slack columns' reduced costs. Rows scaled by
+	// σ_i = ±1 during the artificial setup cancel out: the internal dual
+	// ŷ_i = −σ_i·d_slack_i lives in the scaled frame, and converting back
+	// to the user frame multiplies by σ_i again, so y_i = −d_slack_i
+	// always. The user-facing dual also flips sign for Maximize.
 	// Optimality implies d was just fully recomputed (the verification
 	// sweep), so the refresh only runs if something invalidated it since.
 	if !st.dFresh {
@@ -1020,11 +1015,7 @@ func (p *Problem) finish(st *tableauState, status Status, ws *Workspace, reuse b
 		duals = make([]float64, st.m)
 	}
 	for i := 0; i < st.m; i++ {
-		sigma := 1.0
-		if st.flipped[i] {
-			sigma = -1
-		}
-		duals[i] = sign * -sigma * st.d[st.nStruct+i]
+		duals[i] = sign * -st.d[st.nStruct+i]
 	}
 	sol.duals = duals
 	return sol, nil
@@ -1138,6 +1129,9 @@ func (p *Problem) rescaledCopy() *Problem {
 		names:   p.names,
 		MaxIter: p.MaxIter,
 		Pricing: p.Pricing,
+		Method:  p.Method,
+		// WarmStart stays off: the retry's scaled coefficients could never
+		// match the retained signature anyway.
 	}
 	q.rows = make([]row, len(p.rows))
 	q.retryRowScale = make([]float64, len(p.rows))
