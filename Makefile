@@ -21,10 +21,12 @@ race:
 
 # Pre-merge gate (see README): formatting, vet, build, full race suite,
 # the full revised-vs-tableau differential sweep (600 seeded LPs, behind
-# the slow tag), short fuzz smokes on the workload parser and the LU
-# factorizer, the simplex performance gate, and a short instrumented
-# degraded run whose exported time series must pass cmd/tscheck's schema
-# validation.
+# the slow tag), short fuzz smokes on the workload parser, the LU
+# factorizer and the checkpoint journal decoder, the simplex performance
+# gate, a short instrumented degraded run whose exported time series must
+# pass cmd/tscheck's schema validation, and a crash-recovery smoke: a
+# checkpointed sweep is killed mid-run after its 5th durable commit, then
+# resumed, and the resumed table must byte-match an uninterrupted run's.
 ci:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -34,10 +36,22 @@ ci:
 	$(GO) test -tags slow -run TestDifferentialFull ./internal/linprog
 	$(GO) test -run '^$$' -fuzz FuzzLoadTasks -fuzztime 10s ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzFactorLU -fuzztime 10s ./internal/linalg
+	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 10s ./internal/persist
 	$(MAKE) bench-compare BENCHTIME=1x
 	$(GO) run ./cmd/tapo degraded -trials 1 -nodes 10 -cracs 2 -horizon 30 \
 		-faults 0:0,2:1 -metrics-out /tmp/tapo-ci-metrics.jsonl > /dev/null
 	$(GO) run ./cmd/tscheck /tmp/tapo-ci-metrics.jsonl
+	$(GO) build -o /tmp/tapo-ci ./cmd/tapo
+	rm -rf /tmp/tapo-ci-ck
+	/tmp/tapo-ci degraded -trials 1 -nodes 10 -cracs 2 -horizon 30 \
+		-faults 0:0,2:1 > /tmp/tapo-ci-clean.txt
+	if /tmp/tapo-ci degraded -trials 1 -nodes 10 -cracs 2 -horizon 30 \
+		-faults 0:0,2:1 -checkpoint /tmp/tapo-ci-ck -crash-after 5 \
+		> /dev/null 2>&1; then \
+		echo "crash-recovery smoke: -crash-after did not crash"; exit 1; fi
+	/tmp/tapo-ci degraded -trials 1 -nodes 10 -cracs 2 -horizon 30 \
+		-faults 0:0,2:1 -resume /tmp/tapo-ci-ck > /tmp/tapo-ci-resumed.txt
+	diff /tmp/tapo-ci-clean.txt /tmp/tapo-ci-resumed.txt
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

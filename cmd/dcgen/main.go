@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"thermaldc/internal/persist"
 	"thermaldc/internal/scenario"
 )
 
@@ -63,16 +64,15 @@ func run(args []string, stdout io.Writer) error {
 		Pmax:        sc.Pmax,
 		DataCenter:  sc.DC,
 	}
-	w := stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	encode := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(d)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(d)
+	if *out == "-" {
+		return encode(stdout)
+	}
+	// Atomic write: a crash or full disk never leaves a torn dump under
+	// the requested name.
+	return persist.WriteFileAtomic(*out, encode)
 }

@@ -14,29 +14,41 @@
 //	tapo simulate [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
 //	tapo degraded [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
 //	              [-epoch SEC] [-faults nodes:cracs,...] [-solve-timeout DUR]
-//	              [-metrics-out FILE]
+//	              [-metrics-out FILE] [-checkpoint DIR] [-resume DIR]
 //
 // Global telemetry flags (before the command): -log-level/-log-json tune
 // the structured logger, -serve-metrics ADDR exposes /metrics (Prometheus
 // text), /debug/vars (expvar), and /debug/pprof on an HTTP listener for
 // the duration of the run.
 //
+// SIGINT/SIGTERM cancel the run at the next epoch or trial boundary and
+// exit 130; a second signal forces immediate exit. With `degraded
+// -checkpoint DIR` every completed epoch is already durable on disk when
+// the signal lands, so `degraded -resume DIR` continues the sweep where
+// it stopped.
+//
 // Full paper scale is `-trials 25 -nodes 150 -cracs 3`; the defaults are
 // reduced so every command finishes interactively.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"thermaldc/internal/assign"
 	"thermaldc/internal/experiments"
 	"thermaldc/internal/linprog"
+	"thermaldc/internal/persist"
 	"thermaldc/internal/report"
 	"thermaldc/internal/scenario"
 	"thermaldc/internal/telemetry"
@@ -79,17 +91,13 @@ func tunePricing(opts *assign.Options) {
 }
 
 // writeCSV writes one experiment result to path via the given writer
-// function ("" = skip).
-func writeCSV(path string, write func(w *os.File) error) error {
+// function ("" = skip). The write is atomic — temp file, fsync, rename —
+// so a crash or full disk never leaves a torn CSV under the final name.
+func writeCSV(path string, write func(w io.Writer) error) error {
 	if path == "" {
 		return nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := write(f); err != nil {
+	if err := persist.WriteFileAtomic(path, write); err != nil {
 		return err
 	}
 	telemetry.Default().Info("wrote " + path)
@@ -179,10 +187,13 @@ func run() int {
 		}()
 	}
 
+	ctx, stop := signalContext()
+	defer stop()
+
 	var err error
 	switch cmd {
 	case "fig6":
-		err = runFig6(args)
+		err = runFig6(ctx, args)
 	case "table1":
 		err = runTable1(args)
 	case "table2":
@@ -192,25 +203,25 @@ func run() int {
 	case "bounds":
 		err = runBounds(args)
 	case "sweep":
-		err = runSweep(args)
+		err = runSweep(ctx, args)
 	case "ablation":
-		err = runAblation(args)
+		err = runAblation(ctx, args)
 	case "simulate":
-		err = runSimulate(args)
+		err = runSimulate(ctx, args)
 	case "minpower":
 		err = runMinPower(args)
 	case "policies":
-		err = runPolicies(args)
+		err = runPolicies(ctx, args)
 	case "dynamic":
-		err = runDynamic(args)
+		err = runDynamic(ctx, args)
 	case "degraded":
-		err = runDegraded(args)
+		err = runDegraded(ctx, args)
 	case "thermal":
 		err = runThermal(args)
 	case "compare":
-		err = runCompare(args)
+		err = runCompare(ctx, args)
 	case "burst":
-		err = runBurst(args)
+		err = runBurst(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -218,11 +229,42 @@ func run() int {
 		usage()
 		return 2
 	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "tapo %s: interrupted\n", cmd)
+		return 130
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tapo %s: %v\n", cmd, err)
 		return 1
 	}
 	return 0
+}
+
+// signalContext returns a context canceled by the first SIGINT/SIGTERM so
+// long-running commands stop at the next epoch or trial boundary (with
+// -checkpoint, everything already committed stays durable). A second
+// signal forces immediate exit with the conventional interrupt status.
+func signalContext() (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		telemetry.Default().Warn("received " + s.String() + "; finishing the current step (signal again to force quit)")
+		cancel()
+		if _, ok := <-sigc; ok {
+			telemetry.Default().Error("second signal; exiting immediately")
+			os.Exit(130)
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(sigc)
+		close(sigc)
+		cancel()
+	}
 }
 
 func usage() {
@@ -253,6 +295,10 @@ global flags (before the command):
   -log-json            emit logs as JSON lines instead of plain text
   -serve-metrics ADDR  serve /metrics, /debug/vars and /debug/pprof on ADDR
 
+SIGINT/SIGTERM stop the run at the next epoch/trial boundary (exit 130);
+a second signal exits immediately. "degraded -checkpoint DIR" makes every
+completed epoch durable; "degraded -resume DIR" continues a killed sweep.
+
 run "tapo <cmd> -h" for flags; paper scale is -trials 25 -nodes 150 -cracs 3
 `)
 }
@@ -272,7 +318,7 @@ func searchParFlag(fs *flag.FlagSet) *int {
 	return fs.Int("search-parallelism", 0, "workers per temperature search (0 = GOMAXPROCS; any value gives identical results)")
 }
 
-func runFig6(args []string) error {
+func runFig6(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
 	quiet := fs.Bool("quiet", false, "suppress per-trial progress")
@@ -293,12 +339,12 @@ func runFig6(args []string) error {
 	if *quiet {
 		progress = nil
 	}
-	res, err := experiments.Figure6(cfg, progress)
+	res, err := experiments.Figure6Context(ctx, cfg, progress)
 	if err != nil {
 		return err
 	}
 	fmt.Println(res.Render())
-	return writeCSV(*csvPath, func(w *os.File) error { return report.Fig6CSV(w, res) })
+	return writeCSV(*csvPath, func(w io.Writer) error { return report.Fig6CSV(w, res) })
 }
 
 func runTable1(args []string) error {
@@ -322,7 +368,7 @@ func runFig345(args []string) error {
 		return err
 	}
 	fmt.Println(experiments.RenderFig345(series))
-	return writeCSV(*csvPath, func(w *os.File) error { return report.Fig345CSV(w, series) })
+	return writeCSV(*csvPath, func(w io.Writer) error { return report.Fig345CSV(w, series) })
 }
 
 func runBounds(args []string) error {
@@ -359,7 +405,7 @@ func parseValues(s string) ([]float64, error) {
 	return out, nil
 }
 
-func runSweep(args []string) error {
+func runSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
 	kind := fs.String("kind", "powercap", "powercap | psi | vprop | static | hetero")
@@ -397,24 +443,24 @@ func runSweep(args []string) error {
 	var err error
 	switch *kind {
 	case "powercap":
-		res, err = experiments.PowerCapSweep(cfg)
+		res, err = experiments.PowerCapSweepContext(ctx, cfg)
 	case "psi":
-		res, err = experiments.PsiSweep(cfg)
+		res, err = experiments.PsiSweepContext(ctx, cfg)
 	case "vprop":
-		res, err = experiments.VpropSweep(cfg)
+		res, err = experiments.VpropSweepContext(ctx, cfg)
 	case "static":
-		res, err = experiments.StaticShareSweep(cfg)
+		res, err = experiments.StaticShareSweepContext(ctx, cfg)
 	case "hetero":
-		res, err = experiments.HeterogeneitySweep(cfg)
+		res, err = experiments.HeterogeneitySweepContext(ctx, cfg)
 	}
 	if err != nil {
 		return err
 	}
 	fmt.Println(res.Render())
-	return writeCSV(*csvPath, func(w *os.File) error { return report.SweepCSV(w, res) })
+	return writeCSV(*csvPath, func(w io.Writer) error { return report.SweepCSV(w, res) })
 }
 
-func runAblation(args []string) error {
+func runAblation(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
 	searchPar := searchParFlag(fs)
@@ -425,7 +471,7 @@ func runAblation(args []string) error {
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
 	cfg.Options.Search.Parallelism = *searchPar
 	tunePricing(&cfg.Options)
-	res, err := experiments.StrategyAblation(cfg, []assign.Strategy{
+	res, err := experiments.StrategyAblationContext(ctx, cfg, []assign.Strategy{
 		assign.CoarseToFine, assign.FullGrid, assign.CoordDescent,
 	})
 	if err != nil {
@@ -478,7 +524,7 @@ func runMinPower(args []string) error {
 	return nil
 }
 
-func runPolicies(args []string) error {
+func runPolicies(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("policies", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
 	horizon := fs.Float64("horizon", 60, "arrival horizon in seconds")
@@ -487,7 +533,7 @@ func runPolicies(args []string) error {
 	}
 	cfg := experiments.DefaultSweepConfig(nil)
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
-	res, err := experiments.PolicyAblation(cfg, *horizon)
+	res, err := experiments.PolicyAblationContext(ctx, cfg, *horizon)
 	if err != nil {
 		return err
 	}
@@ -495,7 +541,7 @@ func runPolicies(args []string) error {
 	return nil
 }
 
-func runDynamic(args []string) error {
+func runDynamic(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("dynamic", flag.ExitOnError)
 	_, nodes, cracs, seed := scaleFlags(fs)
 	horizon := fs.Float64("horizon", 120, "arrival horizon in seconds")
@@ -508,7 +554,7 @@ func runDynamic(args []string) error {
 	cfg := experiments.DefaultDynamicConfig(*seed)
 	cfg.NNodes, cfg.NCracs = *nodes, *cracs
 	cfg.Horizon, cfg.Epoch, cfg.Amplitude, cfg.Period = *horizon, *epoch, *amp, *period
-	res, err := experiments.DynamicReassignment(cfg)
+	res, err := experiments.DynamicReassignmentContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -541,7 +587,7 @@ func parseLevels(s string) ([]experiments.DegradedLevel, error) {
 	return out, nil
 }
 
-func runDegraded(args []string) error {
+func runDegraded(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("degraded", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
 	horizon := fs.Float64("horizon", 60, "arrival horizon in seconds")
@@ -549,6 +595,10 @@ func runDegraded(args []string) error {
 	faultsFlag := fs.String("faults", "0:0,2:0,2:1,4:1,6:2", "severity levels as failedNodes:degradedCracs, comma-separated")
 	solveTimeout := fs.Duration("solve-timeout", 0, "per-epoch solve deadline (e.g. 200ms); 0 disables; expired budgets engage the degradation ladder")
 	metricsOut := fs.String("metrics-out", "", "write a per-epoch JSONL time series (one run per trial×mode) to this file")
+	checkpointDir := fs.String("checkpoint", "", "journal every completed epoch to this directory; a killed sweep resumes with -resume")
+	resumeDir := fs.String("resume", "", "resume a killed sweep from this checkpoint directory (config must match)")
+	snapEvery := fs.Int("snapshot-every", 0, "compact the checkpoint journal every N commits (0 = default, negative = never)")
+	crashAfter := fs.Int("crash-after", 0, "TESTING: exit hard right after the Nth durable commit (requires -checkpoint)")
 	searchPar := searchParFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -564,31 +614,58 @@ func runDegraded(args []string) error {
 	cfg.SolveTimeout = *solveTimeout
 	cfg.Options.Search.Parallelism = *searchPar
 	tunePricing(&cfg.Options)
+	cfg.CheckpointDir = *checkpointDir
+	cfg.SnapshotEvery = *snapEvery
+	if *resumeDir != "" {
+		if *checkpointDir != "" && *checkpointDir != *resumeDir {
+			return fmt.Errorf("-checkpoint %q and -resume %q name different directories", *checkpointDir, *resumeDir)
+		}
+		cfg.CheckpointDir = *resumeDir
+		cfg.Resume = true
+	}
+	if *crashAfter > 0 {
+		if cfg.CheckpointDir == "" {
+			return fmt.Errorf("-crash-after requires -checkpoint")
+		}
+		n := *crashAfter
+		cfg.CommitHook = func(commits int) {
+			if commits == n {
+				telemetry.Default().Error("crash-after: simulating a crash", "commit", commits)
+				os.Exit(7)
+			}
+		}
+	}
 	cfg.Recorder = recorder
+	var mf *persist.AtomicFile
 	if *metricsOut != "" {
 		if cfg.Recorder == nil {
 			cfg.Recorder = telemetry.NewRecorder()
 		}
-		mf, err := os.Create(*metricsOut)
+		// The series streams into a temp file and only takes the final
+		// name on a clean finish, so a crash never leaves a torn JSONL.
+		mf, err = persist.NewAtomicFile(*metricsOut)
 		if err != nil {
 			return err
 		}
-		defer mf.Close()
+		defer mf.Abort() // no-op after Commit; discards a torn series on error
 		cfg.Recorder.Series = telemetry.NewJSONLWriter(mf)
 		cfg.Options.Recorder = cfg.Recorder
 	}
-	res, err := experiments.DegradedSweep(cfg)
+	res, err := experiments.DegradedSweepContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println(res.Render())
-	if *metricsOut != "" {
+	if mf != nil {
+		if err := mf.Commit(); err != nil {
+			return err
+		}
 		telemetry.Default().Info("wrote " + *metricsOut)
 	}
 	return nil
 }
 
-func runCompare(args []string) error {
+func runCompare(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
 	static := fs.Float64("static", 0.3, "static power share")
@@ -599,7 +676,7 @@ func runCompare(args []string) error {
 	cfg := experiments.DefaultSweepConfig(nil)
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
 	cfg.StaticShare, cfg.Vprop = *static, *vprop
-	res, err := experiments.TechniqueComparison(cfg)
+	res, err := experiments.TechniqueComparisonContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -607,7 +684,7 @@ func runCompare(args []string) error {
 	return nil
 }
 
-func runBurst(args []string) error {
+func runBurst(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("burst", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
 	horizon := fs.Float64("horizon", 60, "arrival horizon in seconds")
@@ -621,7 +698,7 @@ func runBurst(args []string) error {
 	}
 	cfg := experiments.DefaultSweepConfig(vs)
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
-	res, err := experiments.BurstinessSweep(cfg, *horizon)
+	res, err := experiments.BurstinessSweepContext(ctx, cfg, *horizon)
 	if err != nil {
 		return err
 	}
@@ -653,7 +730,7 @@ func runThermal(args []string) error {
 	return nil
 }
 
-func runSimulate(args []string) error {
+func runSimulate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	trials, nodes, cracs, seed := scaleFlags(fs)
 	horizon := fs.Float64("horizon", 60, "arrival horizon in seconds")
@@ -662,7 +739,7 @@ func runSimulate(args []string) error {
 	}
 	cfg := experiments.DefaultSweepConfig(nil)
 	cfg.Trials, cfg.NNodes, cfg.NCracs, cfg.BaseSeed = *trials, *nodes, *cracs, *seed
-	res, err := experiments.SchedulerValidation(cfg, *horizon)
+	res, err := experiments.SchedulerValidationContext(ctx, cfg, *horizon)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"testing"
 )
@@ -35,31 +36,31 @@ func TestRunBoundsTiny(t *testing.T) {
 }
 
 func TestRunFig6Tiny(t *testing.T) {
-	if err := runFig6([]string{"-trials", "1", "-nodes", "10", "-cracs", "2", "-quiet"}); err != nil {
+	if err := runFig6(context.Background(), []string{"-trials", "1", "-nodes", "10", "-cracs", "2", "-quiet"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSweepTiny(t *testing.T) {
-	if err := runSweep([]string{"-kind", "psi", "-values", "25,50", "-trials", "1", "-nodes", "10", "-cracs", "2"}); err != nil {
+	if err := runSweep(context.Background(), []string{"-kind", "psi", "-values", "25,50", "-trials", "1", "-nodes", "10", "-cracs", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSweepUnknownKind(t *testing.T) {
-	if err := runSweep([]string{"-kind", "nope"}); err == nil {
+	if err := runSweep(context.Background(), []string{"-kind", "nope"}); err == nil {
 		t.Fatal("unknown sweep kind accepted")
 	}
 }
 
 func TestRunAblationTiny(t *testing.T) {
-	if err := runAblation([]string{"-trials", "1", "-nodes", "10", "-cracs", "2"}); err != nil {
+	if err := runAblation(context.Background(), []string{"-trials", "1", "-nodes", "10", "-cracs", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSimulateTiny(t *testing.T) {
-	if err := runSimulate([]string{"-trials", "1", "-nodes", "10", "-cracs", "2", "-horizon", "10"}); err != nil {
+	if err := runSimulate(context.Background(), []string{"-trials", "1", "-nodes", "10", "-cracs", "2", "-horizon", "10"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -71,13 +72,13 @@ func TestRunMinPowerTiny(t *testing.T) {
 }
 
 func TestRunPoliciesTiny(t *testing.T) {
-	if err := runPolicies([]string{"-trials", "1", "-nodes", "10", "-cracs", "2", "-horizon", "10"}); err != nil {
+	if err := runPolicies(context.Background(), []string{"-trials", "1", "-nodes", "10", "-cracs", "2", "-horizon", "10"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDynamicTiny(t *testing.T) {
-	if err := runDynamic([]string{"-nodes", "10", "-cracs", "2", "-horizon", "30", "-epoch", "15", "-period", "30"}); err != nil {
+	if err := runDynamic(context.Background(), []string{"-nodes", "10", "-cracs", "2", "-horizon", "30", "-epoch", "15", "-period", "30"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -89,9 +90,48 @@ func TestRunThermalTiny(t *testing.T) {
 }
 
 func TestRunDegradedTiny(t *testing.T) {
-	if err := runDegraded([]string{"-trials", "1", "-nodes", "10", "-cracs", "2",
+	if err := runDegraded(context.Background(), []string{"-trials", "1", "-nodes", "10", "-cracs", "2",
 		"-horizon", "20", "-epoch", "10", "-faults", "0:0,2:1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunDegradedCheckpointFlags(t *testing.T) {
+	scale := []string{"-trials", "1", "-nodes", "10", "-cracs", "2",
+		"-horizon", "20", "-epoch", "10", "-faults", "0:0,2:1"}
+	dir := t.TempDir() + "/ck"
+	if err := runDegraded(context.Background(), append([]string{"-checkpoint", dir}, scale...)); err != nil {
+		t.Fatal(err)
+	}
+	// Resuming a finished sweep replays the journal and re-renders.
+	if err := runDegraded(context.Background(), append([]string{"-resume", dir}, scale...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDegraded(context.Background(), []string{"-checkpoint", "a", "-resume", "b"}); err == nil {
+		t.Fatal("conflicting -checkpoint/-resume accepted")
+	}
+	if err := runDegraded(context.Background(), []string{"-crash-after", "3"}); err == nil {
+		t.Fatal("-crash-after without -checkpoint accepted")
+	}
+}
+
+func TestRunDegradedMetricsOutAtomic(t *testing.T) {
+	path := t.TempDir() + "/series.jsonl"
+	if err := runDegraded(context.Background(), []string{"-trials", "1", "-nodes", "10", "-cracs", "2",
+		"-horizon", "20", "-epoch", "10", "-faults", "0:0", "-metrics-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("metrics series not written: %v", err)
+	}
+	// A failing run must not leave a torn file under the final name.
+	bad := t.TempDir() + "/bad.jsonl"
+	if err := runDegraded(context.Background(), []string{"-trials", "0", "-metrics-out", bad}); err == nil {
+		t.Fatal("zero-trial sweep succeeded")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("failed run left %s behind (err=%v)", bad, err)
 	}
 }
 

@@ -1,0 +1,255 @@
+package controller_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"thermaldc/internal/controller"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/workload"
+)
+
+// normalizeWall zeroes the wall-clock fields, the only part of a Result
+// that legitimately differs between an uninterrupted and a resumed run.
+func normalizeWall(res *controller.Result) {
+	for i := range res.Epochs {
+		res.Epochs[i].SolveWall = 0
+	}
+}
+
+// gobRoundTrip pushes a checkpoint through gob, as the persistence layer
+// does, so the matrix also proves the checkpoint survives serialization.
+func gobRoundTrip(t *testing.T, ck *controller.Checkpoint) *controller.Checkpoint {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	out := new(controller.Checkpoint)
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	return out
+}
+
+// TestResumeMatrixBitIdentical is the exact-resume property: for every
+// epoch k, a run killed after epoch k and resumed from its checkpoint
+// finishes with a Result identical — bit for bit, wall clock excepted —
+// to the uninterrupted run. Checkpoints take a gob round trip on the way,
+// like the on-disk journal's.
+func TestResumeMatrixBitIdentical(t *testing.T) {
+	sc := buildScenario(t, 1, 10)
+	const horizon = 40.0
+	schedule := handSchedule(horizon)
+	cfg := controller.DefaultConfig(horizon, 10)
+
+	var deltas []*controller.EpochDelta
+	cfg.Checkpoint = func(d *controller.EpochDelta) error {
+		deltas = append(deltas, d)
+		return nil
+	}
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(31))
+	golden, err := controller.Run(sc.DC, schedule, tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizeWall(golden)
+	if len(deltas) != golden.EpochsSeen {
+		t.Fatalf("sink saw %d deltas for %d epochs", len(deltas), golden.EpochsSeen)
+	}
+	if len(deltas) < 5 {
+		t.Fatalf("scenario too small for a meaningful matrix: %d epochs", len(deltas))
+	}
+
+	for k := 1; k <= len(deltas); k++ {
+		k := k
+		t.Run(fmt.Sprintf("kill-after-epoch-%d", k), func(t *testing.T) {
+			ck := controller.NewCheckpoint(cfg)
+			for _, d := range deltas[:k] {
+				ck.Fold(d)
+			}
+			rcfg := cfg
+			rcfg.Checkpoint = nil
+			rcfg.Resume = gobRoundTrip(t, ck)
+			// Fresh inputs, as a resuming process would regenerate them.
+			rtasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(31))
+			res, err := controller.Run(sc.DC, schedule, rtasks, rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			normalizeWall(res)
+			if !reflect.DeepEqual(golden, res) {
+				t.Errorf("resumed result diverges from the uninterrupted run:\ngolden: %+v\nresumed: %+v", golden, res)
+			}
+		})
+	}
+}
+
+// TestResumeFoldEquivalence checks that deltas emitted by a resumed run
+// fold onto the pre-kill checkpoint to the same final state as folding
+// the uninterrupted run's full delta stream — i.e. checkpoint chains
+// survive repeated kills.
+func TestResumeFoldEquivalence(t *testing.T) {
+	sc := buildScenario(t, 2, 10)
+	const horizon = 40.0
+	schedule := handSchedule(horizon)
+	cfg := controller.DefaultConfig(horizon, 10)
+
+	var full []*controller.EpochDelta
+	cfg.Checkpoint = func(d *controller.EpochDelta) error { full = append(full, d); return nil }
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(33))
+	if _, err := controller.Run(sc.DC, schedule, tasks, cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := controller.NewCheckpoint(cfg)
+	for _, d := range full {
+		want.Fold(d)
+	}
+
+	k := len(full) / 2
+	ck := controller.NewCheckpoint(cfg)
+	for _, d := range full[:k] {
+		ck.Fold(d)
+	}
+	rcfg := cfg
+	rcfg.Resume = gobRoundTrip(t, ck)
+	rcfg.Checkpoint = func(d *controller.EpochDelta) error { ck.Fold(d); return nil }
+	rtasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(33))
+	if _, err := controller.Run(sc.DC, schedule, rtasks, rcfg); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range want.Res.Epochs {
+		want.Res.Epochs[i].SolveWall = 0
+		ck.Res.Epochs[i].SolveWall = 0
+	}
+	if !reflect.DeepEqual(want, ck) {
+		t.Errorf("chained checkpoint diverges:\nwant %+v\ngot  %+v", want, ck)
+	}
+}
+
+// TestResumeWithEpochWindow exercises the MaxEpochReports retention ring
+// across a kill/resume: the windowed reports must match the uninterrupted
+// run's window exactly, including the ring cursor.
+func TestResumeWithEpochWindow(t *testing.T) {
+	sc := buildScenario(t, 3, 10)
+	const horizon = 40.0
+	schedule := handSchedule(horizon)
+	cfg := controller.DefaultConfig(horizon, 10)
+	cfg.MaxEpochReports = 3
+
+	var deltas []*controller.EpochDelta
+	cfg.Checkpoint = func(d *controller.EpochDelta) error { deltas = append(deltas, d); return nil }
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(35))
+	golden, err := controller.Run(sc.DC, schedule, tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizeWall(golden)
+	if len(golden.Epochs) != 3 || golden.EpochsSeen <= 4 {
+		t.Fatalf("window not exercised: %d reports of %d epochs", len(golden.Epochs), golden.EpochsSeen)
+	}
+
+	// Kill after the ring has already wrapped.
+	k := 5
+	ck := controller.NewCheckpoint(cfg)
+	for _, d := range deltas[:k] {
+		ck.Fold(d)
+	}
+	rcfg := cfg
+	rcfg.Checkpoint = nil
+	rcfg.Resume = gobRoundTrip(t, ck)
+	rtasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(35))
+	res, err := controller.Run(sc.DC, schedule, rtasks, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizeWall(res)
+	if !reflect.DeepEqual(golden, res) {
+		t.Errorf("windowed resume diverges:\ngolden %+v\nresumed %+v", golden, res)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	sc := buildScenario(t, 4, 10)
+	const horizon = 40.0
+	schedule := handSchedule(horizon)
+	cfg := controller.DefaultConfig(horizon, 10)
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(37))
+
+	var deltas []*controller.EpochDelta
+	ccfg := cfg
+	ccfg.Checkpoint = func(d *controller.EpochDelta) error { deltas = append(deltas, d); return nil }
+	if _, err := controller.Run(sc.DC, schedule, tasks, ccfg); err != nil {
+		t.Fatal(err)
+	}
+	valid := controller.NewCheckpoint(cfg)
+	for _, d := range deltas[:2] {
+		valid.Fold(d)
+	}
+
+	t.Run("empty checkpoint", func(t *testing.T) {
+		rcfg := cfg
+		rcfg.Resume = controller.NewCheckpoint(cfg)
+		if _, err := controller.Run(sc.DC, schedule, tasks, rcfg); err == nil {
+			t.Error("resume from an empty checkpoint succeeded")
+		}
+	})
+	t.Run("window mismatch", func(t *testing.T) {
+		rcfg := cfg
+		rcfg.MaxEpochReports = 7 // checkpoint was built with 0
+		rcfg.Resume = valid
+		if _, err := controller.Run(sc.DC, schedule, tasks, rcfg); err == nil {
+			t.Error("resume with a different MaxEpochReports succeeded")
+		}
+	})
+	t.Run("core count mismatch", func(t *testing.T) {
+		bad := gobRoundTrip(t, valid)
+		bad.FreeAt = bad.FreeAt[:len(bad.FreeAt)-1]
+		rcfg := cfg
+		rcfg.Resume = bad
+		if _, err := controller.Run(sc.DC, schedule, tasks, rcfg); err == nil {
+			t.Error("resume with a truncated FreeAt succeeded")
+		}
+	})
+	t.Run("epochs beyond horizon", func(t *testing.T) {
+		bad := gobRoundTrip(t, valid)
+		bad.EpochsDone = 1000
+		rcfg := cfg
+		rcfg.Resume = bad
+		if _, err := controller.Run(sc.DC, schedule, tasks, rcfg); err == nil {
+			t.Error("resume past the end of the run succeeded")
+		}
+	})
+	t.Run("open loop rejects persistence", func(t *testing.T) {
+		rcfg := cfg
+		rcfg.Mode = controller.OpenLoop
+		rcfg.Resume = valid
+		if _, err := controller.Run(sc.DC, schedule, tasks, rcfg); err == nil {
+			t.Error("open-loop resume succeeded")
+		}
+		rcfg.Resume = nil
+		rcfg.Checkpoint = func(*controller.EpochDelta) error { return nil }
+		if _, err := controller.Run(sc.DC, schedule, tasks, rcfg); err == nil {
+			t.Error("open-loop checkpointing succeeded")
+		}
+	})
+}
+
+func TestCheckpointSinkErrorAborts(t *testing.T) {
+	sc := buildScenario(t, 5, 10)
+	const horizon = 40.0
+	schedule := handSchedule(horizon)
+	cfg := controller.DefaultConfig(horizon, 10)
+	sinkErr := errors.New("disk gone")
+	cfg.Checkpoint = func(*controller.EpochDelta) error { return sinkErr }
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(39))
+	_, err := controller.Run(sc.DC, schedule, tasks, cfg)
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("run error %v, want the sink's", err)
+	}
+}

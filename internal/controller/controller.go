@@ -98,6 +98,18 @@ type Config struct {
 	// Result.EpochsSeen always cover the whole run — only the per-interval
 	// detail is windowed.
 	MaxEpochReports int
+	// Checkpoint, when non-nil, receives the EpochDelta of every completed
+	// closed-loop interval (see CheckpointSink). A sink error aborts the
+	// run. Nil — the default — keeps the run on the unpersisted fast path.
+	// Closed loop only: open-loop runs are single-shot and restart instead.
+	Checkpoint CheckpointSink
+	// Resume, when non-nil, restores a closed-loop run from a checkpoint
+	// instead of starting at t = 0: the loop continues at the next epoch
+	// boundary and the remaining intervals compute bit-identically to an
+	// uninterrupted run (wall-clock fields excepted). The configuration
+	// and inputs must match the checkpointed run's; mismatches the
+	// controller can detect fail loudly. Closed loop only.
+	Resume *Checkpoint
 }
 
 // DefaultConfig returns a closed-loop configuration: no solve deadline
@@ -273,6 +285,9 @@ func RunContext(ctx context.Context, base *model.DataCenter, schedule faults.Sch
 	}
 
 	if cfg.Mode == OpenLoop {
+		if cfg.Checkpoint != nil || cfg.Resume != nil {
+			return nil, fmt.Errorf("controller: open-loop runs are single-shot and do not checkpoint or resume")
+		}
 		return runOpenLoop(ctx, base, schedule, tasks, cfg, lost)
 	}
 	return runClosedLoop(ctx, base, schedule, tasks, cfg, lost)
@@ -298,7 +313,23 @@ func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.
 	freeAt := make([]float64, base.NumCores())
 	evIdx := 0
 	taskIdx := 0
-	for bi := 0; bi+1 < len(bounds); bi++ {
+	startBi := 0
+	if ck := cfg.Resume; ck != nil {
+		r, err := restoreClosedLoop(ctx, base, cfg, ck)
+		if err != nil {
+			return nil, err
+		}
+		res, st = r.res, r.st
+		solver, plannerDC, plannerTM = r.solver, r.plannerDC, r.plannerTM
+		plan, lastGood, s = r.plan, r.lastGood, r.s
+		freeAt = r.freeAt
+		evIdx, taskIdx, startBi = ck.EvIdx, ck.TaskIdx, ck.EpochsDone
+		if startBi > len(bounds)-1 {
+			return nil, fmt.Errorf("controller: resume checkpoint has %d epochs done but the run has only %d intervals",
+				startBi, len(bounds)-1)
+		}
+	}
+	for bi := startBi; bi+1 < len(bounds); bi++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("controller: run canceled at t=%g: %w", bounds[bi], cerr)
 		}
@@ -410,6 +441,20 @@ func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.
 		accumulate(res, &rep, out)
 		if err := m.emitEpoch(res, &rep, p); err != nil {
 			return nil, err
+		}
+		if cfg.Checkpoint != nil {
+			d := &EpochDelta{
+				EvIdx:       evIdx,
+				TaskIdx:     taskIdx,
+				Faults:      st.Clone(),
+				FreeAt:      append([]float64(nil), freeAt...),
+				SchedCounts: s.Counts(),
+				SchedStart:  s.StartTime(),
+				Report:      rep,
+			}
+			if err := cfg.Checkpoint(d); err != nil {
+				return nil, fmt.Errorf("controller: checkpoint at t=%g: %w", b, err)
+			}
 		}
 		tr.End(clkEpoch, telemetry.SpanEpoch, int32(res.EpochsSeen-1), rep.LP.Pivots, errBit(nil))
 	}

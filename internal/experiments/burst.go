@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,6 +32,11 @@ type BurstinessResult struct {
 // BurstinessSweep sweeps the MMPP burst factor (cfg.Values; 0 = plain
 // Poisson) and simulates both scheduling policies on identical streams.
 func BurstinessSweep(cfg SweepConfig, horizon float64) (*BurstinessResult, error) {
+	return BurstinessSweepContext(context.Background(), cfg, horizon)
+}
+
+// BurstinessSweepContext is BurstinessSweep under a cancelable context.
+func BurstinessSweepContext(ctx context.Context, cfg SweepConfig, horizon float64) (*BurstinessResult, error) {
 	if cfg.Trials <= 0 || len(cfg.Values) == 0 || horizon <= 0 {
 		return nil, fmt.Errorf("experiments: burstiness sweep needs Trials, Values and a horizon")
 	}
@@ -40,6 +46,9 @@ func BurstinessSweep(cfg SweepConfig, horizon float64) (*BurstinessResult, error
 	paperDrop := make([][]float64, len(cfg.Values))
 	softDrop := make([][]float64, len(cfg.Values))
 	for t := 0; t < cfg.Trials; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed := cfg.BaseSeed + int64(t)
 		scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,11 +32,20 @@ type ComparisonResult struct {
 
 // TechniqueComparison runs the three techniques. cfg.Values is ignored.
 func TechniqueComparison(cfg SweepConfig) (*ComparisonResult, error) {
+	return TechniqueComparisonContext(context.Background(), cfg)
+}
+
+// TechniqueComparisonContext is TechniqueComparison under a cancelable
+// context.
+func TechniqueComparisonContext(ctx context.Context, cfg SweepConfig) (*ComparisonResult, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: Trials must be positive")
 	}
 	var naive, base, three, bOverN, tOverB []float64
 	for t := 0; t < cfg.Trials; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed := cfg.BaseSeed + int64(t)
 		scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -52,6 +53,25 @@ type DegradedConfig struct {
 	// the whole sweep, and if a series sink is attached, each run writes
 	// its per-epoch rows under a fresh run number (JSONLWriter.NextRun).
 	Recorder *telemetry.Recorder
+	// CheckpointDir, when non-empty, makes the sweep crash-safe: every
+	// completed closed-loop epoch and finished run is committed durably to
+	// a journal in this directory (see internal/persist), with periodic
+	// snapshots. Empty — the default — keeps the sweep on the unpersisted
+	// fast path.
+	CheckpointDir string
+	// Resume recovers the sweep from CheckpointDir instead of starting
+	// fresh: finished runs are skipped (their journaled summaries feed the
+	// same accumulation), the interrupted closed-loop run continues at its
+	// next epoch, and the completed sweep renders byte-identically to an
+	// uninterrupted one.
+	Resume bool
+	// SnapshotEvery is the snapshot period in journal commits (0 means a
+	// default of 8; negative disables snapshots).
+	SnapshotEvery int
+	// CommitHook, when non-nil, is called after every durable journal
+	// commit with the running commit count. Crash-injection tests and the
+	// CLI's -crash-after flag use it to die at an exact persistence point.
+	CommitHook func(commits int)
 }
 
 // DefaultDegradedConfig returns a reduced-scale sweep: severity grows from
@@ -107,11 +127,28 @@ type DegradedResult struct {
 
 // DegradedSweep runs the experiment.
 func DegradedSweep(cfg DegradedConfig) (*DegradedResult, error) {
+	return DegradedSweepContext(context.Background(), cfg)
+}
+
+// DegradedSweepContext is DegradedSweep under a context: canceling ctx
+// stops the sweep between epochs (flushing any journal first, so a
+// canceled checkpointed sweep resumes exactly where it stopped).
+func DegradedSweepContext(ctx context.Context, cfg DegradedConfig) (*DegradedResult, error) {
 	if cfg.Horizon <= 0 || cfg.Epoch <= 0 || cfg.Trials <= 0 || len(cfg.Levels) == 0 {
 		return nil, fmt.Errorf("experiments: degraded sweep needs positive horizon, epoch, trials and at least one level")
 	}
+	baseRun := controller.DefaultConfig(cfg.Horizon, cfg.Epoch)
+	baseRun.Assign = cfg.Options
+	baseRun.SolveTimeout = cfg.SolveTimeout
+	baseRun.Recorder = cfg.Recorder
+	ck, err := openSweepCheckpoint(cfg, baseRun)
+	if err != nil {
+		return nil, err
+	}
+	defer ck.Close()
+
 	res := &DegradedResult{Config: cfg}
-	for _, lvl := range cfg.Levels {
+	for li, lvl := range cfg.Levels {
 		row := DegradedRow{
 			Level:             lvl,
 			OpenPowerExcess:   math.Inf(-1),
@@ -120,60 +157,34 @@ func DegradedSweep(cfg DegradedConfig) (*DegradedResult, error) {
 			ClosedInletExcess: math.Inf(-1),
 		}
 		for trial := 0; trial < cfg.Trials; trial++ {
-			scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, cfg.Seed+int64(trial))
-			scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes
-			sc, err := scenario.Build(scCfg)
+			closedSum, err := degradedRun(ctx, cfg, ck, runKey{Level: li, Trial: trial}, lvl, baseRun)
 			if err != nil {
 				return nil, err
 			}
-			gen := faults.DefaultGenConfig(cfg.Seed+int64(trial)*101+3, cfg.Horizon, cfg.NCracs, cfg.NNodes)
-			gen.NodeFailures = lvl.NodeFailures
-			gen.CracDegradations = lvl.CracDegradations
-			// The severity axis is lost capacity only: no power steps or
-			// sensor offsets, so rows differ in exactly one variable.
-			gen.PowerSteps = 0
-			gen.SensorOffsets = 0
-			schedule, err := faults.Generate(gen)
-			if err != nil {
-				return nil, err
-			}
-			tasks := workload.GenerateTasks(sc.DC, cfg.Horizon, stats.NewRand(cfg.Seed+int64(trial)*7+13))
-
-			run := controller.DefaultConfig(cfg.Horizon, cfg.Epoch)
-			run.Assign = cfg.Options
-			run.SolveTimeout = cfg.SolveTimeout
-			run.Recorder = cfg.Recorder
-			cfg.Recorder.SeriesSink().NextRun()
-			closed, err := controller.Run(sc.DC, schedule, tasks, run)
-			if err != nil {
-				return nil, err
-			}
-			run.Mode = controller.OpenLoop
-			cfg.Recorder.SeriesSink().NextRun()
-			open, err := controller.Run(sc.DC, schedule, tasks, run)
+			openSum, err := degradedRun(ctx, cfg, ck, runKey{Level: li, Trial: trial, Open: true}, lvl, baseRun)
 			if err != nil {
 				return nil, err
 			}
 
 			cfg.Recorder.Logger().Debug("degraded trial done",
 				"node_failures", lvl.NodeFailures, "crac_degradations", lvl.CracDegradations,
-				"trial", trial, "closed_reward_rate", closed.RewardRate, "open_reward_rate", open.RewardRate)
+				"trial", trial, "closed_reward_rate", closedSum.RewardRate, "open_reward_rate", openSum.RewardRate)
 
-			row.ClosedReward += closed.RewardRate
-			row.OpenReward += open.RewardRate
-			row.ClosedLost += float64(closed.Lost)
-			row.OpenLost += float64(open.Lost)
-			row.Resolves += closed.Resolves
-			row.Fallbacks += closed.Fallbacks
-			row.Retries += closed.Retries
-			row.LP.Add(closed.LP)
-			for i, c := range closed.RungCounts {
+			row.ClosedReward += closedSum.RewardRate
+			row.OpenReward += openSum.RewardRate
+			row.ClosedLost += float64(closedSum.Lost)
+			row.OpenLost += float64(openSum.Lost)
+			row.Resolves += closedSum.Resolves
+			row.Fallbacks += closedSum.Fallbacks
+			row.Retries += closedSum.Retries
+			row.LP.Add(closedSum.LP)
+			for i, c := range closedSum.RungCounts {
 				row.RungCounts[i] += c
 			}
-			row.ClosedPowerExcess = math.Max(row.ClosedPowerExcess, closed.MaxPowerExcess)
-			row.ClosedInletExcess = math.Max(row.ClosedInletExcess, closed.MaxInletExcess)
-			row.OpenPowerExcess = math.Max(row.OpenPowerExcess, open.MaxPowerExcess)
-			row.OpenInletExcess = math.Max(row.OpenInletExcess, open.MaxInletExcess)
+			row.ClosedPowerExcess = math.Max(row.ClosedPowerExcess, closedSum.MaxPowerExcess)
+			row.ClosedInletExcess = math.Max(row.ClosedInletExcess, closedSum.MaxInletExcess)
+			row.OpenPowerExcess = math.Max(row.OpenPowerExcess, openSum.MaxPowerExcess)
+			row.OpenInletExcess = math.Max(row.OpenInletExcess, openSum.MaxInletExcess)
 		}
 		n := float64(cfg.Trials)
 		row.ClosedReward /= n
@@ -186,6 +197,57 @@ func DegradedSweep(cfg DegradedConfig) (*DegradedResult, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// degradedRun executes (or recovers) one run of the sweep and returns its
+// row-accumulation summary. Finished runs are served from the journal
+// without re-execution; an interrupted closed-loop run resumes from its
+// folded checkpoint. Either way the summary is identical to an
+// uninterrupted run's — the experiment is deterministic given its seeds.
+func degradedRun(ctx context.Context, cfg DegradedConfig, ck *sweepCheckpoint, key runKey, lvl DegradedLevel, baseRun controller.Config) (runSummary, error) {
+	if sum, ok := ck.completed(key); ok {
+		return sum, nil
+	}
+	scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, cfg.Seed+int64(key.Trial))
+	scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes
+	sc, err := scenario.Build(scCfg)
+	if err != nil {
+		return runSummary{}, err
+	}
+	gen := faults.DefaultGenConfig(cfg.Seed+int64(key.Trial)*101+3, cfg.Horizon, cfg.NCracs, cfg.NNodes)
+	gen.NodeFailures = lvl.NodeFailures
+	gen.CracDegradations = lvl.CracDegradations
+	// The severity axis is lost capacity only: no power steps or
+	// sensor offsets, so rows differ in exactly one variable.
+	gen.PowerSteps = 0
+	gen.SensorOffsets = 0
+	schedule, err := faults.Generate(gen)
+	if err != nil {
+		return runSummary{}, err
+	}
+	tasks := workload.GenerateTasks(sc.DC, cfg.Horizon, stats.NewRand(cfg.Seed+int64(key.Trial)*7+13))
+
+	run := baseRun
+	if key.Open {
+		run.Mode = controller.OpenLoop
+	} else if ck != nil {
+		resume, err := ck.begin(key)
+		if err != nil {
+			return runSummary{}, err
+		}
+		run.Resume = resume
+		run.Checkpoint = ck.sink(key)
+	}
+	cfg.Recorder.SeriesSink().NextRun()
+	r, err := controller.RunContext(ctx, sc.DC, schedule, tasks, run)
+	if err != nil {
+		return runSummary{}, err
+	}
+	sum := summarize(r)
+	if err := ck.finishRun(key, sum); err != nil {
+		return runSummary{}, err
+	}
+	return sum, nil
 }
 
 // Render prints the sweep as a table.

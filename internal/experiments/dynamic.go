@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -121,6 +122,12 @@ func generateDriftingTasks(dc *model.DataCenter, cfg *DynamicConfig, rng interfa
 
 // DynamicReassignment runs the drift experiment.
 func DynamicReassignment(cfg DynamicConfig) (*DynamicResult, error) {
+	return DynamicReassignmentContext(context.Background(), cfg)
+}
+
+// DynamicReassignmentContext is DynamicReassignment under a cancelable
+// context: canceling ctx stops between epochs.
+func DynamicReassignmentContext(ctx context.Context, cfg DynamicConfig) (*DynamicResult, error) {
 	if cfg.Epoch <= 0 || cfg.Horizon <= 0 || cfg.Period <= 0 {
 		return nil, fmt.Errorf("experiments: horizon, epoch and period must be positive")
 	}
@@ -163,6 +170,9 @@ func DynamicReassignment(cfg DynamicConfig) (*DynamicResult, error) {
 	var trans *thermal.Transient
 	res.MinTransientSlack = math.Inf(1)
 	for start := 0.0; start < cfg.Horizon; start += cfg.Epoch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		end := math.Min(start+cfg.Epoch, cfg.Horizon)
 		for i := range sc.DC.TaskTypes {
 			sc.DC.TaskTypes[i].ArrivalRate = meanRateOver(baseRates[i], i, sc.DC.T(), &cfg, start, end)

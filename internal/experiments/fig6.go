@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -129,6 +130,12 @@ type Fig6Result struct {
 // assignment at each ψ, and summarize the percentage improvements with 95%
 // confidence intervals.
 func Figure6(cfg Fig6Config, progress func(string)) (*Fig6Result, error) {
+	return Figure6Context(context.Background(), cfg, progress)
+}
+
+// Figure6Context is Figure6 under a context: canceling ctx abandons
+// unstarted trials and returns the context's error.
+func Figure6Context(ctx context.Context, cfg Fig6Config, progress func(string)) (*Fig6Result, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: Trials must be positive")
 	}
@@ -161,6 +168,10 @@ func Figure6(cfg Fig6Config, progress func(string)) (*Fig6Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if err := ctx.Err(); err != nil {
+					outcomes <- outcome{job: j, err: err}
+					continue
+				}
 				tr, err := runFig6Trial(cfg, groups[j.group], cfg.BaseSeed+int64(1000*j.group+j.trial))
 				outcomes <- outcome{job: j, res: tr, err: err}
 			}

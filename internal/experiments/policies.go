@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,6 +31,11 @@ type PolicyAblationResult struct {
 // PolicyAblation runs each policy over the same streams. cfg.Values is
 // ignored.
 func PolicyAblation(cfg SweepConfig, horizon float64) (*PolicyAblationResult, error) {
+	return PolicyAblationContext(context.Background(), cfg, horizon)
+}
+
+// PolicyAblationContext is PolicyAblation under a cancelable context.
+func PolicyAblationContext(ctx context.Context, cfg SweepConfig, horizon float64) (*PolicyAblationResult, error) {
 	if cfg.Trials <= 0 || horizon <= 0 {
 		return nil, fmt.Errorf("experiments: need positive Trials and horizon")
 	}
@@ -50,6 +56,9 @@ func PolicyAblation(cfg SweepConfig, horizon float64) (*PolicyAblationResult, er
 	drops := make([][]float64, len(names))
 	var predicted []float64
 	for t := 0; t < cfg.Trials; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed := cfg.BaseSeed + int64(t)
 		scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -67,8 +68,9 @@ type SweepResult struct {
 // rates.
 type trialEval func(x float64, seed int64) (baseline, threeStage float64, err error)
 
-// runSweep evaluates all (value, trial) cells on a worker pool.
-func runSweep(kind, xlabel string, cfg SweepConfig, eval trialEval) (*SweepResult, error) {
+// runSweep evaluates all (value, trial) cells on a worker pool. Canceling
+// ctx abandons unstarted cells and returns the context's error.
+func runSweep(ctx context.Context, kind, xlabel string, cfg SweepConfig, eval trialEval) (*SweepResult, error) {
 	if cfg.Trials <= 0 || len(cfg.Values) == 0 {
 		return nil, fmt.Errorf("experiments: sweep needs positive Trials and at least one value")
 	}
@@ -89,6 +91,10 @@ func runSweep(kind, xlabel string, cfg SweepConfig, eval trialEval) (*SweepResul
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if err := ctx.Err(); err != nil {
+					results <- cell{point: j[0], trial: j[1], err: err}
+					continue
+				}
 				seed := cfg.BaseSeed + int64(1000*j[0]+j[1])
 				bl, ts, err := eval(cfg.Values[j[0]], seed)
 				results <- cell{point: j[0], trial: j[1], bl: bl, ts: ts, err: err}
@@ -155,7 +161,12 @@ func bothTechniques(sc *scenario.Scenario, opts assign.Options) (bl, ts float64,
 // (Equation 18 uses 0.5). The three-stage advantage should be largest in
 // the heavily constrained regime and vanish as the cap approaches Pmax.
 func PowerCapSweep(cfg SweepConfig) (*SweepResult, error) {
-	return runSweep("power-cap", "Pconst fraction", cfg, func(x float64, seed int64) (float64, float64, error) {
+	return PowerCapSweepContext(context.Background(), cfg)
+}
+
+// PowerCapSweepContext is PowerCapSweep under a cancelable context.
+func PowerCapSweepContext(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	return runSweep(ctx, "power-cap", "Pconst fraction", cfg, func(x float64, seed int64) (float64, float64, error) {
 		scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes
 		scCfg.PconstFraction = x
@@ -169,7 +180,12 @@ func PowerCapSweep(cfg SweepConfig) (*SweepResult, error) {
 
 // PsiSweep varies ψ, re-solving only the three-stage side per value.
 func PsiSweep(cfg SweepConfig) (*SweepResult, error) {
-	return runSweep("psi", "ψ (%)", cfg, func(x float64, seed int64) (float64, float64, error) {
+	return PsiSweepContext(context.Background(), cfg)
+}
+
+// PsiSweepContext is PsiSweep under a cancelable context.
+func PsiSweepContext(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	return runSweep(ctx, "psi", "ψ (%)", cfg, func(x float64, seed int64) (float64, float64, error) {
 		scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes
 		sc, err := scenario.Build(scCfg)
@@ -184,7 +200,12 @@ func PsiSweep(cfg SweepConfig) (*SweepResult, error) {
 
 // VpropSweep varies the ECS frequency-proportionality variation factor.
 func VpropSweep(cfg SweepConfig) (*SweepResult, error) {
-	return runSweep("vprop", "Vprop", cfg, func(x float64, seed int64) (float64, float64, error) {
+	return VpropSweepContext(context.Background(), cfg)
+}
+
+// VpropSweepContext is VpropSweep under a cancelable context.
+func VpropSweepContext(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	return runSweep(ctx, "vprop", "Vprop", cfg, func(x float64, seed int64) (float64, float64, error) {
 		scCfg := scenario.Default(cfg.StaticShare, x, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes
 		sc, err := scenario.Build(scCfg)
@@ -200,7 +221,12 @@ func VpropSweep(cfg SweepConfig) (*SweepResult, error) {
 // title's "heterogeneous" refers to disappears on the node axis, leaving
 // only P-state affinity; the sweep separates the two effects.
 func HeterogeneitySweep(cfg SweepConfig) (*SweepResult, error) {
-	return runSweep("heterogeneity", "type-1 fraction", cfg, func(x float64, seed int64) (float64, float64, error) {
+	return HeterogeneitySweepContext(context.Background(), cfg)
+}
+
+// HeterogeneitySweepContext is HeterogeneitySweep under a cancelable context.
+func HeterogeneitySweepContext(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	return runSweep(ctx, "heterogeneity", "type-1 fraction", cfg, func(x float64, seed int64) (float64, float64, error) {
 		scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes
 		scCfg.Type1Fraction = x
@@ -214,7 +240,12 @@ func HeterogeneitySweep(cfg SweepConfig) (*SweepResult, error) {
 
 // StaticShareSweep varies the static fraction of P-state-0 core power.
 func StaticShareSweep(cfg SweepConfig) (*SweepResult, error) {
-	return runSweep("static-share", "static share", cfg, func(x float64, seed int64) (float64, float64, error) {
+	return StaticShareSweepContext(context.Background(), cfg)
+}
+
+// StaticShareSweepContext is StaticShareSweep under a cancelable context.
+func StaticShareSweepContext(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	return runSweep(ctx, "static-share", "static share", cfg, func(x float64, seed int64) (float64, float64, error) {
 		scCfg := scenario.Default(x, cfg.Vprop, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes
 		sc, err := scenario.Build(scCfg)
@@ -253,12 +284,20 @@ type StrategyAblationResult struct {
 // strategy on identical scenarios, comparing reward and LP-solve counts.
 // cfg.Values is ignored.
 func StrategyAblation(cfg SweepConfig, strategies []assign.Strategy) (*StrategyAblationResult, error) {
+	return StrategyAblationContext(context.Background(), cfg, strategies)
+}
+
+// StrategyAblationContext is StrategyAblation under a cancelable context.
+func StrategyAblationContext(ctx context.Context, cfg SweepConfig, strategies []assign.Strategy) (*StrategyAblationResult, error) {
 	if len(strategies) == 0 {
 		strategies = []assign.Strategy{assign.CoarseToFine, assign.FullGrid, assign.CoordDescent}
 	}
 	rewards := make([][]float64, len(strategies))
 	evals := make([][]float64, len(strategies))
 	for t := 0; t < cfg.Trials; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed := cfg.BaseSeed + int64(t)
 		scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes
@@ -316,8 +355,17 @@ type SchedulerValidationResult struct {
 // SchedulerValidation simulates the dynamic scheduler for each trial over
 // the given horizon (seconds). cfg.Values is ignored.
 func SchedulerValidation(cfg SweepConfig, horizon float64) (*SchedulerValidationResult, error) {
+	return SchedulerValidationContext(context.Background(), cfg, horizon)
+}
+
+// SchedulerValidationContext is SchedulerValidation under a cancelable
+// context.
+func SchedulerValidationContext(ctx context.Context, cfg SweepConfig, horizon float64) (*SchedulerValidationResult, error) {
 	var ratePct, windowPct, dropPct, ratioErr, pred, real []float64
 	for t := 0; t < cfg.Trials; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed := cfg.BaseSeed + int64(t)
 		scCfg := scenario.Default(cfg.StaticShare, cfg.Vprop, seed)
 		scCfg.NCracs, scCfg.NNodes = cfg.NCracs, cfg.NNodes

@@ -256,6 +256,17 @@ func (st *State) apply(e Event) (structural bool) {
 	return false
 }
 
+// Clone returns an independent deep copy of the state, for checkpointing
+// a run without aliasing the live controller's fault bookkeeping.
+func (st *State) Clone() *State {
+	return &State{
+		CracFlowFactor: append([]float64(nil), st.CracFlowFactor...),
+		NodeFailed:     append([]bool(nil), st.NodeFailed...),
+		CapFactor:      st.CapFactor,
+		SensorBias:     st.SensorBias,
+	}
+}
+
 // FailedNodes counts dead nodes.
 func (st *State) FailedNodes() int {
 	n := 0

@@ -1,0 +1,227 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// journalMagic opens every journal file; the trailing digit versions the
+// on-disk format.
+var journalMagic = []byte("TAPOWAL1")
+
+// recHeaderLen is the fixed per-record header: seq (uint64 LE) +
+// payload length (uint32 LE) + CRC32C over seq‖payload (uint32 LE).
+const recHeaderLen = 8 + 4 + 4
+
+// maxRecordLen bounds a single record payload. Real records are a few
+// hundred KiB at most; a "length" beyond this is a corrupted header, not
+// a record to allocate.
+const maxRecordLen = 1 << 28
+
+// Record is one committed journal entry.
+type Record struct {
+	// Seq is the strictly increasing commit sequence number (first
+	// record is 1).
+	Seq uint64
+	// Payload is the opaque record body.
+	Payload []byte
+}
+
+// Journal is an append-only, CRC-protected record log. Appends become
+// durable at Commit (fsync); a crash between Append and Commit leaves at
+// worst a torn tail, which Open truncates away.
+type Journal struct {
+	f    *os.File
+	path string
+	// lastSeq is the sequence of the last valid record (0 when empty).
+	lastSeq uint64
+}
+
+// CreateJournal starts a fresh journal at path (truncating any previous
+// one) stamped with the run tag.
+func CreateJournal(path string, tag Tag) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, newErr("journal create", KindIO, path, err)
+	}
+	if _, err := f.Write(journalMagic); err != nil {
+		f.Close()
+		return nil, newErr("journal create", KindIO, path, err)
+	}
+	if _, err := f.Write(tag[:]); err != nil {
+		f.Close()
+		return nil, newErr("journal create", KindIO, path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, newErr("journal create", KindIO, path, err)
+	}
+	syncDir(filepath.Dir(path))
+	return &Journal{f: f, path: path}, nil
+}
+
+// OpenJournal recovers the journal at path: it validates the header
+// against the expected tag, decodes every committed record, truncates a
+// torn tail at the last valid record, and positions the file for
+// appending. The decoded records are returned in commit order.
+func OpenJournal(path string, tag Tag) (*Journal, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, newErr("journal open", KindIO, path, err)
+	}
+	body, err := checkJournalHeader(data, tag, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, validLen, err := DecodeRecords(body)
+	if err != nil {
+		return nil, nil, newErr("journal open", KindCorrupt, path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, newErr("journal open", KindIO, path, err)
+	}
+	headerLen := len(journalMagic) + TagLen
+	if int64(headerLen+validLen) != int64(len(data)) {
+		// Torn tail: drop the partial record so the next append starts on
+		// a clean boundary.
+		if err := f.Truncate(int64(headerLen + validLen)); err != nil {
+			f.Close()
+			return nil, nil, newErr("journal truncate", KindIO, path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, newErr("journal truncate", KindIO, path, err)
+		}
+	}
+	if _, err := f.Seek(int64(headerLen+validLen), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, newErr("journal open", KindIO, path, err)
+	}
+	j := &Journal{f: f, path: path}
+	if n := len(recs); n > 0 {
+		j.lastSeq = recs[n-1].Seq
+	}
+	return j, recs, nil
+}
+
+// checkJournalHeader validates magic + tag and returns the record bytes.
+func checkJournalHeader(data []byte, tag Tag, path string) ([]byte, error) {
+	if len(data) < len(journalMagic)+TagLen {
+		return nil, newErr("journal open", KindCorrupt, path,
+			fmt.Errorf("file shorter than the %d-byte header", len(journalMagic)+TagLen))
+	}
+	if !bytes.Equal(data[:len(journalMagic)], journalMagic) {
+		return nil, newErr("journal open", KindCorrupt, path, fmt.Errorf("bad magic %q", data[:len(journalMagic)]))
+	}
+	var got Tag
+	copy(got[:], data[len(journalMagic):])
+	if got != tag {
+		return nil, newErr("journal open", KindMismatch, path,
+			fmt.Errorf("journal was written by a different run configuration (tag %x, want %x)", got[:4], tag[:4]))
+	}
+	return data[len(journalMagic)+TagLen:], nil
+}
+
+// DecodeRecords scans the record region of a journal. It returns the
+// valid records, the byte length of the valid prefix, and an error only
+// for loud-failure corruption. The tail policy implements the package
+// contract:
+//
+//   - an incomplete header or payload at the end of data is a torn tail:
+//     scanning stops, validLen excludes it, no error;
+//   - a CRC mismatch on the final record is a torn tail too (a crashed
+//     write can fill the full length with garbage);
+//   - a CRC mismatch on a record with more data after it, a sequence
+//     duplicate/regression, or an implausible length is KindCorrupt-grade
+//     corruption and returns an error.
+//
+// Exported for the decoder fuzz target; callers use OpenJournal.
+func DecodeRecords(data []byte) (recs []Record, validLen int, err error) {
+	off := 0
+	var lastSeq uint64
+	for {
+		if len(data)-off < recHeaderLen {
+			return recs, off, nil // torn or absent header
+		}
+		seq := binary.LittleEndian.Uint64(data[off:])
+		plen := binary.LittleEndian.Uint32(data[off+8:])
+		want := binary.LittleEndian.Uint32(data[off+12:])
+		if plen > maxRecordLen {
+			return nil, 0, fmt.Errorf("record at offset %d claims %d-byte payload (corrupted length)", off, plen)
+		}
+		end := off + recHeaderLen + int(plen)
+		if end > len(data) {
+			return recs, off, nil // torn payload
+		}
+		payload := data[off+recHeaderLen : end]
+		crc := crc32.Checksum(data[off:off+8], castagnoli)
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != want {
+			if end == len(data) {
+				return recs, off, nil // torn tail: full length, partial write
+			}
+			return nil, 0, fmt.Errorf("CRC mismatch on record at offset %d with %d bytes following (corruption, not a torn tail)",
+				off, len(data)-end)
+		}
+		if seq <= lastSeq {
+			return nil, 0, fmt.Errorf("record at offset %d has sequence %d after %d (duplicate or reordered record)",
+				off, seq, lastSeq)
+		}
+		lastSeq = seq
+		recs = append(recs, Record{Seq: seq, Payload: append([]byte(nil), payload...)})
+		off = end
+	}
+}
+
+// Append writes one record. The sequence must be strictly greater than
+// every previously appended record's. The record is not durable until
+// Commit returns.
+func (j *Journal) Append(seq uint64, payload []byte) error {
+	if seq <= j.lastSeq {
+		return newErr("journal append", KindCorrupt, j.path,
+			fmt.Errorf("sequence %d not after %d", seq, j.lastSeq))
+	}
+	if len(payload) > maxRecordLen {
+		return newErr("journal append", KindIO, j.path, fmt.Errorf("payload of %d bytes exceeds the record limit", len(payload)))
+	}
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:], seq)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	crc := crc32.Checksum(hdr[:8], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[12:], crc)
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return newErr("journal append", KindIO, j.path, err)
+	}
+	if _, err := j.f.Write(payload); err != nil {
+		return newErr("journal append", KindIO, j.path, err)
+	}
+	j.lastSeq = seq
+	return nil
+}
+
+// Commit fsyncs every append so far: the epoch-commit durability point.
+func (j *Journal) Commit() error {
+	if err := j.f.Sync(); err != nil {
+		return newErr("journal commit", KindIO, j.path, err)
+	}
+	return nil
+}
+
+// LastSeq returns the sequence of the last appended (or recovered)
+// record, 0 when the journal is empty.
+func (j *Journal) LastSeq() uint64 { return j.lastSeq }
+
+// Close releases the file handle (without an implicit Commit).
+func (j *Journal) Close() error {
+	if err := j.f.Close(); err != nil {
+		return newErr("journal close", KindIO, j.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// snapshotMagic opens every snapshot file; the trailing digit versions
+// the on-disk format.
+var snapshotMagic = []byte("TAPOSNP1")
+
+// Snapshot is a decoded snapshot file: the full run state as of journal
+// sequence Seq, letting recovery skip every journal record at or below it.
+type Snapshot struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// WriteSnapshot atomically replaces the snapshot at path with the given
+// state. The write goes through a temp file + Sync + rename, so a crash
+// mid-snapshot leaves the previous snapshot intact — a snapshot file is
+// either complete and valid or not there at all.
+func WriteSnapshot(path string, tag Tag, seq uint64, payload []byte) error {
+	if len(payload) > maxRecordLen {
+		return newErr("snapshot write", KindIO, path, fmt.Errorf("payload of %d bytes exceeds the record limit", len(payload)))
+	}
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		var hdr [recHeaderLen]byte
+		binary.LittleEndian.PutUint64(hdr[0:], seq)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+		crc := crc32.Checksum(hdr[:8], castagnoli)
+		crc = crc32.Update(crc, castagnoli, payload)
+		binary.LittleEndian.PutUint32(hdr[12:], crc)
+		for _, chunk := range [][]byte{snapshotMagic, tag[:], hdr[:], payload} {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ReadSnapshot loads and validates the snapshot at path. A missing file
+// returns (nil, nil): recovery then replays the whole journal. Any other
+// defect — bad magic, tag mismatch, truncation, CRC failure — is a typed
+// error; a damaged snapshot is never silently ignored, because the
+// journal alone might predate it.
+func ReadSnapshot(path string, tag Tag) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, newErr("snapshot read", KindIO, path, err)
+	}
+	headerLen := len(snapshotMagic) + TagLen + recHeaderLen
+	if len(data) < headerLen {
+		return nil, newErr("snapshot read", KindCorrupt, path, fmt.Errorf("file shorter than the %d-byte header", headerLen))
+	}
+	if !bytes.Equal(data[:len(snapshotMagic)], snapshotMagic) {
+		return nil, newErr("snapshot read", KindCorrupt, path, fmt.Errorf("bad magic %q", data[:len(snapshotMagic)]))
+	}
+	var got Tag
+	copy(got[:], data[len(snapshotMagic):])
+	if got != tag {
+		return nil, newErr("snapshot read", KindMismatch, path,
+			fmt.Errorf("snapshot was written by a different run configuration (tag %x, want %x)", got[:4], tag[:4]))
+	}
+	hdr := data[len(snapshotMagic)+TagLen:]
+	seq := binary.LittleEndian.Uint64(hdr[0:])
+	plen := binary.LittleEndian.Uint32(hdr[8:])
+	want := binary.LittleEndian.Uint32(hdr[12:])
+	payload := data[headerLen:]
+	if int(plen) != len(payload) {
+		return nil, newErr("snapshot read", KindCorrupt, path,
+			fmt.Errorf("payload is %d bytes, header claims %d", len(payload), plen))
+	}
+	crc := crc32.Checksum(hdr[:8], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != want {
+		return nil, newErr("snapshot read", KindCorrupt, path, fmt.Errorf("CRC mismatch"))
+	}
+	return &Snapshot{Seq: seq, Payload: append([]byte(nil), payload...)}, nil
+}

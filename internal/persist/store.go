@@ -1,0 +1,120 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store file names inside a checkpoint directory.
+const (
+	JournalFile  = "journal.wal"
+	SnapshotFile = "snapshot.snap"
+)
+
+// Store combines a journal and a snapshot in one checkpoint directory.
+// The protocol:
+//
+//   - Commit appends one record and fsyncs it (the epoch-commit
+//     durability point). Sequences are assigned internally, starting
+//     after whatever recovery found.
+//   - Snapshot atomically replaces the snapshot file with a compacted
+//     image of everything up to the last committed record. The journal
+//     keeps growing within one process lifetime; the snapshot only
+//     shortens replay, it never destroys journal history.
+//   - Open recovers: snapshot payload (if any) plus every journal record
+//     committed after it, in order.
+type Store struct {
+	dir string
+	tag Tag
+	j   *Journal
+}
+
+// RecoveredState is what Open found in the directory.
+type RecoveredState struct {
+	// Snapshot is the compacted state image, nil when no snapshot exists.
+	Snapshot []byte
+	// SnapshotSeq is the journal sequence the snapshot covers through.
+	SnapshotSeq uint64
+	// Records are the journal records with sequence > SnapshotSeq, in
+	// commit order.
+	Records []Record
+}
+
+// CreateStore starts a fresh checkpoint directory (creating it if
+// needed), discarding any previous journal and snapshot.
+func CreateStore(dir string, tag Tag) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, newErr("store create", KindIO, dir, err)
+	}
+	if err := os.Remove(filepath.Join(dir, SnapshotFile)); err != nil && !os.IsNotExist(err) {
+		return nil, newErr("store create", KindIO, dir, err)
+	}
+	j, err := CreateJournal(filepath.Join(dir, JournalFile), tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, tag: tag, j: j}, nil
+}
+
+// OpenStore recovers an existing checkpoint directory for resumption and
+// positions it for further commits. Every inconsistency is a typed
+// error: tag mismatches (KindMismatch), corrupt records (KindCorrupt),
+// and a snapshot claiming sequences the journal never committed
+// (KindStale — the journal and snapshot are not from the same run).
+func OpenStore(dir string, tag Tag) (*Store, *RecoveredState, error) {
+	j, recs, err := OpenJournal(filepath.Join(dir, JournalFile), tag)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := ReadSnapshot(filepath.Join(dir, SnapshotFile), tag)
+	if err != nil {
+		j.Close()
+		return nil, nil, err
+	}
+	st := &RecoveredState{}
+	if snap != nil {
+		if snap.Seq > j.LastSeq() {
+			j.Close()
+			return nil, nil, newErr("store open", KindStale, dir,
+				fmt.Errorf("snapshot covers through sequence %d but the journal ends at %d", snap.Seq, j.LastSeq()))
+		}
+		st.Snapshot = snap.Payload
+		st.SnapshotSeq = snap.Seq
+	}
+	for _, r := range recs {
+		if r.Seq > st.SnapshotSeq {
+			st.Records = append(st.Records, r)
+		}
+	}
+	return &Store{dir: dir, tag: tag, j: j}, st, nil
+}
+
+// Commit appends one record and makes it durable (fsync). It returns the
+// assigned sequence number.
+func (s *Store) Commit(payload []byte) (uint64, error) {
+	seq := s.j.LastSeq() + 1
+	if err := s.j.Append(seq, payload); err != nil {
+		return 0, err
+	}
+	if err := s.j.Commit(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// Snapshot atomically replaces the snapshot with a state image covering
+// every record committed so far.
+func (s *Store) Snapshot(payload []byte) error {
+	return WriteSnapshot(filepath.Join(s.dir, SnapshotFile), s.tag, s.j.LastSeq(), payload)
+}
+
+// LastSeq returns the last committed sequence (0 when nothing has been
+// committed).
+func (s *Store) LastSeq() uint64 { return s.j.LastSeq() }
+
+// Dir returns the checkpoint directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the journal handle.
+func (s *Store) Close() error { return s.j.Close() }

@@ -55,6 +55,36 @@ func (s *Scheduler) SetRecorder(rec *telemetry.Recorder) {
 // simulation.
 func (s *Scheduler) SetStartTime(t float64) { s.startTime = t }
 
+// StartTime returns the ATC clock anchor set by SetStartTime.
+func (s *Scheduler) StartTime() float64 { return s.startTime }
+
+// Counts returns a deep copy of the ATC assignment counts (tasks of type
+// i assigned to core k so far). Together with StartTime it is the
+// scheduler's complete mutable state, letting a checkpointed run rebuild
+// an identically behaving scheduler with RestoreCounts.
+func (s *Scheduler) Counts() [][]int {
+	out := make([][]int, len(s.counts))
+	for i := range s.counts {
+		out[i] = append([]int(nil), s.counts[i]...)
+	}
+	return out
+}
+
+// RestoreCounts overwrites the ATC counts with a snapshot taken by Counts
+// on an identically shaped scheduler (same task types, same core count).
+func (s *Scheduler) RestoreCounts(counts [][]int) error {
+	if len(counts) != len(s.counts) {
+		return fmt.Errorf("sched: restoring %d task-type count rows, scheduler has %d", len(counts), len(s.counts))
+	}
+	for i := range counts {
+		if len(counts[i]) != len(s.counts[i]) {
+			return fmt.Errorf("sched: count row %d has %d cores, scheduler has %d", i, len(counts[i]), len(s.counts[i]))
+		}
+		copy(s.counts[i], counts[i])
+	}
+	return nil
+}
+
 // New builds a scheduler for the given first-step assignment: per-core
 // P-states and the Stage-3 desired-rate matrix TC[i][k].
 func New(dc *model.DataCenter, pstates []int, tc [][]float64) (*Scheduler, error) {

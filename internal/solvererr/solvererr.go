@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"thermaldc/internal/linprog"
+	"thermaldc/internal/persist"
 	"thermaldc/internal/tempsearch"
 )
 
@@ -50,6 +51,11 @@ const (
 	// (stale or numerically unusable), so the remedy is a cold rebuild of
 	// the solver state rather than another retry on the same workspace.
 	WarmStartRejected
+	// Persist: the checkpoint/restore layer failed — a corrupt or torn
+	// journal, a snapshot from a different run configuration, or plain
+	// I/O. Recovery must stop loudly: resuming past a persistence defect
+	// risks silently diverging from the uninterrupted run.
+	Persist
 )
 
 func (k Kind) String() string {
@@ -70,6 +76,8 @@ func (k Kind) String() string {
 		return "panic"
 	case WarmStartRejected:
 		return "warm-start-rejected"
+	case Persist:
+		return "persist"
 	default:
 		return "unknown"
 	}
@@ -122,6 +130,10 @@ func Classify(err error) Kind {
 	var se *SolveError
 	if errors.As(err, &se) {
 		return se.Kind
+	}
+	var pe *persist.Error
+	if errors.As(err, &pe) {
+		return Persist
 	}
 	switch {
 	case errors.Is(err, linprog.ErrWarmStartRejected):
