@@ -21,9 +21,11 @@ race:
 
 # Pre-merge gate (see README): formatting, vet, build, full race suite,
 # the full revised-vs-tableau differential sweep (600 seeded LPs, behind
-# the slow tag), short fuzz smokes on the workload parser, the LU
-# factorizer and the checkpoint journal decoder, the simplex performance
-# gate, a short instrumented degraded run whose exported time series must
+# the slow tag), a 1k-node multi-zone fleet solve with invariant checks
+# (also behind the slow tag), short fuzz smokes on the workload parser,
+# the LU factorizer and the checkpoint journal decoder, the simplex and
+# fleet-scaling performance gates, a short instrumented degraded run whose
+# exported time series must
 # pass cmd/tscheck's schema validation, and a crash-recovery smoke: a
 # checkpointed sweep is killed mid-run after its 5th durable commit, then
 # resumed, and the resumed table must byte-match an uninterrupted run's.
@@ -34,6 +36,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -tags slow -run TestDifferentialFull ./internal/linprog
+	$(GO) test -tags slow -run TestFleetSmoke1k ./internal/zones
 	$(GO) test -run '^$$' -fuzz FuzzLoadTasks -fuzztime 10s ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzFactorLU -fuzztime 10s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 10s ./internal/persist
@@ -62,14 +65,23 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'ThreeStagePaperScale' -benchtime 3x -json . > BENCH_stage1.json
 	@grep 'ns/op' BENCH_stage1.json | sed 's/.*"Test":"\([^"]*\)".*"Output":" *\([0-9]*\)\\t \([0-9]*\) ns.op.*/\1: \3 ns\/op (\2 runs)/' || true
 
-# Simplex performance gate: record the flat-vs-legacy and allocation
-# subbenchmarks, then fail if the warm scratch path allocates or the flat
-# solver regresses below the legacy rebuild path. BENCHTIME=1x (as in
-# `make ci`) keeps it quick; the default 3x smooths scheduler noise.
+# Performance gates. The simplex pass records the flat-vs-legacy and
+# allocation subbenchmarks, then fails if the warm scratch path allocates
+# or the flat solver regresses below the legacy rebuild path; the
+# solver-serial-devex ablation is excluded (devex pricing only pays off on
+# LPs far larger than paper scale — see bench_test.go — so gating it here
+# would just burn CI time on a documented 2× slowdown). The fleet pass
+# records the 1k/10k-node zone-decomposed solves and fails if ns/node
+# grows super-linearly with fleet size. BENCHTIME=1x (as in `make ci`)
+# keeps it quick; the default 3x smooths scheduler noise.
 BENCHTIME ?= 3x
+FLEETBENCHTIME ?= 1x
 bench-compare:
-	$(GO) test -run '^$$' -bench 'ThreeStagePaperScale' -benchtime $(BENCHTIME) -json . > BENCH_simplex.json
+	$(GO) test -run '^$$' -bench 'ThreeStagePaperScale/(legacy-rebuild|solver-serial$$|solver-parallel|solver-warm-epoch|warm-resolve-allocs|warm-dual-resolve|cold-dual-resolve)' \
+		-benchtime $(BENCHTIME) -json . > BENCH_simplex.json
 	$(GO) run ./cmd/benchcheck BENCH_simplex.json
+	$(GO) test -run '^$$' -bench 'FleetStage1' -benchtime $(FLEETBENCHTIME) -json . > BENCH_fleet.json
+	$(GO) run ./cmd/benchcheck BENCH_fleet.json
 
 # The paper's headline experiment at full scale (25 trials, 150 nodes,
 # 3 CRACs); takes ~10 minutes on one core.

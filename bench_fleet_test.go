@@ -1,0 +1,91 @@
+// Fleet-scale benchmarks for the zone-decomposed Stage-1 solver
+// (internal/zones). Each point solves a multi-zone fleet of 100-node
+// zones at fixed CRAC outlets and reports ns/node — wall time per solve
+// divided by the fleet's node count — so the 1k/10k/50k points are
+// directly comparable: linear-or-better scaling means the 10k ns/node
+// stays at or below the 1k point. cmd/benchcheck gates exactly that
+// ratio (see fleet checks there); `make bench-compare` publishes the
+// family as BENCH_fleet.json.
+//
+// The 50k point takes tens of seconds per iteration and is skipped
+// unless TAPO_BENCH_50K is set.
+package thermaldc_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"thermaldc/internal/linprog"
+	"thermaldc/internal/zones"
+)
+
+// fleetCache reuses the built fleets across sub-benchmarks; the three
+// shared zone variants (scenario + layout builds) dominate setup cost,
+// so building once keeps `-bench Fleet` interactive.
+var fleetCache = map[int]*zones.Fleet{}
+
+// getFleet returns a cached fleet of nz zones × 100 nodes × 2 CRACs.
+func getFleet(b *testing.B, nz int) *zones.Fleet {
+	b.Helper()
+	if f, ok := fleetCache[nz]; ok {
+		return f
+	}
+	f, err := zones.BuildFleet(zones.FleetConfig{
+		Zones:        nz,
+		NodesPerZone: 100,
+		CracsPerZone: 2,
+		Seed:         2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleetCache[nz] = f
+	return f
+}
+
+// BenchmarkFleetStage1 is the fleet-scale family: a full price-coordinated
+// Stage-1 solve per iteration, warm — the first solve primes the per-zone
+// LU bases outside the timer, so iterations measure the steady-state
+// epoch re-solve the controller's zone fast path issues.
+func BenchmarkFleetStage1(b *testing.B) {
+	for _, sz := range []struct {
+		name  string
+		zones int
+	}{
+		{"1k", 10},
+		{"10k", 100},
+		{"50k", 500},
+	} {
+		b.Run(sz.name, func(b *testing.B) {
+			if sz.zones >= 500 && os.Getenv("TAPO_BENCH_50K") == "" {
+				b.Skip("set TAPO_BENCH_50K=1 to run the 50k-node point")
+			}
+			f := getFleet(b, sz.zones)
+			zs, err := zones.NewFleetSolver(f, zones.Config{
+				Method:    linprog.MethodRevised,
+				WarmStart: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]float64, f.NumCRACs())
+			for i := range out {
+				out[i] = 15
+			}
+			ctx := context.Background()
+			if _, err := zs.Solve(ctx, out); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := zs.Solve(ctx, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(f.NumNodes()), "ns/node")
+		})
+	}
+}

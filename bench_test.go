@@ -281,6 +281,13 @@ func BenchmarkThreeStagePaperScale(b *testing.B) {
 	}{
 		{"solver-serial", 1, linprog.PricingDantzig},
 		{"solver-parallel", 0, linprog.PricingDantzig},
+		// solver-serial-devex is an ablation, not a contender, at this
+		// scale: devex's reference-weight bookkeeping costs ~2× wall time
+		// on the paper's small dense LPs (hundreds of columns) and only
+		// pays off when steepest-edge-like pricing saves enough pivots,
+		// i.e. on LPs orders of magnitude larger. It is therefore
+		// excluded from the default `make bench-compare` gate (see the
+		// Makefile) and kept here for `go test -bench .` inspection.
 		{"solver-serial-devex", 1, linprog.PricingDevex},
 	} {
 		b.Run(bench.name, func(b *testing.B) {

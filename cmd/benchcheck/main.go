@@ -1,6 +1,12 @@
-// Command benchcheck enforces the simplex performance contract recorded by
+// Command benchcheck enforces the performance contracts recorded by
 // `make bench-compare`. It parses `go test -bench` output (plain text or the
-// -json stream) and exits non-zero when either invariant is broken:
+// -json stream) and exits non-zero when a contract is broken. Checks are
+// grouped into families and a family is enforced when any of its benchmarks
+// appears in the input — so the simplex file and the fleet file are checked
+// by the same binary — but within a present family every member must
+// appear, which keeps a typo'd -bench regex from passing silently.
+//
+// Simplex family (BenchmarkThreeStagePaperScale/...):
 //
 //   - warm-resolve-allocs, warm-resolve-allocs-metrics and
 //     warm-dual-resolve must report exactly 0 allocs/op (the warm Stage-1
@@ -12,10 +18,15 @@
 //     cold-dual-resolve (the dual warm start must beat re-solving the
 //     power-cap step from scratch).
 //
-// Usage: benchcheck [-tolerance f] [file]
-// With no file, it reads stdin. The tolerance (default 1.05) allows
-// solver-serial up to 5% over legacy-rebuild before failing, absorbing
-// scheduler noise on short -benchtime runs.
+// Fleet family (BenchmarkFleetStage1/...): the 10k-node point's ns/node —
+// wall time per zone-decomposed Stage-1 solve divided by fleet node count —
+// must stay within -fleet-tolerance of the 1k-node point's, i.e. the
+// decomposition must scale linearly or better in fleet size. The optional
+// 50k point (TAPO_BENCH_50K) is held to the same bar when present.
+//
+// Usage: benchcheck [-tolerance f] [-fleet-tolerance f] [file]
+// With no file, it reads stdin. The tolerances (default 1.05 and 1.25)
+// absorb scheduler noise on short -benchtime runs.
 package main
 
 import (
@@ -30,16 +41,20 @@ import (
 	"strings"
 )
 
-// benchLine matches a benchmark result row: the ns/op column, an optional
-// custom pivots/op metric, and the optional -benchmem tail. The -NN
-// GOMAXPROCS suffix is folded into the name.
+// benchLine matches a benchmark result row: the ns/op column, the optional
+// custom ns/node and pivots/op metrics (testing prints custom metrics in
+// unit order, so ns/node sorts before pivots/op), and the optional
+// -benchmem tail. The -NN GOMAXPROCS suffix is folded into the name.
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op` +
+		`(?:\s+([0-9.]+) ns/node)?` +
 		`(?:\s+([0-9.]+) pivots/op)?` +
 		`(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 type result struct {
 	nsPerOp     float64
+	nsPerNode   float64
+	hasNsNode   bool
 	pivotsPerOp float64
 	hasPivots   bool
 	allocsPerOp float64
@@ -53,8 +68,10 @@ func main() {
 func run() int {
 	tolerance := flag.Float64("tolerance", 1.05,
 		"fail if solver-serial ns/op exceeds legacy-rebuild ns/op by more than this factor")
+	fleetTolerance := flag.Float64("fleet-tolerance", 1.25,
+		"fail if the 10k-node fleet ns/node exceeds the 1k-node point by more than this factor")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-tolerance f] [bench-output-file]")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-tolerance f] [-fleet-tolerance f] [bench-output-file]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -81,7 +98,11 @@ func run() int {
 		return 2
 	}
 
-	failures := check(results, *tolerance)
+	failures, checked := check(results, *tolerance, *fleetTolerance)
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: no gated benchmark family found in %s\n", name)
+		return 2
+	}
 	for _, f := range failures {
 		fmt.Fprintln(os.Stderr, "benchcheck: FAIL:", f)
 	}
@@ -124,11 +145,15 @@ func parse(in io.Reader) (map[string]result, error) {
 		var r result
 		r.nsPerOp, _ = strconv.ParseFloat(m[3], 64)
 		if m[4] != "" {
-			r.pivotsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			r.nsPerNode, _ = strconv.ParseFloat(m[4], 64)
+			r.hasNsNode = true
+		}
+		if m[5] != "" {
+			r.pivotsPerOp, _ = strconv.ParseFloat(m[5], 64)
 			r.hasPivots = true
 		}
-		if m[6] != "" {
-			r.allocsPerOp, _ = strconv.ParseFloat(m[6], 64)
+		if m[7] != "" {
+			r.allocsPerOp, _ = strconv.ParseFloat(m[7], 64)
 			r.hasAllocs = true
 		}
 		results[trimProcs(m[1])] = r
@@ -141,14 +166,43 @@ var procsSuffix = regexp.MustCompile(`-\d+$`)
 
 func trimProcs(name string) string { return procsSuffix.ReplaceAllString(name, "") }
 
-func check(results map[string]result, tolerance float64) []string {
+// check runs every benchmark family whose members appear in results and
+// returns the failures plus the number of families checked.
+func check(results map[string]result, tolerance, fleetTolerance float64) (failures []string, checked int) {
+	if present(results, simplexPrefix) {
+		checked++
+		failures = append(failures, checkSimplex(results, tolerance)...)
+	}
+	if present(results, fleetPrefix) {
+		checked++
+		failures = append(failures, checkFleet(results, fleetTolerance)...)
+	}
+	return failures, checked
+}
+
+const (
+	simplexPrefix = "BenchmarkThreeStagePaperScale/"
+	fleetPrefix   = "BenchmarkFleetStage1/"
+)
+
+// present reports whether any result name belongs to the family.
+func present(results map[string]result, prefix string) bool {
+	for name := range results {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkSimplex(results map[string]result, tolerance float64) []string {
 	const (
-		legacy      = "BenchmarkThreeStagePaperScale/legacy-rebuild"
-		serial      = "BenchmarkThreeStagePaperScale/solver-serial"
-		warm        = "BenchmarkThreeStagePaperScale/warm-resolve-allocs"
-		warmMetrics = "BenchmarkThreeStagePaperScale/warm-resolve-allocs-metrics"
-		warmDual    = "BenchmarkThreeStagePaperScale/warm-dual-resolve"
-		coldDual    = "BenchmarkThreeStagePaperScale/cold-dual-resolve"
+		legacy      = simplexPrefix + "legacy-rebuild"
+		serial      = simplexPrefix + "solver-serial"
+		warm        = simplexPrefix + "warm-resolve-allocs"
+		warmMetrics = simplexPrefix + "warm-resolve-allocs-metrics"
+		warmDual    = simplexPrefix + "warm-dual-resolve"
+		coldDual    = simplexPrefix + "cold-dual-resolve"
 	)
 	var failures []string
 
@@ -196,6 +250,43 @@ func check(results map[string]result, tolerance float64) []string {
 			failures = append(failures, fmt.Sprintf(
 				"%s at %g pivots/op does not beat %s at %g pivots/op (dual warm start lost its edge)",
 				warmDual, wd.pivotsPerOp, coldDual, cd.pivotsPerOp))
+		}
+	}
+	return failures
+}
+
+// checkFleet gates the fleet-scale scaling contract: ns/node must not grow
+// with fleet size, up to the tolerance. The 1k and 10k points are
+// mandatory once the family appears; the 50k point joins the gate when the
+// run included it.
+func checkFleet(results map[string]result, tolerance float64) []string {
+	const (
+		small = fleetPrefix + "1k"
+		large = fleetPrefix + "10k"
+		huge  = fleetPrefix + "50k"
+	)
+	var failures []string
+	base, okB := results[small]
+	if !okB {
+		failures = append(failures, small+" missing from benchmark output")
+	} else if !base.hasNsNode {
+		failures = append(failures, small+" has no ns/node metric")
+	}
+	for _, name := range []string{large, huge} {
+		r, ok := results[name]
+		if !ok {
+			if name == large {
+				failures = append(failures, large+" missing from benchmark output")
+			}
+			continue // 50k is optional
+		}
+		switch {
+		case !r.hasNsNode:
+			failures = append(failures, name+" has no ns/node metric")
+		case okB && base.hasNsNode && r.nsPerNode > base.nsPerNode*tolerance:
+			failures = append(failures, fmt.Sprintf(
+				"%s at %.0f ns/node scales worse than %s at %.0f ns/node (×%.2f, tolerance ×%.2f)",
+				name, r.nsPerNode, small, base.nsPerNode, r.nsPerNode/base.nsPerNode, tolerance))
 		}
 	}
 	return failures

@@ -24,6 +24,12 @@ const jsonOK = `{"Action":"run","Test":"BenchmarkThreeStagePaperScale"}
 {"Action":"output","Output":"BenchmarkThreeStagePaperScale/cold-dual-resolve \t      50\t 3528334 ns/op\t 13.00 pivots/op\t       0 B/op\t       0 allocs/op\n"}
 `
 
+const fleetOK = `goos: linux
+BenchmarkFleetStage1/1k-4         	       2	 426725013 ns/op	    426725 ns/node	   17480 B/op	      29 allocs/op
+BenchmarkFleetStage1/10k-4        	       2	4235171810 ns/op	    423517 ns/node	  166760 B/op	      35 allocs/op
+PASS
+`
+
 func TestParseAndCheckPass(t *testing.T) {
 	for _, tc := range []struct{ name, in string }{
 		{"plain", plainOK},
@@ -36,8 +42,12 @@ func TestParseAndCheckPass(t *testing.T) {
 		if len(results) != 6 {
 			t.Fatalf("%s: parsed %d results, want 6", tc.name, len(results))
 		}
-		if f := check(results, 1.05); len(f) != 0 {
+		f, checked := check(results, 1.05, 1.25)
+		if len(f) != 0 {
 			t.Fatalf("%s: unexpected failures: %v", tc.name, f)
+		}
+		if checked != 1 {
+			t.Fatalf("%s: checked %d families, want 1", tc.name, checked)
 		}
 	}
 }
@@ -48,7 +58,7 @@ func TestCheckFailsOnAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := check(results, 1.05)
+	f, _ := check(results, 1.05, 1.25)
 	if len(f) != 1 || !strings.Contains(f[0], "zero-allocation contract") {
 		t.Fatalf("failures = %v, want one allocs-contract failure", f)
 	}
@@ -60,19 +70,38 @@ func TestCheckFailsWhenFlatSlower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := check(results, 1.05)
+	f, _ := check(results, 1.05, 1.25)
 	if len(f) != 1 || !strings.Contains(f[0], "slower than") {
 		t.Fatalf("failures = %v, want one slower-than failure", f)
 	}
 }
 
-func TestCheckFailsOnMissingBenchmarks(t *testing.T) {
+// TestCheckIgnoresUnknownFamilies: a file with no gated family is not a
+// pass — run() turns checked == 0 into exit code 2.
+func TestCheckIgnoresUnknownFamilies(t *testing.T) {
 	results, err := parse(strings.NewReader("BenchmarkOther-4 1 5 ns/op\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f := check(results, 1.05); len(f) != 7 {
-		t.Fatalf("failures = %v, want 7 missing-benchmark failures", f)
+	f, checked := check(results, 1.05, 1.25)
+	if len(f) != 0 || checked != 0 {
+		t.Fatalf("failures = %v checked = %d, want none", f, checked)
+	}
+}
+
+// TestCheckFailsOnMissingFamilyMembers: once any simplex benchmark appears,
+// every member of the family must (a typo'd -bench regex must not pass).
+func TestCheckFailsOnMissingFamilyMembers(t *testing.T) {
+	results, err := parse(strings.NewReader(
+		"BenchmarkThreeStagePaperScale/legacy-rebuild-4 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, checked := check(results, 1.05, 1.25)
+	// warm-dual-resolve is reported by both the allocs and the pivots
+	// checks, so 5 missing members yield 6 failures.
+	if checked != 1 || len(f) != 6 {
+		t.Fatalf("failures = %v (checked %d), want 6 missing-benchmark failures", f, checked)
 	}
 }
 
@@ -84,7 +113,7 @@ func TestCheckFailsWhenWarmDualPivotsNotLower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := check(results, 1.05)
+	f, _ := check(results, 1.05, 1.25)
 	if len(f) != 1 || !strings.Contains(f[0], "lost its edge") {
 		t.Fatalf("failures = %v, want one pivots/op failure", f)
 	}
@@ -100,8 +129,67 @@ func TestCheckFailsOnWarmDualAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := check(results, 1.05)
+	f, _ := check(results, 1.05, 1.25)
 	if len(f) != 1 || !strings.Contains(f[0], "zero-allocation contract") {
 		t.Fatalf("failures = %v, want one allocs-contract failure", f)
+	}
+}
+
+// TestCheckFleetPass: the fleet family parses its ns/node metric and the
+// flat-scaling gate holds on real-shaped output.
+func TestCheckFleetPass(t *testing.T) {
+	results, err := parse(strings.NewReader(fleetOK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := results["BenchmarkFleetStage1/10k"]
+	if !ok || !r.hasNsNode || r.nsPerNode != 423517 {
+		t.Fatalf("10k point parsed wrong: %+v (ok=%v)", r, ok)
+	}
+	f, checked := check(results, 1.05, 1.25)
+	if len(f) != 0 || checked != 1 {
+		t.Fatalf("failures = %v checked = %d, want clean single-family pass", f, checked)
+	}
+}
+
+// TestCheckFleetFailsOnScaling: a 10k point past tolerance × the 1k point
+// breaks the linear-or-better scaling contract.
+func TestCheckFleetFailsOnScaling(t *testing.T) {
+	in := strings.Replace(fleetOK, "423517 ns/node", "633517 ns/node", 1)
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := check(results, 1.05, 1.25)
+	if len(f) != 1 || !strings.Contains(f[0], "scales worse") {
+		t.Fatalf("failures = %v, want one scaling failure", f)
+	}
+}
+
+// TestCheckFleetFailsWithout10k: the 1k point alone must not pass the gate.
+func TestCheckFleetFailsWithout10k(t *testing.T) {
+	in := fleetOK[:strings.Index(fleetOK, "BenchmarkFleetStage1/10k")] + "PASS\n"
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := check(results, 1.05, 1.25)
+	if len(f) != 1 || !strings.Contains(f[0], "10k missing") {
+		t.Fatalf("failures = %v, want one missing-10k failure", f)
+	}
+}
+
+// TestCheckFleetGates50kWhenPresent: the optional 50k point is held to the
+// same bar once it appears.
+func TestCheckFleetGates50kWhenPresent(t *testing.T) {
+	in := strings.Replace(fleetOK, "PASS",
+		"BenchmarkFleetStage1/50k-4 1 32000000000 ns/op 640000 ns/node\nPASS", 1)
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := check(results, 1.05, 1.25)
+	if len(f) != 1 || !strings.Contains(f[0], "50k") {
+		t.Fatalf("failures = %v, want one 50k scaling failure", f)
 	}
 }

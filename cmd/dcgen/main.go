@@ -3,9 +3,18 @@
 // types, power constraint) as JSON for inspection or reuse by external
 // tools.
 //
+// With -zones N (N > 1) it builds a multi-zone fleet instead: N thermally
+// independent zones, each with its own CRACs and Appendix-B floor plan
+// (cycling through -variants distinct layouts), assembled into one data
+// center with a block-diagonal cross-interference matrix and a shared
+// power cap — the input shape the zone-decomposed Stage-1 solver
+// (internal/zones) exploits. In zone mode -nodes and -cracs size each
+// zone, not the fleet.
+//
 // Usage:
 //
-//	dcgen [-nodes N] [-cracs N] [-seed S] [-static F] [-vprop F] [-o FILE]
+//	dcgen [-nodes N] [-cracs N] [-seed S] [-static F] [-vprop F]
+//	      [-zones N] [-variants N] [-o FILE]
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 
 	"thermaldc/internal/persist"
 	"thermaldc/internal/scenario"
+	"thermaldc/internal/zones"
 )
 
 // dump is the serialized scenario: the data center plus the derived
@@ -25,9 +35,13 @@ type dump struct {
 	Seed        int64   `json:"seed"`
 	StaticShare float64 `json:"staticShare"`
 	Vprop       float64 `json:"vprop"`
-	Pmin        float64 `json:"pminKW"`
-	Pmax        float64 `json:"pmaxKW"`
-	DataCenter  any     `json:"dataCenter"`
+	// Zones and Variants describe the multi-zone layout (1 and 0 for the
+	// classic single-room scenario).
+	Zones      int     `json:"zones,omitempty"`
+	Variants   int     `json:"variants,omitempty"`
+	Pmin       float64 `json:"pminKW"`
+	Pmax       float64 `json:"pmaxKW"`
+	DataCenter any     `json:"dataCenter"`
 }
 
 func main() {
@@ -40,29 +54,54 @@ func main() {
 // run parses flags, builds the scenario and writes the JSON dump.
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dcgen", flag.ContinueOnError)
-	nodes := fs.Int("nodes", 30, "compute nodes (paper: 150)")
-	cracs := fs.Int("cracs", 2, "CRAC units (paper: 3)")
+	nodes := fs.Int("nodes", 30, "compute nodes, per zone in zone mode (paper: 150)")
+	cracs := fs.Int("cracs", 2, "CRAC units, per zone in zone mode (paper: 3)")
 	seed := fs.Int64("seed", 1, "random seed")
 	static := fs.Float64("static", 0.3, "static share of P-state-0 core power")
 	vprop := fs.Float64("vprop", 0.1, "ECS proportionality variation")
+	nzones := fs.Int("zones", 1, "thermally independent zones (>1 builds a multi-zone fleet)")
+	variants := fs.Int("variants", 0, "distinct zone floor plans in zone mode (0: min(3, zones))")
 	out := fs.String("o", "-", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := scenario.Default(*static, *vprop, *seed)
-	cfg.NNodes, cfg.NCracs = *nodes, *cracs
-	sc, err := scenario.Build(cfg)
-	if err != nil {
-		return err
-	}
-	d := dump{
-		Seed:        *seed,
-		StaticShare: *static,
-		Vprop:       *vprop,
-		Pmin:        sc.Pmin,
-		Pmax:        sc.Pmax,
-		DataCenter:  sc.DC,
+	d := dump{Seed: *seed, StaticShare: *static, Vprop: *vprop}
+	if *nzones > 1 {
+		f, err := zones.BuildFleet(zones.FleetConfig{
+			Zones:        *nzones,
+			NodesPerZone: *nodes,
+			CracsPerZone: *cracs,
+			Variants:     *variants,
+			Seed:         *seed,
+			StaticShare:  *static,
+			Vprop:        *vprop,
+		})
+		if err != nil {
+			return err
+		}
+		dc, err := f.Assemble()
+		if err != nil {
+			return err
+		}
+		d.Zones = f.NumZones()
+		d.Variants = len(f.Variants)
+		// The fleet envelope is the sum of the independent zone envelopes.
+		for _, zv := range f.ZoneVariant {
+			d.Pmin += f.Variants[zv].Pmin
+			d.Pmax += f.Variants[zv].Pmax
+		}
+		d.DataCenter = dc
+	} else {
+		cfg := scenario.Default(*static, *vprop, *seed)
+		cfg.NNodes, cfg.NCracs = *nodes, *cracs
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			return err
+		}
+		d.Zones = 1
+		d.Pmin, d.Pmax = sc.Pmin, sc.Pmax
+		d.DataCenter = sc.DC
 	}
 	encode := func(w io.Writer) error {
 		enc := json.NewEncoder(w)

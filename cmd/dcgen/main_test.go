@@ -33,6 +33,33 @@ func TestRunProducesLoadableJSON(t *testing.T) {
 	}
 }
 
+func TestRunZoneMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-zones", "3", "-nodes", "8", "-cracs", "2", "-seed", "21"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Zones      int              `json:"zones"`
+		Variants   int              `json:"variants"`
+		Pmin       float64          `json:"pminKW"`
+		Pmax       float64          `json:"pmaxKW"`
+		DataCenter model.DataCenter `json:"dataCenter"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if d.Zones != 3 || d.Variants != 3 || d.Pmin <= 0 || d.Pmax <= d.Pmin {
+		t.Errorf("zone metadata wrong: zones=%d variants=%d pmin=%g pmax=%g", d.Zones, d.Variants, d.Pmin, d.Pmax)
+	}
+	if err := d.DataCenter.Validate(); err != nil {
+		t.Fatalf("assembled fleet invalid: %v", err)
+	}
+	// -nodes/-cracs size each zone in zone mode.
+	if d.DataCenter.NCN() != 24 || d.DataCenter.NCRAC() != 6 {
+		t.Errorf("fleet sized %d nodes/%d CRACs, want 24/6", d.DataCenter.NCN(), d.DataCenter.NCRAC())
+	}
+}
+
 func TestRunToFile(t *testing.T) {
 	path := t.TempDir() + "/dc.json"
 	var buf bytes.Buffer

@@ -288,6 +288,30 @@ func (s *ThreeStageSolver) SolveContext(ctx context.Context) (*ThreeStageResult,
 	}, nil
 }
 
+// FinishFromStage1 completes the pipeline from an externally produced
+// Stage-1 result: Stage 2 converts the relaxed power assignment to integer
+// P-states and Stage 3 solves the desired-execution-rate LP, both on the
+// same cached skeletons SolveContext uses — so a caller that obtained the
+// Stage-1 solution elsewhere (the zone-decomposed path in internal/zones)
+// pays no search and no skeleton rebuild. The result's SearchEvals is 0;
+// everything else matches SolveContext had its search produced s1.
+func (s *ThreeStageSolver) FinishFromStage1(ctx context.Context, s1 *Stage1Result) (*ThreeStageResult, error) {
+	tr := s.rec.Tracer()
+	clk := tr.Begin()
+	pstates, err := Stage2(s.dc, s.arrs, s1)
+	tr.End(clk, telemetry.SpanStage, StageLabelStage2, 0, errBit(err))
+	if err != nil {
+		return nil, solvererr.Wrap("stage2", err)
+	}
+	clk = tr.Begin()
+	s3, err := s.stage3.SolveContext(ctx, pstates)
+	tr.End(clk, telemetry.SpanStage, StageLabelStage3, 0, errBit(err))
+	if err != nil {
+		return nil, solvererr.Wrap("stage3", err)
+	}
+	return &ThreeStageResult{Stage1: s1, PStates: pstates, Stage3: s3}, nil
+}
+
 // errBit maps an error to the Span.Err convention used by the stage spans:
 // 0 for success, 1 for failure.
 func errBit(err error) int32 {

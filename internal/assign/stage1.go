@@ -39,6 +39,28 @@ type Stage1Result struct {
 	// steady-state reward rate gained per extra kW of Pconst (0 when the
 	// power constraint is not binding).
 	PowerShadowPrice float64
+	// LinearBasePower is the constant term of the linearized power row:
+	// compute base power plus linearized CRAC power with every core off.
+	// No assignment at these outlet temperatures can use less linearized
+	// power, so it is the minimum viable power budget for the LP.
+	LinearBasePower float64
+	// LinearPower is the linearized total power at the LP solution — the
+	// left-hand side of the power row plus LinearBasePower. It differs
+	// from TotalPower only by the linearization's dropped max(0,·) clamp,
+	// satisfies LinearPower ≤ Pconst exactly when the LP says so, and is
+	// what the zone decomposition's master problem accounts against the
+	// shared budget (the exact clamped ledger is not additive across a
+	// budget split; the LP's own row is).
+	LinearPower float64
+}
+
+// NodeARRs builds, for every node type, the per-core concave ARR envelope
+// at the given ψ — the exact input NewStage1Solver expects. Exported for
+// the zone decomposition (internal/zones), whose per-zone solvers must
+// share one envelope set so zone LPs price cores identically to the
+// monolithic LP.
+func NodeARRs(dc *model.DataCenter, psiPercent float64) ([]*pwl.Func, error) {
+	return nodeARRs(dc, psiPercent)
 }
 
 // nodeARRs builds, for every node type, the per-core concave ARR envelope.
@@ -142,9 +164,12 @@ func Stage1Fixed(dc *model.DataCenter, tm *thermal.Model, arrs []*pwl.Func, crac
 		NodePower:        make([]float64, ncn),
 		PredictedARR:     sol.Objective,
 		PowerShadowPrice: sol.Dual(0), // the power row is added first
+		LinearBasePower:  baseConst,
+		LinearPower:      baseConst,
 	}
 	for _, sv := range segVars {
 		res.NodeCorePower[sv.node] += sol.Value(sv.id)
+		res.LinearPower += nodeCoef[sv.node] * sol.Value(sv.id)
 	}
 	for j := 0; j < ncn; j++ {
 		res.NodePower[j] = dc.NodeType(j).BasePower + res.NodeCorePower[j]

@@ -44,10 +44,13 @@ type Stage1Solver struct {
 
 	// ws holds the simplex tableau buffers reused across Solves.
 	ws linprog.Workspace
-	// Scratch buffers for the per-candidate patch step.
-	base     []float64
-	lin      []thermal.LinearCRACPower
-	nodeCoef []float64
+	// Scratch buffers for the per-candidate patch step. baseConst retains
+	// the power row's constant term from the latest patch so solves can
+	// report the linearized power ledger without recomputing it.
+	base      []float64
+	lin       []thermal.LinearCRACPower
+	nodeCoef  []float64
+	baseConst float64
 
 	// Telemetry handles. The zero values are no-ops, so an uninstrumented
 	// solver pays one predictable-branch per solve; instrumented solves pay
@@ -216,9 +219,12 @@ func (s *Stage1Solver) SolveContext(ctx context.Context, cracOut []float64) (*St
 		NodePower:        make([]float64, ncn),
 		PredictedARR:     sol.Objective,
 		PowerShadowPrice: sol.Dual(0), // the power row is added first
+		LinearBasePower:  s.baseConst,
+		LinearPower:      s.baseConst,
 	}
 	for k, node := range s.segNode {
 		res.NodeCorePower[node] += sol.Value(k)
+		res.LinearPower += s.nodeCoef[node] * sol.Value(k)
 	}
 	for j := 0; j < ncn; j++ {
 		res.NodePower[j] = dc.NodeType(j).BasePower + res.NodeCorePower[j]
@@ -266,6 +272,7 @@ func (s *Stage1Solver) patch(cracOut []float64) (badRow int) {
 		powerTerms[k].Coef = nodeCoef[node]
 	}
 	s.p.SetRHS(0, dc.Pconst-baseConst)
+	s.baseConst = baseConst
 
 	// Thermal rows (paper constraint 5): coefficients are invariant; only
 	// rhs_t = redline_t − base_t(cracOut) − Σ_j G[t][j]·B_j changes.
@@ -324,8 +331,11 @@ func (s *Stage1Solver) SolveScratchContext(ctx context.Context, cracOut []float6
 	res.NodePower = s.scrPow
 	res.PredictedARR = sol.Objective
 	res.PowerShadowPrice = sol.Dual(0) // the power row is added first
+	res.LinearBasePower = s.baseConst
+	res.LinearPower = s.baseConst
 	for k, node := range s.segNode {
 		res.NodeCorePower[node] += sol.Value(k)
+		res.LinearPower += s.nodeCoef[node] * sol.Value(k)
 	}
 	for j := 0; j < ncn; j++ {
 		res.NodePower[j] = dc.NodeType(j).BasePower + res.NodeCorePower[j]

@@ -1,0 +1,83 @@
+package controller_test
+
+import (
+	"testing"
+
+	"thermaldc/internal/controller"
+	"thermaldc/internal/faults"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/workload"
+	"thermaldc/internal/zones"
+)
+
+// TestZoneFastPath drives a two-zone floor through power-cap faults: the
+// cap-only epochs must be served by the zone-decomposed fast path, and
+// the run must hold the cap and redlines exactly like the monolithic
+// ladder does.
+func TestZoneFastPath(t *testing.T) {
+	f, err := zones.BuildFleet(zones.FleetConfig{
+		Zones: 2, NodesPerZone: 8, CracsPerZone: 2, Variants: 2, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := f.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 40.0
+	tasks := workload.GenerateTasks(dc, horizon, stats.NewRand(31))
+	schedule := faults.Schedule{Events: []faults.Event{
+		{Time: 10, Kind: faults.PowerCap, Magnitude: 0.85},
+		{Time: 25, Kind: faults.PowerCap, Magnitude: 0.7},
+	}}
+	schedule.Sort()
+
+	cfg := controller.DefaultConfig(horizon, 10)
+	cfg.ZoneFastPath = true
+	res, err := controller.Run(dc, schedule, tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ZoneFastPaths == 0 {
+		t.Errorf("no epochs served by the zone fast path (resolves %d, rungs %v)",
+			res.Resolves, res.RungCounts)
+	}
+	if res.Violations != 0 {
+		t.Errorf("%d planner-view Verify violations", res.Violations)
+	}
+	if res.MaxPowerExcess > 1e-6 {
+		t.Errorf("power cap violated by %g kW", res.MaxPowerExcess)
+	}
+	if res.MaxInletExcess > 1e-6 {
+		t.Errorf("inlet redline violated by %g °C", res.MaxInletExcess)
+	}
+	if res.Fallbacks != 0 {
+		t.Errorf("%d fallbacks", res.Fallbacks)
+	}
+	zoned := 0
+	for _, ep := range res.Epochs {
+		if ep.ZonePath {
+			zoned++
+			if ep.Rung != controller.RungWarm {
+				t.Errorf("zone-path epoch tallied under rung %v, want warm", ep.Rung)
+			}
+		}
+	}
+	if zoned != res.ZoneFastPaths {
+		t.Errorf("per-epoch ZonePath marks (%d) disagree with run total (%d)", zoned, res.ZoneFastPaths)
+	}
+
+	// The flag off: same inputs, no fast-path epochs, same safety.
+	cfg.ZoneFastPath = false
+	base, err := controller.Run(dc, schedule, tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ZoneFastPaths != 0 {
+		t.Errorf("fast path engaged with the flag off: %d", base.ZoneFastPaths)
+	}
+	if base.Violations != 0 || base.MaxPowerExcess > 1e-6 {
+		t.Errorf("monolithic baseline unsafe: violations %d, excess %g", base.Violations, base.MaxPowerExcess)
+	}
+}

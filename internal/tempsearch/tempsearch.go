@@ -64,8 +64,11 @@ type Config struct {
 	// FineStep is the final granularity in °C (paper: 1 °C).
 	FineStep float64
 	// Parallelism bounds the candidate-evaluation worker pool: 0 uses
-	// GOMAXPROCS, 1 evaluates serially. Results are identical for every
-	// setting.
+	// GOMAXPROCS, 1 evaluates serially, and any request larger than
+	// GOMAXPROCS is clamped down to it (see Workers) — extra workers on an
+	// oversubscribed host only add scheduling overhead and once made
+	// "parallel" searches lose to serial ones on small machines. Results
+	// are identical for every setting.
 	Parallelism int
 	// Trace, when non-nil, records one telemetry.SpanCandidate span per
 	// objective evaluation (label = worker index, Err = 1 for infeasible
@@ -98,11 +101,21 @@ func (c Config) Validate() error {
 	return nil
 }
 
-func (c Config) workers() int {
-	if c.Parallelism > 0 {
-		return c.Parallelism
+func (c Config) workers() int { return Workers(c.Parallelism) }
+
+// Workers is the worker-count policy shared by every fan-out in the solve
+// pipeline (candidate searches here, per-zone LP fan-outs in
+// internal/zones): a requested parallelism of 0 means "use the machine"
+// and any positive request is clamped to runtime.GOMAXPROCS(0), so a
+// worker pool never holds more runnable goroutines than the scheduler has
+// processors. The clamp auto-degrades parallel configurations to the
+// serial path on single-CPU hosts, where extra workers can only lose.
+func Workers(requested int) int {
+	max := runtime.GOMAXPROCS(0)
+	if requested > 0 && requested < max {
+		return requested
 	}
-	return runtime.GOMAXPROCS(0)
+	return max
 }
 
 // Result is the outcome of a search.

@@ -281,3 +281,29 @@ func TestLatticeLevelsIncludesHi(t *testing.T) {
 		t.Errorf("levels = %v, last must be 7", ls)
 	}
 }
+
+func TestWorkersClampsToGOMAXPROCS(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct{ requested, want int }{
+		{0, max},        // default: use the machine
+		{1, 1},          // explicit serial stays serial
+		{max, max},      // exact fit
+		{max + 1, max},  // oversubscription clamps down
+		{max * 16, max}, // wildly oversubscribed clamps down
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested); got != c.want {
+			t.Errorf("Workers(%d) = %d, want %d (GOMAXPROCS %d)",
+				c.requested, got, c.want, max)
+		}
+	}
+	if max > 1 {
+		if got := Workers(max - 1); got != max-1 {
+			t.Errorf("Workers(%d) = %d, want %d", max-1, got, max-1)
+		}
+	}
+	// Config.workers follows the same policy.
+	if got := (Config{Parallelism: max * 4}).workers(); got != max {
+		t.Errorf("Config{Parallelism: %d}.workers() = %d, want %d", max*4, got, max)
+	}
+}

@@ -1,0 +1,97 @@
+package thermal
+
+import "testing"
+
+func TestComponentsBlockDiagonal(t *testing.T) {
+	// Two 2×2 blocks: {0,1} and {2,3}.
+	alpha := [][]float64{
+		{0, 0.5, 0, 0},
+		{0.5, 0, 0, 0},
+		{0, 0, 0, 0.3},
+		{0, 0, 0.3, 0},
+	}
+	c := Components(alpha, 0)
+	if c.NumComponents != 2 {
+		t.Fatalf("NumComponents = %d, want 2", c.NumComponents)
+	}
+	want := []int{0, 0, 1, 1}
+	for i, w := range want {
+		if c.Component[i] != w {
+			t.Errorf("Component[%d] = %d, want %d", i, c.Component[i], w)
+		}
+	}
+	if c.MaxCross != 0 {
+		t.Errorf("MaxCross = %g, want 0", c.MaxCross)
+	}
+}
+
+func TestComponentsFullyConnected(t *testing.T) {
+	alpha := [][]float64{
+		{0, 0.1, 0.1},
+		{0.1, 0, 0.1},
+		{0.1, 0.1, 0},
+	}
+	c := Components(alpha, 0)
+	if c.NumComponents != 1 {
+		t.Fatalf("NumComponents = %d, want 1", c.NumComponents)
+	}
+}
+
+func TestComponentsAsymmetricSupport(t *testing.T) {
+	// Only alpha[1][0] is nonzero; the support graph is undirected, so 0
+	// and 1 must still land in one component.
+	alpha := [][]float64{
+		{0, 0, 0},
+		{0.4, 0, 0},
+		{0, 0, 0},
+	}
+	c := Components(alpha, 0)
+	if c.NumComponents != 2 {
+		t.Fatalf("NumComponents = %d, want 2", c.NumComponents)
+	}
+	if c.Component[0] != c.Component[1] {
+		t.Errorf("units 0 and 1 split: %v", c.Component)
+	}
+	if c.Component[2] == c.Component[0] {
+		t.Errorf("unit 2 merged with {0,1}: %v", c.Component)
+	}
+}
+
+func TestComponentsEpsDropsWeakEdges(t *testing.T) {
+	// A weak 0.01 bridge joins the two blocks; eps above it splits them
+	// and MaxCross reports the dropped coupling.
+	alpha := [][]float64{
+		{0, 0.5, 0.01, 0},
+		{0.5, 0, 0, 0},
+		{0.01, 0, 0, 0.3},
+		{0, 0, 0.3, 0},
+	}
+	if c := Components(alpha, 0); c.NumComponents != 1 {
+		t.Fatalf("eps=0: NumComponents = %d, want 1", c.NumComponents)
+	}
+	c := Components(alpha, 0.05)
+	if c.NumComponents != 2 {
+		t.Fatalf("eps=0.05: NumComponents = %d, want 2", c.NumComponents)
+	}
+	if c.MaxCross != 0.01 {
+		t.Errorf("MaxCross = %g, want 0.01", c.MaxCross)
+	}
+}
+
+func TestComponentsDeterministicLabels(t *testing.T) {
+	// Labels follow smallest-member order regardless of union order: unit
+	// 0 is isolated and must get id 0, the {1,3} pair id 1, unit 2 id 2.
+	alpha := [][]float64{
+		{0, 0, 0, 0},
+		{0, 0, 0, 0.2},
+		{0, 0, 0, 0},
+		{0, 0.2, 0, 0},
+	}
+	c := Components(alpha, 0)
+	want := []int{0, 1, 2, 1}
+	for i, w := range want {
+		if c.Component[i] != w {
+			t.Fatalf("Component = %v, want %v", c.Component, want)
+		}
+	}
+}

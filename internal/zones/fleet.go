@@ -1,0 +1,241 @@
+package zones
+
+import (
+	"fmt"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/layout"
+	"thermaldc/internal/model"
+	"thermaldc/internal/scenario"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/tempsearch"
+	"thermaldc/internal/thermal"
+)
+
+// FleetConfig sizes a multi-zone fleet. Zones share one workload (node
+// types, task types, ECS tensor) and cycle through a small number of
+// distinct floor-plan variants, so building a 10k-node fleet costs a few
+// variant-sized Appendix-B layout LPs instead of thousands, and never
+// materializes a fleet-wide cross-interference matrix (dense Alpha at 10k
+// nodes would be ~1 GB; the fleet keeps one small matrix per variant).
+type FleetConfig struct {
+	// Zones is the number of thermally independent zones.
+	Zones int
+	// NodesPerZone and CracsPerZone size each zone (defaults 100 and 2).
+	NodesPerZone int
+	CracsPerZone int
+	// Variants is the number of distinct zone floor plans generated; zone
+	// z uses variant z mod Variants. Default min(3, Zones).
+	Variants int
+	// Seed drives every random draw; variant v derives its own stream.
+	Seed int64
+	// StaticShare, Vprop and PconstFraction are the scenario knobs
+	// (defaults 0.3, 0.1, 0.5; see scenario.Config).
+	StaticShare    float64
+	Vprop          float64
+	PconstFraction float64
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.NodesPerZone == 0 {
+		c.NodesPerZone = 100
+	}
+	if c.CracsPerZone == 0 {
+		c.CracsPerZone = 2
+	}
+	if c.Variants == 0 {
+		c.Variants = 3
+	}
+	if c.Variants > c.Zones {
+		c.Variants = c.Zones
+	}
+	if c.StaticShare == 0 {
+		c.StaticShare = 0.3
+	}
+	if c.Vprop == 0 {
+		c.Vprop = 0.1
+	}
+	if c.PconstFraction == 0 {
+		c.PconstFraction = 0.5
+	}
+	return c
+}
+
+// Variant is one distinct zone floor plan: a self-contained data center
+// with its own layout, cross-interference matrix, and thermal model, plus
+// the Equation-17 power envelope used to set its default budget.
+type Variant struct {
+	DC *model.DataCenter
+	TM *thermal.Model
+	// Pmin and Pmax bound the zone's power; Budget is the default cap
+	// Pmin + PconstFraction·(Pmax−Pmin).
+	Pmin, Pmax, Budget float64
+}
+
+// Fleet is a multi-zone data center in factored form: a few variant
+// templates plus a zone→variant assignment. It is the scalable input to
+// NewFleetSolver; Assemble materializes the equivalent monolithic model
+// for small fleets (tests, dcgen dumps).
+type Fleet struct {
+	Config   FleetConfig
+	Variants []*Variant
+	// ZoneVariant maps zone index to its variant.
+	ZoneVariant []int
+	// Pconst is the fleet-wide power cap: the sum of per-zone default
+	// budgets, which the zone Solver re-divides by value.
+	Pconst float64
+}
+
+// NumZones returns the zone count.
+func (f *Fleet) NumZones() int { return len(f.ZoneVariant) }
+
+// NumNodes returns the fleet-wide compute-node count.
+func (f *Fleet) NumNodes() int {
+	n := 0
+	for _, v := range f.ZoneVariant {
+		n += f.Variants[v].DC.NCN()
+	}
+	return n
+}
+
+// NumCRACs returns the fleet-wide CRAC count.
+func (f *Fleet) NumCRACs() int {
+	n := 0
+	for _, v := range f.ZoneVariant {
+		n += f.Variants[v].DC.NCRAC()
+	}
+	return n
+}
+
+// BuildFleet constructs a fleet deterministically from cfg. Variant 0 is a
+// full scenario.Build (which also generates the shared workload); later
+// variants redraw node types and floor layout from their own seeded
+// streams while sharing variant 0's workload tables, so every zone prices
+// work identically and the assembled fleet has one consistent ECS.
+func BuildFleet(cfg FleetConfig) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Zones <= 0 {
+		return nil, fmt.Errorf("zones: fleet needs at least one zone, got %d", cfg.Zones)
+	}
+
+	scfg := scenario.Default(cfg.StaticShare, cfg.Vprop, cfg.Seed)
+	scfg.NNodes, scfg.NCracs = cfg.NodesPerZone, cfg.CracsPerZone
+	scfg.PconstFraction = cfg.PconstFraction
+	base, err := scenario.Build(scfg)
+	if err != nil {
+		return nil, fmt.Errorf("zones: building variant 0: %w", err)
+	}
+	f := &Fleet{
+		Config: cfg,
+		Variants: []*Variant{{
+			DC: base.DC, TM: base.Thermal,
+			Pmin: base.Pmin, Pmax: base.Pmax, Budget: base.DC.Pconst,
+		}},
+	}
+
+	lcfg := layout.DefaultConfig()
+	search := tempsearch.DefaultConfig()
+	for v := 1; v < cfg.Variants; v++ {
+		// A distinct, deterministic stream per variant; the large stride
+		// keeps neighbouring fleet seeds from colliding across variants.
+		rng := stats.NewRand(cfg.Seed + int64(v)*1000003)
+		dc := &model.DataCenter{
+			NodeTypes:   base.DC.NodeTypes,
+			TaskTypes:   base.DC.TaskTypes,
+			ECS:         base.DC.ECS,
+			CRACs:       make([]model.CRAC, cfg.CracsPerZone),
+			RedlineNode: base.DC.RedlineNode,
+			RedlineCRAC: base.DC.RedlineCRAC,
+		}
+		for j := 0; j < cfg.NodesPerZone; j++ {
+			dc.Nodes = append(dc.Nodes, model.Node{Type: rng.Intn(len(dc.NodeTypes))})
+		}
+		if err := layout.Arrange(dc, lcfg); err != nil {
+			return nil, fmt.Errorf("zones: variant %d: %w", v, err)
+		}
+		if err := layout.GenerateAlpha(dc, lcfg, rng); err != nil {
+			return nil, fmt.Errorf("zones: variant %d: %w", v, err)
+		}
+		tm, err := thermal.New(dc)
+		if err != nil {
+			return nil, fmt.Errorf("zones: variant %d: %w", v, err)
+		}
+		pmin, pmax, err := assign.PowerBounds(dc, tm, search)
+		if err != nil {
+			return nil, fmt.Errorf("zones: variant %d power bounds: %w", v, err)
+		}
+		dc.Pconst = pmin + cfg.PconstFraction*(pmax-pmin)
+		if err := dc.Validate(); err != nil {
+			return nil, fmt.Errorf("zones: variant %d invalid: %w", v, err)
+		}
+		f.Variants = append(f.Variants, &Variant{DC: dc, TM: tm, Pmin: pmin, Pmax: pmax, Budget: dc.Pconst})
+	}
+
+	for z := 0; z < cfg.Zones; z++ {
+		v := z % cfg.Variants
+		f.ZoneVariant = append(f.ZoneVariant, v)
+		f.Pconst += f.Variants[v].Budget
+	}
+	return f, nil
+}
+
+// Assemble materializes the fleet as one monolithic DataCenter with a
+// block-diagonal cross-interference matrix (global thermal order: every
+// zone's CRACs first, then every zone's nodes, zones in order). The dense
+// Alpha is quadratic in fleet size — use it for small fleets only; the
+// zone Solver never needs it.
+func (f *Fleet) Assemble() (*model.DataCenter, error) {
+	ncrac, ncn := f.NumCRACs(), f.NumNodes()
+	n := ncrac + ncn
+	base := f.Variants[0].DC
+	dc := &model.DataCenter{
+		NodeTypes:   base.NodeTypes,
+		TaskTypes:   base.TaskTypes,
+		ECS:         base.ECS,
+		RedlineNode: base.RedlineNode,
+		RedlineCRAC: base.RedlineCRAC,
+		Pconst:      f.Pconst,
+	}
+	dc.Alpha = make([][]float64, n)
+	for i := range dc.Alpha {
+		dc.Alpha[i] = make([]float64, n)
+	}
+
+	cracOff, nodeOff, rackOff := 0, 0, 0
+	for _, vi := range f.ZoneVariant {
+		v := f.Variants[vi].DC
+		zc, zn := v.NCRAC(), v.NCN()
+		dc.CRACs = append(dc.CRACs, v.CRACs...)
+		maxRack := 0
+		for _, node := range v.Nodes {
+			node.HotAisle += cracOff
+			node.Rack += rackOff
+			if node.Rack > maxRack {
+				maxRack = node.Rack
+			}
+			dc.Nodes = append(dc.Nodes, node)
+		}
+		// Scatter the variant's Alpha block: local thermal index i<zc is
+		// CRAC i, i≥zc is node i−zc.
+		glob := func(i int) int {
+			if i < zc {
+				return cracOff + i
+			}
+			return ncrac + nodeOff + (i - zc)
+		}
+		for a := 0; a < zc+zn; a++ {
+			ga, src := glob(a), v.Alpha[a]
+			dst := dc.Alpha[ga]
+			for b := 0; b < zc+zn; b++ {
+				dst[glob(b)] = src[b]
+			}
+		}
+		cracOff += zc
+		nodeOff += zn
+		rackOff = maxRack + 1
+	}
+	if err := dc.Validate(); err != nil {
+		return nil, fmt.Errorf("zones: assembled fleet invalid: %w", err)
+	}
+	return dc, nil
+}

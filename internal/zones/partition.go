@@ -1,0 +1,159 @@
+// Package zones decomposes the Stage-1 power-assignment LP by thermal
+// zone. A data-center floor whose cross-interference matrix is
+// block-diagonal — separate rooms, containment pods, or far-apart aisle
+// groups whose recirculation never mixes — splits into zones that share
+// nothing but the facility power cap: every thermal row of the Stage-1 LP
+// involves one zone's nodes only, and the heat-flow fixed point of
+// internal/thermal solves block-by-block with bit-identical arithmetic.
+// The one coupling row (total power ≤ Pconst) is coordinated by a small
+// master problem over per-zone power budgets (see Solver), so fleets of
+// tens of thousands of nodes solve as many small LPs in parallel instead
+// of one enormous one.
+package zones
+
+import (
+	"fmt"
+
+	"thermaldc/internal/model"
+	"thermaldc/internal/thermal"
+)
+
+// Zone is one thermally self-contained block of a partitioned data center.
+type Zone struct {
+	// ID is the zone's index in Partition.Zones (deterministic: zones are
+	// ordered by their smallest thermal index in the parent).
+	ID int
+	// CRACs and Nodes list the parent's CRAC and node indices belonging to
+	// this zone, ascending.
+	CRACs []int
+	Nodes []int
+	// DC is the zone sub-model: its own Nodes/CRACs/Alpha restricted to
+	// the zone (parent index order preserved), sharing the parent's node
+	// types, task types, and ECS tensor. Its Pconst starts at the parent's
+	// and is the budget knob the zone Solver turns; the parent is never
+	// mutated.
+	DC *model.DataCenter
+}
+
+// Partition is a data center split into thermally independent zones.
+type Partition struct {
+	// Parent is the monolithic model the partition was derived from.
+	Parent *model.DataCenter
+	// Zones are the blocks, ordered by smallest thermal index.
+	Zones []*Zone
+	// MaxCross is the largest cross-zone |α| entry the partition ignored
+	// (0 when eps was 0: the split is exact).
+	MaxCross float64
+}
+
+// PartitionDataCenter splits dc into thermally weakly-coupled zones: the
+// connected components of the cross-interference support graph (entries
+// with |α| > eps). With eps = 0 the decomposition is exact — every dropped
+// entry is exactly zero, so per-zone thermal models and LPs reproduce the
+// monolithic ones bit-for-bit on their blocks.
+//
+// It fails when the floor does not decompose cleanly: a component with
+// nodes but no CRAC (or vice versa) has no self-contained thermal model,
+// and a node whose hot aisle faces a CRAC outside its component cannot be
+// re-homed. Callers treat an error as "not decomposable" and keep the
+// monolithic path.
+func PartitionDataCenter(dc *model.DataCenter, eps float64) (*Partition, error) {
+	ncrac := dc.NCRAC()
+	c := thermal.Components(dc.Alpha, eps)
+
+	part := &Partition{Parent: dc, MaxCross: c.MaxCross}
+	if c.NumComponents == 1 {
+		// Single zone: share the parent's slices outright (a shallow copy
+		// keeps Pconst privately mutable), so the zone LP is the monolithic
+		// LP, bit for bit.
+		zdc := *dc
+		z := &Zone{ID: 0, DC: &zdc}
+		for i := 0; i < ncrac; i++ {
+			z.CRACs = append(z.CRACs, i)
+		}
+		for j := 0; j < dc.NCN(); j++ {
+			z.Nodes = append(z.Nodes, j)
+		}
+		part.Zones = []*Zone{z}
+		return part, nil
+	}
+
+	// Group thermal units by component; component ids already follow
+	// smallest-member order.
+	zones := make([]*Zone, c.NumComponents)
+	for id := range zones {
+		zones[id] = &Zone{ID: id}
+	}
+	for t, id := range c.Component {
+		if t < ncrac {
+			zones[id].CRACs = append(zones[id].CRACs, t)
+		} else {
+			zones[id].Nodes = append(zones[id].Nodes, t-ncrac)
+		}
+	}
+	for _, z := range zones {
+		if len(z.CRACs) == 0 || len(z.Nodes) == 0 {
+			return nil, fmt.Errorf("zones: component %d has %d CRACs and %d nodes; not decomposable",
+				z.ID, len(z.CRACs), len(z.Nodes))
+		}
+		sub, err := zoneModel(dc, z)
+		if err != nil {
+			return nil, err
+		}
+		z.DC = sub
+	}
+	part.Zones = zones
+	return part, nil
+}
+
+// zoneModel builds the sub-DataCenter for one zone: the zone's nodes and
+// CRACs in parent order, the Alpha submatrix, and the parent's shared
+// workload tables. Cross-zone Alpha entries are dropped; with eps = 0 they
+// are exactly zero, so zone rows still sum to 1 and the sub-model passes
+// model.Validate.
+func zoneModel(dc *model.DataCenter, z *Zone) (*model.DataCenter, error) {
+	ncrac := dc.NCRAC()
+	cracLocal := make(map[int]int, len(z.CRACs))
+	sub := &model.DataCenter{
+		NodeTypes:   dc.NodeTypes,
+		TaskTypes:   dc.TaskTypes,
+		ECS:         dc.ECS,
+		RedlineNode: dc.RedlineNode,
+		RedlineCRAC: dc.RedlineCRAC,
+		Pconst:      dc.Pconst,
+	}
+	for li, gi := range z.CRACs {
+		cracLocal[gi] = li
+		sub.CRACs = append(sub.CRACs, dc.CRACs[gi])
+	}
+	for _, gj := range z.Nodes {
+		n := dc.Nodes[gj]
+		la, ok := cracLocal[n.HotAisle]
+		if !ok {
+			return nil, fmt.Errorf("zones: node %d exhausts into hot aisle %d outside its zone %d; not decomposable",
+				gj, n.HotAisle, z.ID)
+		}
+		n.HotAisle = la
+		sub.Nodes = append(sub.Nodes, n)
+	}
+
+	// Zone thermal order mirrors the parent's: CRACs first, then nodes,
+	// each in ascending parent index.
+	gidx := make([]int, 0, len(z.CRACs)+len(z.Nodes))
+	for _, gi := range z.CRACs {
+		gidx = append(gidx, gi)
+	}
+	for _, gj := range z.Nodes {
+		gidx = append(gidx, ncrac+gj)
+	}
+	sub.Alpha = make([][]float64, len(gidx))
+	for a, ga := range gidx {
+		row := make([]float64, len(gidx))
+		src := dc.Alpha[ga]
+		for b, gb := range gidx {
+			row[b] = src[gb]
+		}
+		sub.Alpha[a] = row
+	}
+	return sub, nil
+}

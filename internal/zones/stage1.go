@@ -1,0 +1,683 @@
+package zones
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"thermaldc/internal/assign"
+	"thermaldc/internal/linprog"
+	"thermaldc/internal/model"
+	"thermaldc/internal/solvererr"
+	"thermaldc/internal/telemetry"
+	"thermaldc/internal/tempsearch"
+	"thermaldc/internal/thermal"
+)
+
+// budgetTolerance is the slack allowed on the shared power cap when
+// deciding that the zones' full-budget solutions already fit (the
+// unconstrained shortcut) and that the fleet's base power fits at all.
+const budgetTolerance = 1e-9
+
+// Config tunes the zone-decomposed Stage-1 solver.
+type Config struct {
+	// Psi is the ARR-envelope ψ in percent (default 50, the paper's).
+	Psi float64
+	// Pricing, Method and WarmStart configure every per-zone Stage-1 LP
+	// exactly like assign.Options does: the coordination loop re-solves
+	// each zone at a sequence of budgets — a right-hand-side-only change —
+	// so MethodRevised with WarmStart on turns rounds 1+ into dual-simplex
+	// warm re-solves from the previous round's basis.
+	Pricing   linprog.Pricing
+	Method    linprog.Method
+	WarmStart bool
+	// Parallelism bounds the zone fan-out worker pool under the same
+	// policy as the temperature search (tempsearch.Workers): 0 uses
+	// GOMAXPROCS, larger requests are clamped to it. Results are identical
+	// for every setting.
+	Parallelism int
+	// Tol is the master problem's relative optimality gap (default 1e-8):
+	// the price iteration stops when upper and lower bounds agree to
+	// Tol·max(1, |upper|). The default is the tightest gap the cutting
+	// planes can certify in float64 at fleet scale — a 100-zone fleet's
+	// objective is O(1e5), so demanding much below 1e-8 relative stalls the
+	// loop on round-off and buries the master under near-duplicate cuts.
+	Tol float64
+	// MaxRounds bounds the price-coordination rounds (default 200). The
+	// master's cutting-plane model of each zone's concave value function
+	// is exact after finitely many cuts, so the bound is a safety net; an
+	// exceeded bound falls back to the monolithic solve when one is
+	// available and errors otherwise.
+	MaxRounds int
+	// Recorder, when non-nil, publishes solve counters and per-zone budget
+	// gauges on its metrics registry. Telemetry never changes results.
+	Recorder *telemetry.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Psi == 0 {
+		c.Psi = 50
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-8
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 200
+	}
+	return c
+}
+
+// Stats describes the last Solve's coordination work.
+type Stats struct {
+	// Zones is the number of zone subproblems.
+	Zones int
+	// Rounds counts master iterations (0 when the shortcut fired).
+	Rounds int
+	// ZoneSolves counts zone LP solves across all rounds.
+	ZoneSolves int
+	// Shortcut reports that the full-budget zone solutions already fit
+	// under the shared cap, so no price coordination was needed (always
+	// the case with a single zone).
+	Shortcut bool
+	// Converged reports a proven gap ≤ Tol (Shortcut implies Converged).
+	Converged bool
+	// Fallback reports that the monolithic solver produced the result.
+	Fallback bool
+	// UpperBound, LowerBound and Gap are the master's final bounds on the
+	// monolithic LP objective (meaningful when Rounds > 0).
+	UpperBound, LowerBound, Gap float64
+}
+
+// cut is one sampled point of a zone's concave value function V(budget):
+// the LP objective and its power-row dual (a supergradient) at one budget,
+// yielding the Kelley cut v ≤ Value + Price·(b − Budget).
+type cut struct {
+	Budget, Value, Price float64
+}
+
+// zoneState is the per-zone solve state. Each zone owns its model copy,
+// solver and buffers, so the fan-out runs without locks; only the
+// goroutine assigned a zone touches it during a round.
+type zoneState struct {
+	dc     *model.DataCenter // private shallow copy; Pconst is the budget knob
+	tm     *thermal.Model
+	solver *assign.Stage1Solver
+	// cracIdx and nodeIdx map zone-local CRACs and nodes to global
+	// indices (parent indices on the partition path, assembled-order
+	// offsets on the fleet path).
+	cracIdx []int
+	nodeIdx []int
+	out     []float64 // zone's slice of the global outlet vector
+
+	// Round state, written by eval.
+	budget  float64
+	last    *assign.Stage1Result // solver-owned scratch; valid until next eval
+	value   float64
+	price   float64
+	linPow  float64
+	basePow float64
+	err     error
+
+	// Retained best solution (deep copies of the solver-owned scratch).
+	best struct {
+		valid        bool
+		value, price float64
+		linPow       float64
+		corePow, pow []float64
+		computePower float64
+		cracPower    float64
+		totalPower   float64
+		feasible     bool
+	}
+
+	vMax  float64
+	cuts  []cut
+	alloc float64 // master-proposed budget above base, rewritten each round
+}
+
+// Solver solves the Stage-1 LP of a zoned data center at fixed CRAC outlet
+// temperatures: per-zone LPs run concurrently, and a small master problem
+// splits the shared power cap across zones by Dantzig–Wolfe-style price
+// iteration. Each zone's optimal value is a concave piecewise-linear
+// function of its budget, and its LP's power-row dual is a supergradient,
+// so the master maximizes a cutting-plane model of Σ V_z(b_z) subject to
+// Σ b_z ≤ Pconst: every round yields an upper bound (the model) and a
+// lower bound (the zones' actual values at the proposed budgets), and the
+// loop stops when they meet. When the zones' full-budget solutions already
+// fit under the cap, the first round is provably optimal and no master is
+// built; with a single zone that path reproduces the monolithic solve bit
+// for bit.
+//
+// A Solver is NOT safe for concurrent use; it owns per-zone LP workspaces.
+type Solver struct {
+	cfg   Config
+	zones []*zoneState
+	ncrac int
+	nnode int
+
+	// parent/fallback are set on the partition path: the budget is read
+	// from parent.Pconst per solve, and fallback reproduces the exact
+	// monolithic behavior when the decomposition cannot (zone errors,
+	// non-convergence).
+	parent   *model.DataCenter
+	fallback *assign.Stage1Solver
+
+	// fleetPconst is the fixed budget on the fleet path (parent == nil).
+	fleetPconst float64
+
+	segs     []masterSeg // master-problem scratch, reused across rounds
+	last     Stats
+	bestDual float64
+
+	mSolves, mRounds, mShortcuts, mFallbacks telemetry.Counter
+	zBudget, zValue                          []telemetry.Gauge
+}
+
+// NewSolverFromPartition builds a zone solver over part, sharing one ARR
+// envelope set (built from the parent at cfg.Psi) across all zones and
+// retaining a monolithic fallback solver on the parent. tm is the parent's
+// thermal model, reused for the fallback and for single-zone partitions.
+func NewSolverFromPartition(part *Partition, tm *thermal.Model, cfg Config) (*Solver, error) {
+	cfg = cfg.withDefaults()
+	arrs, err := assign.NodeARRs(part.Parent, cfg.Psi)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{
+		cfg:    cfg,
+		parent: part.Parent,
+		ncrac:  part.Parent.NCRAC(),
+		nnode:  part.Parent.NCN(),
+	}
+	s.fallback = s.configure(assign.NewStage1Solver(part.Parent, tm, arrs))
+	for _, z := range part.Zones {
+		ztm := tm
+		if len(part.Zones) > 1 {
+			if ztm, err = thermal.New(z.DC); err != nil {
+				return nil, fmt.Errorf("zones: zone %d thermal model: %w", z.ID, err)
+			}
+		}
+		s.zones = append(s.zones, &zoneState{
+			dc:      z.DC,
+			tm:      ztm,
+			solver:  s.configure(assign.NewStage1Solver(z.DC, ztm, arrs)),
+			cracIdx: z.CRACs,
+			nodeIdx: z.Nodes,
+			out:     make([]float64, len(z.CRACs)),
+		})
+	}
+	s.wire()
+	return s, nil
+}
+
+// NewFleetSolver builds a zone solver over a factored fleet: zones of the
+// same variant share that variant's thermal model (safe — thermal models
+// are read-only after construction) and all zones share one ARR envelope
+// set, so per-zone setup cost is one LP skeleton, not a scenario build.
+// The fleet path has no monolithic fallback — materializing the fleet-wide
+// LP is exactly what it exists to avoid — so unconverged coordination
+// (never observed; see Config.MaxRounds) surfaces as an error.
+func NewFleetSolver(f *Fleet, cfg Config) (*Solver, error) {
+	cfg = cfg.withDefaults()
+	arrs, err := assign.NodeARRs(f.Variants[0].DC, cfg.Psi)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{cfg: cfg, fleetPconst: f.Pconst}
+	cracOff, nodeOff := 0, 0
+	for _, vi := range f.ZoneVariant {
+		v := f.Variants[vi]
+		zdc := *v.DC
+		zc, zn := zdc.NCRAC(), zdc.NCN()
+		z := &zoneState{
+			dc:     &zdc,
+			tm:     v.TM,
+			solver: s.configure(assign.NewStage1Solver(&zdc, v.TM, arrs)),
+			out:    make([]float64, zc),
+		}
+		for i := 0; i < zc; i++ {
+			z.cracIdx = append(z.cracIdx, cracOff+i)
+		}
+		for j := 0; j < zn; j++ {
+			z.nodeIdx = append(z.nodeIdx, nodeOff+j)
+		}
+		s.zones = append(s.zones, z)
+		cracOff += zc
+		nodeOff += zn
+	}
+	s.ncrac, s.nnode = cracOff, nodeOff
+	s.wire()
+	return s, nil
+}
+
+// configure applies the LP settings to a freshly built Stage-1 solver.
+func (s *Solver) configure(sv *assign.Stage1Solver) *assign.Stage1Solver {
+	sv.SetPricing(s.cfg.Pricing)
+	sv.SetMethod(s.cfg.Method)
+	sv.SetWarmStart(s.cfg.WarmStart)
+	if s.cfg.Recorder != nil {
+		sv.SetRecorder(s.cfg.Recorder)
+	}
+	return sv
+}
+
+// maxZoneGauges bounds the per-zone labeled metric families registered, so
+// a 10k-zone fleet does not mint 10k gauges; aggregate counters cover the
+// rest.
+const maxZoneGauges = 16
+
+// wire registers the solver's telemetry (no-ops when cfg.Recorder is nil).
+func (s *Solver) wire() {
+	if s.cfg.Recorder == nil {
+		return
+	}
+	reg := s.cfg.Recorder.Registry()
+	s.mSolves = reg.Counter("tapo_zones_solves_total", "zone-decomposed Stage-1 solves")
+	s.mRounds = reg.Counter("tapo_zones_rounds_total", "price-coordination master rounds")
+	s.mShortcuts = reg.Counter("tapo_zones_shortcut_total", "solves settled by the unconstrained shortcut")
+	s.mFallbacks = reg.Counter("tapo_zones_fallback_total", "solves delegated to the monolithic fallback")
+	for i := range s.zones {
+		if i >= maxZoneGauges {
+			break
+		}
+		lbl := fmt.Sprintf("%d", i)
+		s.zBudget = append(s.zBudget, reg.Gauge("tapo_zone_budget_kw",
+			"power budget allocated to the zone in the last solve", "zone", lbl))
+		s.zValue = append(s.zValue, reg.Gauge("tapo_zone_value",
+			"zone LP objective at its allocated budget in the last solve", "zone", lbl))
+	}
+}
+
+// NumZones returns the zone count.
+func (s *Solver) NumZones() int { return len(s.zones) }
+
+// LastStats returns the coordination statistics of the most recent Solve.
+func (s *Solver) LastStats() Stats { return s.last }
+
+// TakeLPStats drains and sums the simplex counters of every zone solver
+// and the monolithic fallback (if any). The master is not an LP (see
+// solveMaster) and contributes nothing.
+func (s *Solver) TakeLPStats() linprog.Stats {
+	var total linprog.Stats
+	for _, z := range s.zones {
+		total.Add(z.solver.TakeStats())
+	}
+	if s.fallback != nil {
+		total.Add(s.fallback.TakeStats())
+	}
+	return total
+}
+
+// totalBudget is the shared cap: the parent's live Pconst on the partition
+// path (so power-cap faults propagate without rebuilds, exactly like the
+// monolithic solver's dc.Pconst read), or the fleet's fixed cap.
+func (s *Solver) totalBudget() float64 {
+	if s.parent != nil {
+		return s.parent.Pconst
+	}
+	return s.fleetPconst
+}
+
+// Solve runs the zone-decomposed Stage-1 LP at the given global CRAC
+// outlet temperatures (parent order on the partition path, zone-assembled
+// order on the fleet path) and returns an assembled monolithic-shape
+// Stage1Result. See Solver for the algorithm; LastStats reports how the
+// solve went.
+func (s *Solver) Solve(ctx context.Context, cracOut []float64) (*assign.Stage1Result, error) {
+	if len(cracOut) != s.ncrac {
+		return nil, fmt.Errorf("zones: got %d CRAC outlet temps, want %d", len(cracOut), s.ncrac)
+	}
+	P := s.totalBudget()
+	st := Stats{Zones: len(s.zones)}
+	s.mSolves.Inc()
+
+	for _, z := range s.zones {
+		for li, gi := range z.cracIdx {
+			z.out[li] = cracOut[gi]
+		}
+		z.budget = P
+		z.best.valid = false
+	}
+
+	// Round 0: every zone at the full budget. Each zone's value there is
+	// the best it could do under any split, so if the solutions jointly
+	// fit, they are optimal.
+	if err := s.evalRound(ctx); err != nil {
+		return s.recover(ctx, cracOut, &st, err)
+	}
+	st.ZoneSolves += len(s.zones)
+	sumBase, sumLin := 0.0, 0.0
+	for _, z := range s.zones {
+		sumBase += z.basePow
+		sumLin += z.linPow
+	}
+	eps := budgetTolerance * math.Max(1, P)
+	if sumBase > P+eps {
+		return s.recover(ctx, cracOut, &st, solvererr.New("zones", solvererr.Infeasible,
+			fmt.Errorf("zones: base power %.6g kW exceeds the shared cap %.6g kW", sumBase, P)))
+	}
+	if sumLin <= P+eps {
+		st.Shortcut, st.Converged = true, true
+		s.copyBest()
+		s.finish(&st)
+		return s.assemble(cracOut, P, &st), nil
+	}
+
+	// Price coordination: maximize Σ v_z over Σ b_z ≤ P against a growing
+	// cutting-plane model of each zone's value function.
+	for _, z := range s.zones {
+		z.vMax = z.value
+		z.cuts = append(z.cuts[:0], cut{Budget: P, Value: z.value, Price: z.price})
+	}
+	ub, lb := math.Inf(1), math.Inf(-1)
+	for round := 1; round <= s.cfg.MaxRounds; round++ {
+		st.Rounds = round
+		mub, mdual := s.solveMaster(P)
+		if mub < ub {
+			ub = mub
+		}
+		if err := s.evalRound(ctx); err != nil {
+			return s.recover(ctx, cracOut, &st, err)
+		}
+		st.ZoneSolves += len(s.zones)
+		lbRound := 0.0
+		for _, z := range s.zones {
+			lbRound += z.value
+		}
+		if lbRound > lb {
+			lb = lbRound
+			s.copyBest()
+			s.bestDual = mdual
+		}
+		for _, z := range s.zones {
+			z.addCut(cut{Budget: z.budget, Value: z.value, Price: z.price})
+		}
+		st.UpperBound, st.LowerBound, st.Gap = ub, lb, ub-lb
+		if ub-lb <= s.cfg.Tol*math.Max(1, math.Abs(ub)) {
+			st.Converged = true
+			break
+		}
+	}
+	if !st.Converged {
+		return s.recover(ctx, cracOut, &st, solvererr.New("zones", solvererr.IterationLimit,
+			fmt.Errorf("zones: price coordination did not converge in %d rounds (gap %.3g)", st.Rounds, st.Gap)))
+	}
+	s.finish(&st)
+	return s.assemble(cracOut, P, &st), nil
+}
+
+// evalRound solves every zone at its current budget, fanning out over the
+// shared worker-count policy. Zone state is written only by the goroutine
+// evaluating that zone, and results are independent of the worker count.
+func (s *Solver) evalRound(ctx context.Context) error {
+	nw := tempsearch.Workers(s.cfg.Parallelism)
+	if nw > len(s.zones) {
+		nw = len(s.zones)
+	}
+	if nw <= 1 {
+		for _, z := range s.zones {
+			z.eval(ctx)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(s.zones) {
+						return
+					}
+					s.zones[i].eval(ctx)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, z := range s.zones {
+		if z.err != nil {
+			return fmt.Errorf("zones: zone %d at budget %.6g kW: %w", i, z.budget, z.err)
+		}
+	}
+	return nil
+}
+
+// eval solves the zone LP at z.budget and records the value-function
+// sample. The scratch result stays valid (solver-owned) until the zone's
+// next eval, which is after any copyBest decision for this round.
+func (z *zoneState) eval(ctx context.Context) {
+	z.dc.Pconst = z.budget
+	res, err := z.solver.SolveScratchContext(ctx, z.out)
+	if err != nil {
+		z.err, z.last = err, nil
+		return
+	}
+	z.err = nil
+	z.last = res
+	z.value, z.price = res.PredictedARR, res.PowerShadowPrice
+	z.linPow, z.basePow = res.LinearPower, res.LinearBasePower
+}
+
+// addCut records a value-function sample, dropping near-duplicates: once
+// the price iteration homes in on a budget split, later rounds resample
+// essentially the same point, and feeding those as fresh rows makes the
+// master both bigger and degenerate (near-parallel rows are what pushed
+// fleet-sized masters past the simplex's residual verification).
+func (z *zoneState) addCut(c cut) {
+	for _, e := range z.cuts {
+		if math.Abs(e.Budget-c.Budget) <= 1e-9*(1+math.Abs(c.Budget)) &&
+			math.Abs(e.Price-c.Price) <= 1e-9*(1+math.Abs(c.Price)) {
+			return
+		}
+	}
+	z.cuts = append(z.cuts, c)
+}
+
+// copyBest deep-copies every zone's scratch solution into its retained
+// best buffers (called when a round improves the lower bound).
+func (s *Solver) copyBest() {
+	for _, z := range s.zones {
+		b := &z.best
+		b.valid = true
+		b.value, b.price, b.linPow = z.value, z.price, z.linPow
+		b.corePow = append(b.corePow[:0], z.last.NodeCorePower...)
+		b.pow = append(b.pow[:0], z.last.NodePower...)
+		b.computePower = z.last.ComputePower
+		b.cracPower = z.last.CRACPower
+		b.totalPower = z.last.TotalPower
+		b.feasible = z.last.Feasible
+	}
+}
+
+// masterSeg is one marginal tranche of a zone's cutting-plane model: slope
+// units of value per unit of budget over width kW, above the zone's base
+// allocation. Tranches within a zone have strictly decreasing slopes
+// (concavity), so pouring budget into tranches in global slope order is
+// exact.
+type masterSeg struct {
+	zone         int
+	width, slope float64
+}
+
+// solveMaster maximizes the restricted master — Σ V̂_z(b_z) subject to
+// Σ b_z ≤ P with b_z ∈ [base_z, P] — where V̂_z is the zone's cutting-plane
+// model: the lower envelope of its cuts and of the monotonicity bound
+// v ≤ V_z(P). The master is separable with concave piecewise-linear terms,
+// so it is a continuous knapsack solved exactly by a greedy pour: every
+// zone starts at its base power and the remaining budget fills the merged
+// marginal tranches in slope order. An earlier version solved this as an
+// LP; at fleet scale (hundreds of zones, thousands of accumulated cuts)
+// the near-parallel cut rows made the simplex basis so ill-conditioned
+// that both tableau and revised methods failed their own residual
+// verification, while the greedy is exact by construction. Returns the
+// model optimum (an upper bound on the monolithic LP objective) and the
+// marginal tranche slope at the cap (the coordination price, a valid dual
+// of the budget constraint), and writes the proposed budgets into the
+// zones.
+func (s *Solver) solveMaster(P float64) (ub, dual float64) {
+	s.segs = s.segs[:0]
+	budget := P
+	for zi, z := range s.zones {
+		lo := math.Min(z.basePow, P)
+		z.alloc = 0
+		budget -= lo
+		ub += z.envelope(zi, lo, P, &s.segs)
+	}
+	// Near-degenerate caps can leave Σ base marginally above P (within the
+	// shortcut tolerance); there is then nothing left to pour.
+	if budget < 0 {
+		budget = 0
+	}
+	// Stable sort: tranches within a zone keep their concavity order, ties
+	// across zones resolve by zone index, so the proposal is deterministic.
+	sort.SliceStable(s.segs, func(i, j int) bool { return s.segs[i].slope > s.segs[j].slope })
+	for _, sg := range s.segs {
+		if budget <= 0 {
+			break
+		}
+		take := math.Min(sg.width, budget)
+		s.zones[sg.zone].alloc += take
+		ub += take * sg.slope
+		budget -= take
+		if budget <= 0 {
+			dual = sg.slope
+		}
+	}
+	for _, z := range s.zones {
+		z.budget = math.Min(z.basePow, P) + z.alloc
+	}
+	return ub, dual
+}
+
+// envelope walks the lower envelope of the zone's cut lines over budgets
+// [lo, hi], returns its value at lo, and appends the envelope's positive-
+// slope tranches to segs. Lines are L_i(b) = c_i + λ_i·b with c_i =
+// Value_i − Price_i·Budget_i, plus the flat line at vMax (the zone LP's
+// value is nondecreasing in its budget, so V(b) ≤ V(P) everywhere); the
+// flat line bounds every envelope slope into [0, max λ]. The walk is
+// O(cuts²) with cuts capped by the round count — trivial next to one zone
+// LP pivot.
+func (z *zoneState) envelope(zi int, lo, hi float64, segs *[]masterSeg) float64 {
+	lineAt := func(c cut, b float64) float64 {
+		return c.Value + c.Price*(b-c.Budget)
+	}
+	flat := cut{Budget: hi, Value: z.vMax, Price: 0}
+	// Active line at lo: minimum value, ties broken toward the smaller
+	// slope (the shallower line stays lowest to the right of the tie).
+	act := flat
+	actV := lineAt(flat, lo)
+	for _, c := range z.cuts {
+		v := lineAt(c, lo)
+		if v < actV-1e-12*(1+math.Abs(actV)) || (v <= actV+1e-12*(1+math.Abs(actV)) && c.Price < act.Price) {
+			act, actV = c, v
+		}
+	}
+	v0 := actV
+	b := lo
+	for b < hi && act.Price > 0 {
+		// The next breakpoint: the nearest crossing with a shallower line.
+		nb, next := hi, flat
+		for _, c := range z.cuts {
+			if c.Price >= act.Price {
+				continue
+			}
+			// act and c cross where act's surplus over c vanishes.
+			x := b + (lineAt(c, b)-lineAt(act, b))/(act.Price-c.Price)
+			if x < b {
+				x = b
+			}
+			if x < nb || (x == nb && c.Price < next.Price) {
+				nb, next = x, c
+			}
+		}
+		if lineAt(flat, b) < lineAt(act, b) {
+			// Numerical guard: the flat line is already below; stop.
+			break
+		}
+		if x := b + (z.vMax-lineAt(act, b))/act.Price; x < nb {
+			nb, next = x, flat
+		}
+		if nb > b {
+			*segs = append(*segs, masterSeg{zone: zi, width: nb - b, slope: act.Price})
+		}
+		b, act = nb, next
+	}
+	return v0
+}
+
+// recover routes a failed decomposed solve to the monolithic fallback when
+// one exists (partition path) so behavior matches the monolithic solver
+// exactly; without one the error propagates.
+func (s *Solver) recover(ctx context.Context, cracOut []float64, st *Stats, cause error) (*assign.Stage1Result, error) {
+	if s.fallback == nil {
+		s.last = *st
+		return nil, cause
+	}
+	st.Fallback = true
+	s.mFallbacks.Inc()
+	s.finish(st)
+	return s.fallback.SolveContext(ctx, cracOut)
+}
+
+// finish publishes telemetry and retains the solve's stats.
+func (s *Solver) finish(st *Stats) {
+	s.last = *st
+	s.mRounds.Add(int64(st.Rounds))
+	if st.Shortcut {
+		s.mShortcuts.Inc()
+	}
+	for i := range s.zBudget {
+		z := s.zones[i]
+		s.zBudget[i].Set(z.budget)
+		s.zValue[i].Set(z.value)
+	}
+}
+
+// assemble scatters the retained per-zone solutions into one
+// monolithic-shape Stage1Result. With a single zone every field is
+// bit-identical to the monolithic solver's: the zone LP is the monolithic
+// LP and each ledger entry is the zone's own. With several zones the
+// ledgers sum per-zone terms (zone order), the predicted ARR is Σ V_z, and
+// the power shadow price is the master's budget-row dual — a coordination
+// price consistent with every zone's local dual at the final split.
+func (s *Solver) assemble(cracOut []float64, P float64, st *Stats) *assign.Stage1Result {
+	res := &assign.Stage1Result{
+		CracOut:       append([]float64(nil), cracOut...),
+		NodeCorePower: make([]float64, s.nnode),
+		NodePower:     make([]float64, s.nnode),
+		Feasible:      true,
+	}
+	totOK := 0.0
+	for _, z := range s.zones {
+		b := &z.best
+		for lj, gj := range z.nodeIdx {
+			res.NodeCorePower[gj] = b.corePow[lj]
+			res.NodePower[gj] = b.pow[lj]
+		}
+		res.PredictedARR += b.value
+		res.LinearBasePower += z.basePow
+		res.LinearPower += b.linPow
+		res.ComputePower += b.computePower
+		res.CRACPower += b.cracPower
+		totOK += b.totalPower
+		res.Feasible = res.Feasible && b.feasible
+	}
+	res.TotalPower = res.ComputePower + res.CRACPower
+	res.Feasible = res.Feasible && totOK <= P+powerBudgetSlack(P)
+	if len(s.zones) == 1 {
+		res.PowerShadowPrice = s.zones[0].best.price
+	} else if !st.Shortcut {
+		res.PowerShadowPrice = s.bestDual
+	}
+	return res
+}
+
+// powerBudgetSlack mirrors the monolithic solver's absolute power
+// tolerance (assign's powerTolerance is 1e-6 kW) so the assembled
+// feasibility verdict uses the same yardstick.
+func powerBudgetSlack(float64) float64 { return 1e-6 }
