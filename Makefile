@@ -24,11 +24,15 @@ race:
 # the slow tag), a 1k-node multi-zone fleet solve with invariant checks
 # (also behind the slow tag), short fuzz smokes on the workload parser,
 # the LU factorizer and the checkpoint journal decoder, the simplex and
-# fleet-scaling performance gates, a short instrumented degraded run whose
-# exported time series must
-# pass cmd/tscheck's schema validation, and a crash-recovery smoke: a
-# checkpointed sweep is killed mid-run after its 5th durable commit, then
-# resumed, and the resumed table must byte-match an uninterrupted run's.
+# fleet-scaling performance gates (the fleet family includes the
+# zone-warm-resolve 0-allocs gate), a short instrumented degraded run whose
+# exported time series must pass cmd/tscheck's schema validation and whose
+# Chrome trace must pass `tapo trace lint`, a flight-recorder smoke (a 1ns
+# solve budget forces the ladder onto a safe rung every epoch; at least one
+# bundle must exist and parse via `tapo flight`), and a crash-recovery
+# smoke: a checkpointed sweep is killed mid-run after its 5th durable
+# commit, then resumed, and the resumed table must byte-match an
+# uninterrupted run's.
 ci:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -42,8 +46,15 @@ ci:
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 10s ./internal/persist
 	$(MAKE) bench-compare BENCHTIME=1x
 	$(GO) run ./cmd/tapo degraded -trials 1 -nodes 10 -cracs 2 -horizon 30 \
-		-faults 0:0,2:1 -metrics-out /tmp/tapo-ci-metrics.jsonl > /dev/null
+		-faults 0:0,2:1 -metrics-out /tmp/tapo-ci-metrics.jsonl \
+		-trace-out /tmp/tapo-ci-trace.json > /dev/null
 	$(GO) run ./cmd/tscheck /tmp/tapo-ci-metrics.jsonl
+	$(GO) run ./cmd/tapo trace lint /tmp/tapo-ci-trace.json
+	rm -rf /tmp/tapo-ci-flight
+	$(GO) run ./cmd/tapo degraded -trials 1 -nodes 10 -cracs 2 -horizon 30 \
+		-faults 0:0,2:1 -solve-timeout 1ns \
+		-flight-dir /tmp/tapo-ci-flight > /dev/null
+	$(GO) run ./cmd/tapo flight /tmp/tapo-ci-flight
 	$(GO) build -o /tmp/tapo-ci ./cmd/tapo
 	rm -rf /tmp/tapo-ci-ck
 	/tmp/tapo-ci degraded -trials 1 -nodes 10 -cracs 2 -horizon 30 \

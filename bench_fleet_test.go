@@ -88,4 +88,36 @@ func BenchmarkFleetStage1(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(f.NumNodes()), "ns/node")
 		})
 	}
+
+	// zone-warm-resolve pins the zero-allocation contract of the warm
+	// epoch re-solve on the zone fast path with telemetry off: serial
+	// fan-out (no goroutines), no recorder, and the scratch entry point
+	// that reuses the solver-owned result buffers. cmd/benchcheck fails
+	// the fleet family if this reports any allocs/op.
+	b.Run("zone-warm-resolve", func(b *testing.B) {
+		f := getFleet(b, 10)
+		zs, err := zones.NewFleetSolver(f, zones.Config{
+			Method:      linprog.MethodRevised,
+			WarmStart:   true,
+			Parallelism: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]float64, f.NumCRACs())
+		for i := range out {
+			out[i] = 15
+		}
+		ctx := context.Background()
+		if _, err := zs.SolveScratch(ctx, out); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := zs.SolveScratch(ctx, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

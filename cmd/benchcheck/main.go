@@ -22,7 +22,10 @@
 // wall time per zone-decomposed Stage-1 solve divided by fleet node count —
 // must stay within -fleet-tolerance of the 1k-node point's, i.e. the
 // decomposition must scale linearly or better in fleet size. The optional
-// 50k point (TAPO_BENCH_50K) is held to the same bar when present.
+// 50k point (TAPO_BENCH_50K) is held to the same bar when present, and
+// zone-warm-resolve must report exactly 0 allocs/op (the warm epoch
+// re-solve on the zone fast path, telemetry off, keeps the Stage-1
+// zero-allocation contract).
 //
 // Usage: benchcheck [-tolerance f] [-fleet-tolerance f] [file]
 // With no file, it reads stdin. The tolerances (default 1.05 and 1.25)
@@ -258,14 +261,28 @@ func checkSimplex(results map[string]result, tolerance float64) []string {
 // checkFleet gates the fleet-scale scaling contract: ns/node must not grow
 // with fleet size, up to the tolerance. The 1k and 10k points are
 // mandatory once the family appears; the 50k point joins the gate when the
-// run included it.
+// run included it. The zone-warm-resolve point is mandatory too and must
+// report exactly 0 allocs/op: the warm epoch re-solve on the zone fast
+// path keeps the Stage-1 zero-allocation contract with telemetry off.
 func checkFleet(results map[string]result, tolerance float64) []string {
 	const (
-		small = fleetPrefix + "1k"
-		large = fleetPrefix + "10k"
-		huge  = fleetPrefix + "50k"
+		small    = fleetPrefix + "1k"
+		large    = fleetPrefix + "10k"
+		huge     = fleetPrefix + "50k"
+		warmZone = fleetPrefix + "zone-warm-resolve"
 	)
 	var failures []string
+	w, okW := results[warmZone]
+	switch {
+	case !okW:
+		failures = append(failures, warmZone+" missing from benchmark output")
+	case !w.hasAllocs:
+		failures = append(failures, warmZone+" has no allocs/op column (run with -benchmem or b.ReportAllocs)")
+	case w.allocsPerOp != 0:
+		failures = append(failures, fmt.Sprintf(
+			"%s reports %g allocs/op, want 0 (zone fast-path warm re-solve broke its zero-allocation contract)",
+			warmZone, w.allocsPerOp))
+	}
 	base, okB := results[small]
 	if !okB {
 		failures = append(failures, small+" missing from benchmark output")

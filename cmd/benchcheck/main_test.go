@@ -27,6 +27,7 @@ const jsonOK = `{"Action":"run","Test":"BenchmarkThreeStagePaperScale"}
 const fleetOK = `goos: linux
 BenchmarkFleetStage1/1k-4         	       2	 426725013 ns/op	    426725 ns/node	   17480 B/op	      29 allocs/op
 BenchmarkFleetStage1/10k-4        	       2	4235171810 ns/op	    423517 ns/node	  166760 B/op	      35 allocs/op
+BenchmarkFleetStage1/zone-warm-resolve-4 	       3	 415719568 ns/op	       0 B/op	       0 allocs/op
 PASS
 `
 
@@ -168,7 +169,8 @@ func TestCheckFleetFailsOnScaling(t *testing.T) {
 
 // TestCheckFleetFailsWithout10k: the 1k point alone must not pass the gate.
 func TestCheckFleetFailsWithout10k(t *testing.T) {
-	in := fleetOK[:strings.Index(fleetOK, "BenchmarkFleetStage1/10k")] + "PASS\n"
+	in := strings.Replace(fleetOK,
+		"BenchmarkFleetStage1/10k-4        	       2	4235171810 ns/op	    423517 ns/node	  166760 B/op	      35 allocs/op\n", "", 1)
 	results, err := parse(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
@@ -176,6 +178,35 @@ func TestCheckFleetFailsWithout10k(t *testing.T) {
 	f, _ := check(results, 1.05, 1.25)
 	if len(f) != 1 || !strings.Contains(f[0], "10k missing") {
 		t.Fatalf("failures = %v, want one missing-10k failure", f)
+	}
+}
+
+// TestCheckFleetFailsWithoutZoneWarm: zone-warm-resolve is a mandatory
+// family member — dropping it from the bench regex must not pass.
+func TestCheckFleetFailsWithoutZoneWarm(t *testing.T) {
+	in := strings.Replace(fleetOK,
+		"BenchmarkFleetStage1/zone-warm-resolve-4 	       3	 415719568 ns/op	       0 B/op	       0 allocs/op\n", "", 1)
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := check(results, 1.05, 1.25)
+	if len(f) != 1 || !strings.Contains(f[0], "zone-warm-resolve missing") {
+		t.Fatalf("failures = %v, want one missing-zone-warm failure", f)
+	}
+}
+
+// TestCheckFleetFailsOnZoneWarmAllocs: any allocation on the zone warm
+// re-solve breaks the fast path's zero-allocation contract.
+func TestCheckFleetFailsOnZoneWarmAllocs(t *testing.T) {
+	in := strings.Replace(fleetOK, "0 B/op	       0 allocs/op", "96 B/op	       4 allocs/op", 1)
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := check(results, 1.05, 1.25)
+	if len(f) != 1 || !strings.Contains(f[0], "zero-allocation contract") {
+		t.Fatalf("failures = %v, want one allocs-contract failure", f)
 	}
 }
 

@@ -15,6 +15,9 @@
 //	tapo degraded [-trials N] [-nodes N] [-cracs N] [-horizon SEC]
 //	              [-epoch SEC] [-faults nodes:cracs,...] [-solve-timeout DUR]
 //	              [-metrics-out FILE] [-checkpoint DIR] [-resume DIR]
+//	              [-trace-out FILE] [-flight-dir DIR]
+//	tapo trace    [lint] FILE...
+//	tapo flight   DIR
 //
 // Global telemetry flags (before the command): -log-level/-log-json tune
 // the structured logger, -serve-metrics ADDR exposes /metrics (Prometheus
@@ -47,6 +50,7 @@ import (
 
 	"thermaldc/internal/assign"
 	"thermaldc/internal/experiments"
+	"thermaldc/internal/flightrec"
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/persist"
 	"thermaldc/internal/report"
@@ -222,6 +226,10 @@ func run() int {
 		err = runCompare(ctx, args)
 	case "burst":
 		err = runBurst(ctx, args)
+	case "trace":
+		err = runTrace(args)
+	case "flight":
+		err = runFlight(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -286,6 +294,9 @@ commands:
   thermal   thermal map + P-state histogram after the assignment
   compare   naive ondemand clamp vs Eq. 21 vs three-stage
   burst     MMPP arrival-burstiness sweep over both scheduler policies
+  trace     summarize ("trace FILE") or lint ("trace lint FILE...") a
+            Chrome trace written by "degraded -trace-out"
+  flight    validate and summarize flight-recorder bundles in a directory
 
 global flags (before the command):
   -cpuprofile FILE     write a CPU profile (inspect with go tool pprof)
@@ -599,6 +610,11 @@ func runDegraded(ctx context.Context, args []string) error {
 	resumeDir := fs.String("resume", "", "resume a killed sweep from this checkpoint directory (config must match)")
 	snapEvery := fs.Int("snapshot-every", 0, "compact the checkpoint journal every N commits (0 = default, negative = never)")
 	crashAfter := fs.Int("crash-after", 0, "TESTING: exit hard right after the Nth durable commit (requires -checkpoint)")
+	traceOut := fs.String("trace-out", "", "write a Chrome/Perfetto trace of the solve pipeline to this file (open at ui.perfetto.dev)")
+	traceCap := fs.Int("trace-cap", 0, "span ring capacity for -trace-out (0 = default; the trace keeps the most recent spans)")
+	flightDir := fs.String("flight-dir", "", "dump a diagnostic flight-recorder bundle to this directory on every degraded epoch")
+	flightMax := fs.Int("flight-max", flightrec.DefaultMaxBundles, "keep at most N flight bundles, pruning the oldest")
+	flightInterval := fs.Duration("flight-interval", flightrec.DefaultMinInterval, "minimum wall time between flight bundles (rate limit)")
 	searchPar := searchParFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -651,6 +667,28 @@ func runDegraded(ctx context.Context, args []string) error {
 		cfg.Recorder.Series = telemetry.NewJSONLWriter(mf)
 		cfg.Options.Recorder = cfg.Recorder
 	}
+	if *traceOut != "" || *flightDir != "" {
+		// Both the trace export and the flight recorder read the span ring,
+		// so either flag enables tracing on a (possibly fresh) recorder.
+		if cfg.Recorder == nil {
+			cfg.Recorder = telemetry.NewRecorder()
+		}
+		if cfg.Recorder.Trace == nil {
+			cfg.Recorder.Trace = telemetry.NewTracer(*traceCap)
+		}
+		cfg.Options.Recorder = cfg.Recorder
+	}
+	if *flightDir != "" {
+		fr, frErr := flightrec.New(flightrec.Config{
+			Dir:         *flightDir,
+			MaxBundles:  *flightMax,
+			MinInterval: *flightInterval,
+		})
+		if frErr != nil {
+			return frErr
+		}
+		cfg.FlightRec = fr
+	}
 	res, err := experiments.DegradedSweepContext(ctx, cfg)
 	if err != nil {
 		return err
@@ -661,6 +699,27 @@ func runDegraded(ctx context.Context, args []string) error {
 			return err
 		}
 		telemetry.Default().Info("wrote " + *metricsOut)
+	}
+	if *traceOut != "" {
+		// Same atomic discipline as -metrics-out: the trace lands under its
+		// final name only when fully written.
+		tf, tfErr := persist.NewAtomicFile(*traceOut)
+		if tfErr != nil {
+			return tfErr
+		}
+		defer tf.Abort()
+		if err := cfg.Recorder.Tracer().WriteChrome(tf); err != nil {
+			return err
+		}
+		if err := tf.Commit(); err != nil {
+			return err
+		}
+		telemetry.Default().Info("wrote " + *traceOut)
+	}
+	if cfg.FlightRec != nil {
+		recorded, dropped := cfg.FlightRec.Stats()
+		telemetry.Default().Info("flight recorder done",
+			"dir", *flightDir, "bundles", recorded, "rate_limited", dropped)
 	}
 	return nil
 }

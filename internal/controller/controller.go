@@ -30,6 +30,7 @@ import (
 
 	"thermaldc/internal/assign"
 	"thermaldc/internal/faults"
+	"thermaldc/internal/flightrec"
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/model"
 	"thermaldc/internal/sched"
@@ -116,6 +117,16 @@ type Config struct {
 	// plan (it trades a little outlet optimality for a much cheaper
 	// re-solve on large floors).
 	ZoneFastPath bool
+	// FlightRec, when non-nil, arms the failure flight recorder (closed
+	// loop only): any epoch that engages the degradation ladder above
+	// warm, fails plan verification, falls back from the zone fast path,
+	// or ends with a classified solver error dumps a diagnostic bundle —
+	// recent spans, metrics snapshot, the epoch's sample, fault state, LP
+	// stats — to the recorder's directory (rate-limited and bounded; see
+	// internal/flightrec). Dump failures are logged, never fatal: the
+	// black box must not take down the plane. Telemetry never changes
+	// results.
+	FlightRec *flightrec.Recorder
 	// Resume, when non-nil, restores a closed-loop run from a checkpoint
 	// instead of starting at t = 0: the loop continues at the next epoch
 	// boundary and the remaining intervals compute bit-identically to an
@@ -208,6 +219,13 @@ type EpochReport struct {
 	// ZonePath marks a re-solve served by the zone-decomposed fast path
 	// (Config.ZoneFastPath) instead of a trip down the ladder.
 	ZonePath bool
+	// ZoneRounds is the fast-path solve's price-coordination round count
+	// (0 when the shortcut fired or the fast path was not used).
+	ZoneRounds int
+	// ZoneFallback marks an epoch whose zone fast-path attempt fell back:
+	// either the zone solver delegated to its internal monolithic solver,
+	// or the attempt failed outright and the full ladder served the epoch.
+	ZoneFallback bool
 	// Retries counts backed-off retry attempts spent on this solve.
 	Retries int
 	// SolveWall is the wall time of the whole ladder trip.
@@ -237,8 +255,11 @@ type Result struct {
 	RungCounts [NumRungs]int
 	Retries    int
 	// ZoneFastPaths counts re-solves served by the zone-decomposed fast
-	// path (tallied under RungWarm in RungCounts).
+	// path (tallied under RungWarm in RungCounts); ZoneFallbacks counts
+	// epochs whose fast-path attempt fell back (see
+	// EpochReport.ZoneFallback).
 	ZoneFastPaths int
+	ZoneFallbacks int
 	// Violations sums planner-view Verify findings across all plans.
 	Violations int
 	// MaxPower, MaxPowerExcess and MaxInletExcess fold the per-epoch
@@ -415,6 +436,19 @@ func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.
 					res.RungCounts[RungWarm]++
 					res.ZoneFastPaths++
 					lastGood = plan
+					zst := zp.solver.LastStats()
+					rep.ZoneRounds = zst.Rounds
+					if zst.Fallback {
+						// The plan shipped, but via the zone solver's internal
+						// monolithic fallback — worth flagging.
+						rep.ZoneFallback = true
+						res.ZoneFallbacks++
+					}
+				} else {
+					// The attempt ran and failed; the full ladder serves the
+					// epoch.
+					rep.ZoneFallback = true
+					res.ZoneFallbacks++
 				}
 			}
 			if !zoned {
@@ -489,9 +523,11 @@ func runClosedLoop(ctx context.Context, base *model.DataCenter, schedule faults.
 		}
 		rep.Plan = plan
 		accumulate(res, &rep, out)
-		if err := m.emitEpoch(res, &rep, p); err != nil {
+		samp, err := m.emitEpoch(res, &rep, p, cfg.FlightRec != nil)
+		if err != nil {
 			return nil, err
 		}
+		recordFlight(cfg, res, &rep, st, zp, samp)
 		if cfg.Checkpoint != nil {
 			d := &EpochDelta{
 				EvIdx:       evIdx,
@@ -717,7 +753,7 @@ func runOpenLoop(ctx context.Context, base *model.DataCenter, schedule faults.Sc
 	accumulate(res, &rep, out)
 	// Open loop publishes one sample for the whole horizon; the plant
 	// reflects its final (post-fault) state.
-	if err := newRunMetrics(cfg.Recorder, base.NCRAC()).emitEpoch(res, &rep, p); err != nil {
+	if _, err := newRunMetrics(cfg.Recorder, base.NCRAC()).emitEpoch(res, &rep, p, false); err != nil {
 		return nil, err
 	}
 	finish(res)

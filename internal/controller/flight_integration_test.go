@@ -1,0 +1,103 @@
+package controller_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"thermaldc/internal/controller"
+	"thermaldc/internal/faults"
+	"thermaldc/internal/flightrec"
+	"thermaldc/internal/stats"
+	"thermaldc/internal/telemetry"
+	"thermaldc/internal/workload"
+)
+
+// TestFlightRecorderDumpsOnForcedFault: a 1ns solve budget times out every
+// epoch and marches the ladder to a safe rung, so each epoch is a flight
+// trigger. The recorder must produce at least one bundle that parses and
+// carries the epoch's diagnosis (reason, rung, error kind, spans, sample).
+func TestFlightRecorderDumpsOnForcedFault(t *testing.T) {
+	sc := buildScenario(t, 1, 10)
+	const horizon = 40.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(31))
+	schedule := handSchedule(horizon)
+
+	rec := telemetry.NewRecorder()
+	rec.Trace = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+	dir := t.TempDir()
+	fr, err := flightrec.New(flightrec.Config{
+		Dir:         dir,
+		MinInterval: time.Nanosecond, // capture every trigger in this short run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := controller.DefaultConfig(horizon, 10)
+	cfg.Recorder = rec
+	cfg.SolveTimeout = time.Nanosecond
+	cfg.FlightRec = fr
+
+	res, err := controller.Run(sc.DC, schedule, tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallbacks == 0 {
+		t.Fatal("1ns solve budget produced no fallbacks; the fixture no longer forces faults")
+	}
+	recorded, _ := fr.Stats()
+	if recorded == 0 {
+		t.Fatal("no flight bundles recorded")
+	}
+	paths, err := flightrec.List(dir)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("bundle listing = %v, %v", paths, err)
+	}
+	b, err := flightrec.ReadBundle(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.Reason, "ladder-") {
+		t.Errorf("bundle reason = %q, want a ladder engagement", b.Reason)
+	}
+	if b.Rung == "" || b.Rung == "warm" {
+		t.Errorf("bundle rung = %q, want a degraded rung", b.Rung)
+	}
+	if len(b.Spans) == 0 {
+		t.Error("bundle carries no spans")
+	}
+	if b.Metrics == nil {
+		t.Error("bundle carries no metrics snapshot")
+	}
+	if b.LastSample == nil {
+		t.Error("bundle carries no epoch sample")
+	} else if b.LastSample.Epoch != b.Epoch {
+		t.Errorf("sample epoch %d != bundle epoch %d", b.LastSample.Epoch, b.Epoch)
+	}
+}
+
+// TestFlightRecorderQuietOnHealthyRun: a healthy closed loop must record
+// nothing — the black box only captures degradation.
+func TestFlightRecorderQuietOnHealthyRun(t *testing.T) {
+	sc := buildScenario(t, 1, 10)
+	const horizon = 40.0
+	tasks := workload.GenerateTasks(sc.DC, horizon, stats.NewRand(31))
+
+	fr, err := flightrec.New(flightrec.Config{Dir: t.TempDir(), MinInterval: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := controller.DefaultConfig(horizon, 10)
+	cfg.FlightRec = fr
+	// No fault events and no solve budget: every epoch resolves warm.
+	res, err := controller.Run(sc.DC, faults.Schedule{}, tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallbacks != 0 || res.Violations != 0 {
+		t.Skipf("fixture degraded on its own (%d fallbacks, %d violations)", res.Fallbacks, res.Violations)
+	}
+	if recorded, _ := fr.Stats(); recorded != 0 {
+		t.Fatalf("healthy run recorded %d bundles", recorded)
+	}
+}

@@ -45,6 +45,10 @@ type runMetrics struct {
 	lpRefreshes  telemetry.Counter
 	lpAllocBytes telemetry.Counter
 
+	zonePaths     telemetry.Counter
+	zoneRounds    telemetry.Counter
+	zoneFallbacks telemetry.Counter
+
 	solveWall telemetry.Histogram
 
 	headroomBuf []float64 // per-sensor scratch, reused every epoch
@@ -91,6 +95,12 @@ func newRunMetrics(rec *telemetry.Recorder, ncrac int) *runMetrics {
 	m.lpBoundFlips = reg.Counter("tapo_lp_bound_flips_total", "simplex bound flips")
 	m.lpRefreshes = reg.Counter("tapo_lp_refreshes_total", "full reduced-cost recomputations")
 	m.lpAllocBytes = reg.Counter("tapo_lp_alloc_bytes_total", "bytes of simplex workspace growth")
+	m.zonePaths = reg.Counter("tapo_controller_zone_fast_paths_total",
+		"re-solves served by the zone-decomposed fast path")
+	m.zoneRounds = reg.Counter("tapo_controller_zone_rounds_total",
+		"price-coordination rounds spent by zone fast-path solves")
+	m.zoneFallbacks = reg.Counter("tapo_controller_zone_fallbacks_total",
+		"zone fast-path attempts that fell back (to the monolithic zone solver or the full ladder)")
 	m.solveWall = reg.Histogram("tapo_controller_solve_wall_seconds",
 		"wall time of one epoch's whole degradation-ladder trip",
 		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5})
@@ -103,9 +113,14 @@ func newRunMetrics(rec *telemetry.Recorder, ncrac int) *runMetrics {
 // counts this interval. The plant p is sampled for power and per-sensor
 // inlet headroom; it is piecewise-constant over the interval, so the
 // sample is exact, not an instant snapshot.
-func (m *runMetrics) emitEpoch(res *Result, rep *EpochReport, p *truthPlant) error {
+//
+// The returned sample (nil when neither a series sink is attached nor
+// wantSample is set) aliases per-epoch scratch buffers: it is valid until
+// the next emitEpoch, which is exactly long enough for the flight
+// recorder to bundle it.
+func (m *runMetrics) emitEpoch(res *Result, rep *EpochReport, p *truthPlant, wantSample bool) (*telemetry.EpochSample, error) {
 	if m == nil {
-		return nil
+		return nil, nil
 	}
 	if rep.Resolved {
 		m.epochsByRung[rep.Rung].Inc()
@@ -151,10 +166,17 @@ func (m *runMetrics) emitEpoch(res *Result, rep *EpochReport, p *truthPlant) err
 	m.lpBoundFlips.Add(rep.LP.BoundFlips)
 	m.lpRefreshes.Add(rep.LP.Refreshes)
 	m.lpAllocBytes.Add(rep.LP.AllocBytes)
+	if rep.ZonePath {
+		m.zonePaths.Inc()
+	}
+	m.zoneRounds.Add(int64(rep.ZoneRounds))
+	if rep.ZoneFallback {
+		m.zoneFallbacks.Inc()
+	}
 
 	jw := m.rec.SeriesSink()
-	if jw == nil {
-		return nil
+	if jw == nil && !wantSample {
+		return nil, nil
 	}
 	samp := telemetry.EpochSample{
 		Epoch:                  res.EpochsSeen - 1,
@@ -177,11 +199,20 @@ func (m *runMetrics) emitEpoch(res *Result, rep *EpochReport, p *truthPlant) err
 		LPPivots:               rep.LP.Pivots,
 		LPAllocBytes:           rep.LP.AllocBytes,
 	}
+	samp.ZonePath = rep.ZonePath
+	samp.ZoneRounds = rep.ZoneRounds
+	if rep.ZoneFallback {
+		samp.ZoneFallbacks = 1
+	}
 	if rep.Resolved {
 		samp.Rung = rep.Rung.String()
 	}
 	if rep.ErrKind != solvererr.Unknown {
 		samp.ErrKind = rep.ErrKind.String()
 	}
-	return jw.Write(samp)
+	samp.Run = jw.Run()
+	if err := jw.Write(samp); err != nil {
+		return nil, err
+	}
+	return &samp, nil
 }

@@ -10,6 +10,7 @@ import (
 	"thermaldc/internal/assign"
 	"thermaldc/internal/controller"
 	"thermaldc/internal/faults"
+	"thermaldc/internal/flightrec"
 	"thermaldc/internal/linprog"
 	"thermaldc/internal/scenario"
 	"thermaldc/internal/stats"
@@ -53,6 +54,11 @@ type DegradedConfig struct {
 	// the whole sweep, and if a series sink is attached, each run writes
 	// its per-epoch rows under a fresh run number (JSONLWriter.NextRun).
 	Recorder *telemetry.Recorder
+	// FlightRec, when non-nil, arms the failure flight recorder on every
+	// closed-loop run of the sweep (see controller.Config.FlightRec).
+	// Excluded from the checkpoint run tag, like all telemetry: it never
+	// changes results.
+	FlightRec *flightrec.Recorder
 	// CheckpointDir, when non-empty, makes the sweep crash-safe: every
 	// completed closed-loop epoch and finished run is committed durably to
 	// a journal in this directory (see internal/persist), with periodic
@@ -141,6 +147,7 @@ func DegradedSweepContext(ctx context.Context, cfg DegradedConfig) (*DegradedRes
 	baseRun.Assign = cfg.Options
 	baseRun.SolveTimeout = cfg.SolveTimeout
 	baseRun.Recorder = cfg.Recorder
+	baseRun.FlightRec = cfg.FlightRec
 	ck, err := openSweepCheckpoint(cfg, baseRun)
 	if err != nil {
 		return nil, err
@@ -238,7 +245,10 @@ func degradedRun(ctx context.Context, cfg DegradedConfig, ck *sweepCheckpoint, k
 		run.Resume = resume
 		run.Checkpoint = ck.sink(key)
 	}
+	// Advance the series and trace run numbers in lockstep, so exported
+	// trace pids line up with the time series' run column.
 	cfg.Recorder.SeriesSink().NextRun()
+	cfg.Recorder.Tracer().NextRun()
 	r, err := controller.RunContext(ctx, sc.DC, schedule, tasks, run)
 	if err != nil {
 		return runSummary{}, err

@@ -1,0 +1,28 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
+
+// RegisterBuildInfo publishes the conventional `tapo_build_info` gauge:
+// constant value 1 with the build identity in the labels, so dashboards
+// can join any other series against the binary that produced it. Mux
+// calls it for every served registry; calling it twice is harmless (the
+// registry dedupes on name+labels). Nil-safe.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	reg.Gauge("tapo_build_info",
+		"Build metadata: constant 1, identity in the labels.",
+		"version", version,
+		"goversion", runtime.Version(),
+		"gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)),
+	).Set(1)
+}

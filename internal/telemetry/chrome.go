@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+)
+
+// This file exports a Tracer's span ring as Chrome trace-event JSON (the
+// format chrome://tracing, Perfetto, and speedscope all load). Every span
+// becomes one "X" (complete) event: ts and dur are microseconds, ts is
+// wall-clock (Unix epoch) so traces from different processes line up,
+// pid is the controller run, and tid is the span's executor track.
+// Parentage is implicit: events on one (pid, tid) pair nest by time
+// containment, which the span hierarchy (epoch ⊃ rung ⊃ stage ⊃
+// candidate/zone ⊃ lp-solve) guarantees by construction.
+
+// ChromeArgs carries the span fields that have no trace-event slot.
+type ChromeArgs struct {
+	// Kind is the numeric SpanKind (redundant with the event name; kept so
+	// linters need no name table).
+	Kind int32 `json:"kind"`
+	// Label is the span's kind-specific label (see SpanKind docs).
+	Label int32 `json:"label"`
+	// Pivots counts simplex basis changes inside the span.
+	Pivots int64 `json:"pivots"`
+	// Err is the span's kind-specific error code; 0 means success.
+	Err int32 `json:"err"`
+	// Seq is the tracer's global record sequence number.
+	Seq uint64 `json:"seq"`
+}
+
+// ChromeEvent is one trace-event JSON object.
+type ChromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts"`
+	Dur  float64    `json:"dur"`
+	PID  int64      `json:"pid"`
+	TID  int64      `json:"tid"`
+	Args ChromeArgs `json:"args"`
+}
+
+// ChromeTrace is the JSON-object form of the trace file.
+type ChromeTrace struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit,omitempty"`
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	Metadata        map[string]string `json:"metadata,omitempty"`
+}
+
+// chromeCategory tags every exported event so mixed traces can filter
+// ours back out.
+const chromeCategory = "tapo"
+
+// ChromeTraceFromSpans converts a Snapshot (oldest-first) into a trace
+// object. wallStart is the instant span Start offsets are relative to
+// (Tracer.WallStart).
+func ChromeTraceFromSpans(spans []Span, wallStart time.Time) *ChromeTrace {
+	base := wallStart.UnixNano()
+	events := make([]ChromeEvent, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, ChromeEvent{
+			Name: s.Kind.String(),
+			Cat:  chromeCategory,
+			Ph:   "X",
+			TS:   float64(base+s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			PID:  int64(s.Run),
+			TID:  int64(s.Track),
+			Args: ChromeArgs{
+				Kind:   int32(s.Kind),
+				Label:  s.Label,
+				Pivots: s.Pivots,
+				Err:    s.Err,
+				Seq:    s.Seq,
+			},
+		})
+	}
+	return &ChromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     events,
+		Metadata: map[string]string{
+			"tool":      "tapo",
+			"goversion": runtime.Version(),
+		},
+	}
+}
+
+// WriteChrome serializes the tracer's retained spans as Chrome
+// trace-event JSON. Safe on a nil tracer (writes an empty trace).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	ct := ChromeTraceFromSpans(t.Snapshot(), t.WallStart())
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ct); err != nil {
+		return fmt.Errorf("telemetry: writing chrome trace: %w", err)
+	}
+	return nil
+}
+
+// ReadChromeTrace parses a trace file written by WriteChrome. It rejects
+// trailing garbage but performs no semantic validation; call Lint for
+// that.
+func ReadChromeTrace(r io.Reader) (*ChromeTrace, error) {
+	dec := json.NewDecoder(r)
+	var ct ChromeTrace
+	if err := dec.Decode(&ct); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing chrome trace: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return nil, fmt.Errorf("telemetry: trailing data after chrome trace object")
+	}
+	return &ct, nil
+}
+
+// Lint checks the trace against the exporter's schema: only complete
+// ("X") events in our category, names matching the numeric kind, finite
+// non-negative timestamps and durations, non-negative pid/tid/pivots,
+// and strictly increasing sequence numbers (the oldest-first export
+// order, so re-imported timelines cannot interleave).
+func (ct *ChromeTrace) Lint() error {
+	if len(ct.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no events")
+	}
+	var prevSeq uint64
+	for i, e := range ct.TraceEvents {
+		fail := func(format string, a ...any) error {
+			return fmt.Errorf("event %d (%q): %s", i, e.Name, fmt.Sprintf(format, a...))
+		}
+		if e.Ph != "X" {
+			return fail("phase %q, want complete event \"X\"", e.Ph)
+		}
+		if e.Cat != chromeCategory {
+			return fail("category %q, want %q", e.Cat, chromeCategory)
+		}
+		if e.Args.Kind < 0 || int(e.Args.Kind) >= SpanKindCount {
+			return fail("unknown span kind %d", e.Args.Kind)
+		}
+		if want := SpanKind(e.Args.Kind).String(); e.Name != want {
+			return fail("name does not match kind %d (want %q)", e.Args.Kind, want)
+		}
+		for _, v := range []struct {
+			name string
+			v    float64
+		}{{"ts", e.TS}, {"dur", e.Dur}} {
+			if math.IsNaN(v.v) || math.IsInf(v.v, 0) || v.v < 0 {
+				return fail("%s = %g, want finite and non-negative", v.name, v.v)
+			}
+		}
+		if e.PID < 0 || e.TID < 0 {
+			return fail("pid/tid = %d/%d, want non-negative", e.PID, e.TID)
+		}
+		if e.Args.Pivots < 0 {
+			return fail("pivots = %d, want non-negative", e.Args.Pivots)
+		}
+		if i > 0 && e.Args.Seq <= prevSeq {
+			return fail("seq %d not increasing (previous %d): events out of record order", e.Args.Seq, prevSeq)
+		}
+		prevSeq = e.Args.Seq
+	}
+	return nil
+}

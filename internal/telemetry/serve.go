@@ -36,6 +36,7 @@ func publishExpvar(reg *Registry) {
 //	/debug/vars       expvar JSON (includes reg as "tapo_metrics")
 //	/debug/pprof/...  net/http/pprof profiles
 func Mux(reg *Registry) *http.ServeMux {
+	RegisterBuildInfo(reg)
 	publishExpvar(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -58,6 +59,38 @@ func TestMuxEndpoints(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
 		t.Errorf("index = %d, %q", code, body)
 	}
+}
+
+// TestBuildInfoGauge: Mux publishes the standard build-info gauge so one
+// scrape identifies what binary produced the rest of the metrics.
+func TestBuildInfoGauge(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(Mux(reg))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "tapo_build_info{") {
+		t.Fatalf("/metrics lacks tapo_build_info: %q", body)
+	}
+	if !strings.Contains(body, `goversion="`+runtime.Version()+`"`) {
+		t.Errorf("tapo_build_info lacks goversion label: %q", body)
+	}
+	for _, label := range []string{"version=", "gomaxprocs="} {
+		if !strings.Contains(body, label) {
+			t.Errorf("tapo_build_info lacks %s label: %q", label, body)
+		}
+	}
+	// Re-registering (a second Mux over the same registry) must not panic
+	// or duplicate the gauge.
+	RegisterBuildInfo(reg)
+	_, body = get(t, srv, "/metrics")
+	if strings.Count(body, "tapo_build_info{") != 1 {
+		t.Errorf("build info registered more than once: %q", body)
+	}
+	RegisterBuildInfo(nil) // nil registry is a no-op
 }
 
 func TestServeBindsAndCloses(t *testing.T) {

@@ -27,9 +27,22 @@ const (
 	// SpanLPSolve is one linprog solve; Pivots is the simplex work and Err
 	// the numeric Solution status.
 	SpanLPSolve
+	// SpanZoneSolve is one per-zone Stage-1 solve inside the fleet
+	// decomposition; Label is the zone index, Pivots the simplex work, and
+	// Err is 0 for a warm-start hit, 1 for a cold (or warm-rejected) solve.
+	SpanZoneSolve
+	// SpanCoordRound is one price-coordination round of the zone master
+	// (master knapsack + all zone evaluations); Label is the round index
+	// and Err is 1 when the round ended in monolithic fallback.
+	SpanCoordRound
 
 	numSpanKinds
 )
+
+// SpanKindCount is the number of defined span kinds; exported so trace
+// consumers (cmd/tapo trace) can validate Kind values without importing
+// internals.
+const SpanKindCount = int(numSpanKinds)
 
 func (k SpanKind) String() string {
 	switch k {
@@ -43,6 +56,10 @@ func (k SpanKind) String() string {
 		return "candidate"
 	case SpanLPSolve:
 		return "lp-solve"
+	case SpanZoneSolve:
+		return "zone-solve"
+	case SpanCoordRound:
+		return "coord-round"
 	default:
 		return "span"
 	}
@@ -60,6 +77,15 @@ type Span struct {
 	Pivots int64
 	// Err is a kind-specific error code; 0 means success.
 	Err int32
+	// Track is the executor lane the span ran on (Chrome-trace tid):
+	// 0 for the control path, a worker index for tempsearch candidates,
+	// a zone index for per-zone solves. Spans on one track must nest by
+	// time containment, which is how the exported timeline expresses
+	// parentage without explicit parent pointers.
+	Track int32
+	// Run is the controller run the span belongs to (Chrome-trace pid),
+	// advanced by Tracer.NextRun in lockstep with JSONLWriter.NextRun.
+	Run int32
 	// Seq is the global record sequence number (monotone per tracer).
 	Seq uint64
 }
@@ -80,6 +106,7 @@ type Tracer struct {
 	epoch time.Time
 	ring  []Span
 	n     uint64
+	run   int32
 }
 
 // DefaultTraceCapacity sizes NewTracer's ring when the caller passes a
@@ -104,9 +131,16 @@ func (t *Tracer) Begin() SpanClock {
 	return SpanClock{t: time.Now()}
 }
 
-// End records the span begun at c. A nil tracer or a zero c (a Begin from
-// a disabled tracer) is a no-op.
+// End records the span begun at c on track 0 (the control path). A nil
+// tracer or a zero c (a Begin from a disabled tracer) is a no-op.
 func (t *Tracer) End(c SpanClock, kind SpanKind, label int32, pivots int64, errCode int32) {
+	t.EndOnTrack(c, kind, label, 0, pivots, errCode)
+}
+
+// EndOnTrack records the span begun at c on an explicit executor track
+// (a tempsearch worker or a zone index). Same nil/zero no-op contract as
+// End.
+func (t *Tracer) EndOnTrack(c SpanClock, kind SpanKind, label, track int32, pivots int64, errCode int32) {
 	if t == nil || c.t.IsZero() {
 		return
 	}
@@ -120,10 +154,35 @@ func (t *Tracer) End(c SpanClock, kind SpanKind, label int32, pivots int64, errC
 		Dur:    now.Sub(c.t),
 		Pivots: pivots,
 		Err:    errCode,
+		Track:  track,
+		Run:    t.run,
 		Seq:    t.n,
 	}
 	t.n++
 	t.mu.Unlock()
+}
+
+// NextRun advances the run number stamped on subsequent spans and returns
+// it. Sweeps call it once per controller run, next to the matching
+// JSONLWriter.NextRun, so trace pids line up with time-series run
+// numbers. Nil-safe.
+func (t *Tracer) NextRun() int32 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.run++
+	return t.run
+}
+
+// WallStart is the wall-clock instant Span.Start offsets are relative to
+// (the tracer's creation time). Nil tracers report the zero time.
+func (t *Tracer) WallStart() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
 }
 
 // Count returns how many spans were ever recorded (recorded − len(ring)

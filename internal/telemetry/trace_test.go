@@ -81,6 +81,69 @@ func TestEnabledTracerDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestSnapshotOrderAroundWraparound pins Snapshot's oldest-first contract
+// at the two boundary fills: exactly capacity spans (the ring is full but
+// nothing was overwritten — the next write index is 0 again, and a naive
+// rotation would split the untouched ring in the wrong place) and
+// capacity+1 (the first genuine overwrite).
+func TestSnapshotOrderAroundWraparound(t *testing.T) {
+	const capacity = 4
+	record := func(n int) []Span {
+		tr := NewTracer(capacity)
+		for i := 0; i < n; i++ {
+			tr.End(tr.Begin(), SpanLPSolve, int32(i), 0, 0)
+		}
+		return tr.Snapshot()
+	}
+
+	full := record(capacity)
+	if len(full) != capacity {
+		t.Fatalf("at exactly capacity: snapshot kept %d spans, want %d", len(full), capacity)
+	}
+	for i, s := range full {
+		if s.Seq != uint64(i) || s.Label != int32(i) {
+			t.Fatalf("at exactly capacity: span %d = seq %d label %d, want %d", i, s.Seq, s.Label, i)
+		}
+	}
+
+	wrapped := record(capacity + 1)
+	if len(wrapped) != capacity {
+		t.Fatalf("at capacity+1: snapshot kept %d spans, want %d", len(wrapped), capacity)
+	}
+	for i, s := range wrapped {
+		want := uint64(i + 1) // span 0 was overwritten
+		if s.Seq != want || s.Label != int32(want) {
+			t.Fatalf("at capacity+1: span %d = seq %d label %d, want %d", i, s.Seq, s.Label, want)
+		}
+	}
+}
+
+func TestEndOnTrackAndRunStamping(t *testing.T) {
+	tr := NewTracer(8)
+	tr.EndOnTrack(tr.Begin(), SpanZoneSolve, 3, 3, 17, 1)
+	if got := tr.NextRun(); got != 1 {
+		t.Fatalf("NextRun = %d, want 1", got)
+	}
+	tr.End(tr.Begin(), SpanEpoch, 0, 0, 0)
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if s := spans[0]; s.Track != 3 || s.Run != 0 || s.Pivots != 17 || s.Err != 1 {
+		t.Errorf("pre-run span = %+v, want track 3 run 0", s)
+	}
+	if s := spans[1]; s.Track != 0 || s.Run != 1 {
+		t.Errorf("post-run span = %+v, want track 0 run 1", s)
+	}
+	var nilTr *Tracer
+	if nilTr.NextRun() != 0 {
+		t.Error("nil tracer NextRun != 0")
+	}
+	if !nilTr.WallStart().IsZero() {
+		t.Error("nil tracer WallStart not zero")
+	}
+}
+
 func TestSpanKindStrings(t *testing.T) {
 	for k := SpanKind(0); k < numSpanKinds; k++ {
 		if k.String() == "span" {

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -320,7 +322,9 @@ func (s *searcher) obj(w int) Objective {
 				if !ok {
 					code = 1
 				}
-				tr.End(clk, telemetry.SpanCandidate, worker, 0, code)
+				// Track = worker puts each worker's candidates on its own
+				// timeline lane in exported Chrome traces.
+				tr.EndOnTrack(clk, telemetry.SpanCandidate, worker, worker, 0, code)
 				return v, ok
 			}
 		}
@@ -376,22 +380,27 @@ func (s *searcher) batch(cands [][]float64) (bestIdx int, bestVal float64, found
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(eval Objective) {
+			go func(w int, eval Objective) {
 				defer wg.Done()
-				for {
-					if ctx.Err() != nil {
-						return
+				// pprof labels attribute CPU samples from -cpuprofile and
+				// the -serve-metrics profile endpoint to the search stage
+				// and worker lane.
+				pprof.Do(ctx, pprof.Labels("stage", "tempsearch", "worker", strconv.Itoa(w)), func(ctx context.Context) {
+					for {
+						if ctx.Err() != nil {
+							return
+						}
+						n := int(atomic.AddInt64(&next, 1)) - 1
+						if n >= len(fresh) {
+							return
+						}
+						i := fresh[n]
+						v, ok := eval(cands[i])
+						results[i] = memoEntry{value: v, feasible: ok}
+						atomic.AddInt64(&ran, 1)
 					}
-					n := int(atomic.AddInt64(&next, 1)) - 1
-					if n >= len(fresh) {
-						return
-					}
-					i := fresh[n]
-					v, ok := eval(cands[i])
-					results[i] = memoEntry{value: v, feasible: ok}
-					atomic.AddInt64(&ran, 1)
-				}
-			}(s.objs[w])
+				})
+			}(w, s.objs[w])
 		}
 		wg.Wait()
 		if cerr := ctx.Err(); cerr != nil {

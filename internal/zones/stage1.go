@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -105,6 +107,10 @@ type zoneState struct {
 	dc     *model.DataCenter // private shallow copy; Pconst is the budget knob
 	tm     *thermal.Model
 	solver *assign.Stage1Solver
+	// idx is the zone's index in the solver; tr (nil when tracing is off)
+	// records one SpanZoneSolve per eval on track idx.
+	idx int
+	tr  *telemetry.Tracer
 	// cracIdx and nodeIdx map zone-local CRACs and nodes to global
 	// indices (parent indices on the partition path, assembled-order
 	// offsets on the fleet path).
@@ -169,10 +175,16 @@ type Solver struct {
 	fleetPconst float64
 
 	segs     []masterSeg // master-problem scratch, reused across rounds
+	sorter   segSorter   // reusable sort.Interface over segs (no per-round boxing)
 	last     Stats
 	bestDual float64
+	res      assign.Stage1Result // SolveScratch's retained result buffers
 
+	tr                                       *telemetry.Tracer
 	mSolves, mRounds, mShortcuts, mFallbacks telemetry.Counter
+	mZoneSolves                              telemetry.Counter
+	mGap, mPrice, mCuts                      telemetry.Gauge
+	mFallbackCause                           []telemetry.Counter // indexed by solvererr.Kind
 	zBudget, zValue                          []telemetry.Gauge
 }
 
@@ -271,14 +283,31 @@ const maxZoneGauges = 16
 
 // wire registers the solver's telemetry (no-ops when cfg.Recorder is nil).
 func (s *Solver) wire() {
+	for i, z := range s.zones {
+		z.idx = i
+	}
 	if s.cfg.Recorder == nil {
 		return
+	}
+	s.tr = s.cfg.Recorder.Tracer()
+	for _, z := range s.zones {
+		z.tr = s.tr
 	}
 	reg := s.cfg.Recorder.Registry()
 	s.mSolves = reg.Counter("tapo_zones_solves_total", "zone-decomposed Stage-1 solves")
 	s.mRounds = reg.Counter("tapo_zones_rounds_total", "price-coordination master rounds")
 	s.mShortcuts = reg.Counter("tapo_zones_shortcut_total", "solves settled by the unconstrained shortcut")
 	s.mFallbacks = reg.Counter("tapo_zones_fallback_total", "solves delegated to the monolithic fallback")
+	s.mZoneSolves = reg.Counter("tapo_zones_zone_solves_total", "per-zone LP solves across all coordination rounds")
+	s.mGap = reg.Gauge("tapo_zones_gap", "upper-minus-lower bound gap after the last coordination round")
+	s.mPrice = reg.Gauge("tapo_zones_price", "coordination price (budget-row dual) of the last master round")
+	s.mCuts = reg.Gauge("tapo_zones_cuts", "Kelley cuts accumulated across all zones in the last solve")
+	kinds := solvererr.Kinds()
+	s.mFallbackCause = make([]telemetry.Counter, len(kinds))
+	for _, k := range kinds {
+		s.mFallbackCause[k] = reg.Counter("tapo_zones_fallback_cause_total",
+			"monolithic fallbacks by classified cause", "cause", k.String())
+	}
 	for i := range s.zones {
 		if i >= maxZoneGauges {
 			break
@@ -324,9 +353,37 @@ func (s *Solver) totalBudget() float64 {
 // Solve runs the zone-decomposed Stage-1 LP at the given global CRAC
 // outlet temperatures (parent order on the partition path, zone-assembled
 // order on the fleet path) and returns an assembled monolithic-shape
-// Stage1Result. See Solver for the algorithm; LastStats reports how the
-// solve went.
+// Stage1Result the caller owns. See Solver for the algorithm; LastStats
+// reports how the solve went.
 func (s *Solver) Solve(ctx context.Context, cracOut []float64) (*assign.Stage1Result, error) {
+	res, err := s.SolveScratch(ctx, cracOut)
+	if err != nil {
+		return nil, err
+	}
+	if res != &s.res {
+		// The monolithic fallback allocated this result; it is already
+		// caller-owned.
+		return res, nil
+	}
+	return cloneResult(res), nil
+}
+
+// cloneResult deep-copies an assembled result so callers can retain it
+// across later solves.
+func cloneResult(r *assign.Stage1Result) *assign.Stage1Result {
+	c := *r
+	c.CracOut = append([]float64(nil), r.CracOut...)
+	c.NodeCorePower = append([]float64(nil), r.NodeCorePower...)
+	c.NodePower = append([]float64(nil), r.NodePower...)
+	return &c
+}
+
+// SolveScratch is Solve without the defensive copy: the returned result
+// aliases solver-owned buffers and is valid only until the next solve.
+// With warm starts on and telemetry off, a re-solve at unchanged
+// dimensions performs zero heap allocations — the fleet fast path's
+// analog of assign.Stage1Solver.SolveScratch, gated in cmd/benchcheck.
+func (s *Solver) SolveScratch(ctx context.Context, cracOut []float64) (*assign.Stage1Result, error) {
 	if len(cracOut) != s.ncrac {
 		return nil, fmt.Errorf("zones: got %d CRAC outlet temps, want %d", len(cracOut), s.ncrac)
 	}
@@ -349,6 +406,7 @@ func (s *Solver) Solve(ctx context.Context, cracOut []float64) (*assign.Stage1Re
 		return s.recover(ctx, cracOut, &st, err)
 	}
 	st.ZoneSolves += len(s.zones)
+	s.mZoneSolves.Add(int64(len(s.zones)))
 	sumBase, sumLin := 0.0, 0.0
 	for _, z := range s.zones {
 		sumBase += z.basePow
@@ -363,7 +421,8 @@ func (s *Solver) Solve(ctx context.Context, cracOut []float64) (*assign.Stage1Re
 		st.Shortcut, st.Converged = true, true
 		s.copyBest()
 		s.finish(&st)
-		return s.assemble(cracOut, P, &st), nil
+		s.assembleInto(&s.res, cracOut, P, &st)
+		return &s.res, nil
 	}
 
 	// Price coordination: maximize Σ v_z over Σ b_z ≤ P against a growing
@@ -374,15 +433,18 @@ func (s *Solver) Solve(ctx context.Context, cracOut []float64) (*assign.Stage1Re
 	}
 	ub, lb := math.Inf(1), math.Inf(-1)
 	for round := 1; round <= s.cfg.MaxRounds; round++ {
+		cRound := s.tr.Begin()
 		st.Rounds = round
 		mub, mdual := s.solveMaster(P)
 		if mub < ub {
 			ub = mub
 		}
 		if err := s.evalRound(ctx); err != nil {
+			s.tr.End(cRound, telemetry.SpanCoordRound, int32(round), 0, 1)
 			return s.recover(ctx, cracOut, &st, err)
 		}
 		st.ZoneSolves += len(s.zones)
+		s.mZoneSolves.Add(int64(len(s.zones)))
 		lbRound := 0.0
 		for _, z := range s.zones {
 			lbRound += z.value
@@ -396,6 +458,8 @@ func (s *Solver) Solve(ctx context.Context, cracOut []float64) (*assign.Stage1Re
 			z.addCut(cut{Budget: z.budget, Value: z.value, Price: z.price})
 		}
 		st.UpperBound, st.LowerBound, st.Gap = ub, lb, ub-lb
+		s.observeRound(&st, mdual)
+		s.tr.End(cRound, telemetry.SpanCoordRound, int32(round), 0, 0)
 		if ub-lb <= s.cfg.Tol*math.Max(1, math.Abs(ub)) {
 			st.Converged = true
 			break
@@ -406,7 +470,24 @@ func (s *Solver) Solve(ctx context.Context, cracOut []float64) (*assign.Stage1Re
 			fmt.Errorf("zones: price coordination did not converge in %d rounds (gap %.3g)", st.Rounds, st.Gap)))
 	}
 	s.finish(&st)
-	return s.assemble(cracOut, P, &st), nil
+	s.assembleInto(&s.res, cracOut, P, &st)
+	return &s.res, nil
+}
+
+// observeRound publishes the per-round coordination gauges (price, gap,
+// accumulated cut count). Skipped entirely with telemetry off, so the
+// disabled path touches no metric handles and counts no cuts.
+func (s *Solver) observeRound(st *Stats, dual float64) {
+	if s.cfg.Recorder == nil {
+		return
+	}
+	s.mGap.Set(st.Gap)
+	s.mPrice.Set(dual)
+	cuts := 0
+	for _, z := range s.zones {
+		cuts += len(z.cuts)
+	}
+	s.mCuts.Set(float64(cuts))
 }
 
 // evalRound solves every zone at its current budget, fanning out over the
@@ -418,6 +499,8 @@ func (s *Solver) evalRound(ctx context.Context) error {
 		nw = len(s.zones)
 	}
 	if nw <= 1 {
+		// Serial path: no goroutines, no pprof label sets — this is the
+		// zero-allocation configuration the benchcheck gate measures.
 		for _, z := range s.zones {
 			z.eval(ctx)
 		}
@@ -426,16 +509,23 @@ func (s *Solver) evalRound(ctx context.Context) error {
 		var wg sync.WaitGroup
 		for w := 0; w < nw; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(s.zones) {
-						return
+				// Label the worker goroutine so CPU profiles attribute
+				// samples to the zone-solve stage and, per eval, to the
+				// zone being solved.
+				pprof.Do(ctx, pprof.Labels("stage", "zone-solve", "worker", strconv.Itoa(worker)), func(ctx context.Context) {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(s.zones) {
+							return
+						}
+						pprof.Do(ctx, pprof.Labels("zone", strconv.Itoa(i)), func(ctx context.Context) {
+							s.zones[i].eval(ctx)
+						})
 					}
-					s.zones[i].eval(ctx)
-				}
-			}()
+				})
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -449,10 +539,33 @@ func (s *Solver) evalRound(ctx context.Context) error {
 
 // eval solves the zone LP at z.budget and records the value-function
 // sample. The scratch result stays valid (solver-owned) until the zone's
-// next eval, which is after any copyBest decision for this round.
+// next eval, which is after any copyBest decision for this round. With
+// tracing on it records one SpanZoneSolve on the zone's own track: Label
+// is the zone index, Pivots the solve's simplex work, and Err reports
+// the warm-start outcome (0 warm hit, 1 cold, 2 solve error).
 func (z *zoneState) eval(ctx context.Context) {
+	var c telemetry.SpanClock
+	var pivots0, hits0 int64
+	if z.tr != nil {
+		ws := z.solver.Workspace()
+		pivots0 = ws.Stats.Pivots + ws.Stats.DualPivots
+		hits0 = ws.Stats.WarmHits
+		c = z.tr.Begin()
+	}
 	z.dc.Pconst = z.budget
 	res, err := z.solver.SolveScratchContext(ctx, z.out)
+	if z.tr != nil {
+		ws := z.solver.Workspace()
+		outcome := int32(1)
+		if ws.Stats.WarmHits > hits0 {
+			outcome = 0
+		}
+		if err != nil {
+			outcome = 2
+		}
+		z.tr.EndOnTrack(c, telemetry.SpanZoneSolve, int32(z.idx), int32(z.idx),
+			ws.Stats.Pivots+ws.Stats.DualPivots-pivots0, outcome)
+	}
 	if err != nil {
 		z.err, z.last = err, nil
 		return
@@ -504,6 +617,15 @@ type masterSeg struct {
 	width, slope float64
 }
 
+// segSorter is a retained sort.Interface over the master's tranche
+// scratch: descending slope, stable. Solver keeps one so solveMaster
+// sorts without boxing a slice or closure per round.
+type segSorter struct{ segs []masterSeg }
+
+func (p *segSorter) Len() int           { return len(p.segs) }
+func (p *segSorter) Less(i, j int) bool { return p.segs[i].slope > p.segs[j].slope }
+func (p *segSorter) Swap(i, j int)      { p.segs[i], p.segs[j] = p.segs[j], p.segs[i] }
+
 // solveMaster maximizes the restricted master — Σ V̂_z(b_z) subject to
 // Σ b_z ≤ P with b_z ∈ [base_z, P] — where V̂_z is the zone's cutting-plane
 // model: the lower envelope of its cuts and of the monotonicity bound
@@ -535,7 +657,11 @@ func (s *Solver) solveMaster(P float64) (ub, dual float64) {
 	}
 	// Stable sort: tranches within a zone keep their concavity order, ties
 	// across zones resolve by zone index, so the proposal is deterministic.
-	sort.SliceStable(s.segs, func(i, j int) bool { return s.segs[i].slope > s.segs[j].slope })
+	// The retained sorter (vs sort.SliceStable) keeps the coordination
+	// rounds allocation-free: boxing a fresh slice+closure pair per round
+	// was the warm fleet re-solve's last heap traffic.
+	s.sorter.segs = s.segs
+	sort.Stable(&s.sorter)
 	for _, sg := range s.segs {
 		if budget <= 0 {
 			break
@@ -616,12 +742,25 @@ func (z *zoneState) envelope(zi int, lo, hi float64, segs *[]masterSeg) float64 
 func (s *Solver) recover(ctx context.Context, cracOut []float64, st *Stats, cause error) (*assign.Stage1Result, error) {
 	if s.fallback == nil {
 		s.last = *st
+		s.countFallbackCause(cause)
 		return nil, cause
 	}
 	st.Fallback = true
 	s.mFallbacks.Inc()
+	s.countFallbackCause(cause)
 	s.finish(st)
 	return s.fallback.SolveContext(ctx, cracOut)
+}
+
+// countFallbackCause bumps the per-cause fallback counter (pre-registered
+// per solvererr.Kind, so no label rendering happens here).
+func (s *Solver) countFallbackCause(cause error) {
+	if len(s.mFallbackCause) == 0 {
+		return
+	}
+	if k := solvererr.Classify(cause); int(k) < len(s.mFallbackCause) {
+		s.mFallbackCause[k].Inc()
+	}
 }
 
 // finish publishes telemetry and retains the solve's stats.
@@ -638,18 +777,19 @@ func (s *Solver) finish(st *Stats) {
 	}
 }
 
-// assemble scatters the retained per-zone solutions into one
-// monolithic-shape Stage1Result. With a single zone every field is
-// bit-identical to the monolithic solver's: the zone LP is the monolithic
-// LP and each ledger entry is the zone's own. With several zones the
-// ledgers sum per-zone terms (zone order), the predicted ARR is Σ V_z, and
-// the power shadow price is the master's budget-row dual — a coordination
-// price consistent with every zone's local dual at the final split.
-func (s *Solver) assemble(cracOut []float64, P float64, st *Stats) *assign.Stage1Result {
-	res := &assign.Stage1Result{
-		CracOut:       append([]float64(nil), cracOut...),
-		NodeCorePower: make([]float64, s.nnode),
-		NodePower:     make([]float64, s.nnode),
+// assembleInto scatters the retained per-zone solutions into one
+// monolithic-shape Stage1Result, reusing res's buffers. With a single
+// zone every field is bit-identical to the monolithic solver's: the zone
+// LP is the monolithic LP and each ledger entry is the zone's own. With
+// several zones the ledgers sum per-zone terms (zone order), the
+// predicted ARR is Σ V_z, and the power shadow price is the master's
+// budget-row dual — a coordination price consistent with every zone's
+// local dual at the final split.
+func (s *Solver) assembleInto(res *assign.Stage1Result, cracOut []float64, P float64, st *Stats) {
+	*res = assign.Stage1Result{
+		CracOut:       append(res.CracOut[:0], cracOut...),
+		NodeCorePower: resize(res.NodeCorePower, s.nnode),
+		NodePower:     resize(res.NodePower, s.nnode),
 		Feasible:      true,
 	}
 	totOK := 0.0
@@ -674,7 +814,16 @@ func (s *Solver) assemble(cracOut []float64, P float64, st *Stats) *assign.Stage
 	} else if !st.Shortcut {
 		res.PowerShadowPrice = s.bestDual
 	}
-	return res
+}
+
+// resize returns buf with length n (reusing its array when it fits).
+// NodeCorePower/NodePower are fully overwritten by the scatter loop, so
+// stale contents never leak.
+func resize(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // powerBudgetSlack mirrors the monolithic solver's absolute power
